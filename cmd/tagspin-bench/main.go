@@ -1,0 +1,69 @@
+// Command tagspin-bench regenerates the paper's tables and figures (and the
+// ablations) from the simulated testbed and prints them as text reports.
+//
+// Usage:
+//
+//	tagspin-bench                 # run everything
+//	tagspin-bench -run F10a,T2    # run selected experiments
+//	tagspin-bench -list           # list experiment ids
+//	tagspin-bench -trials 100     # override per-experiment trial counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tagspin-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tagspin-bench", flag.ContinueOnError)
+	var (
+		runIDs = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		seed   = fs.Int64("seed", 0, "random seed")
+		trials = fs.Int("trials", 0, "override per-experiment trial counts (0 = defaults)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, r := range experiment.All() {
+			fmt.Printf("%-5s %s\n", r.ID, r.Title)
+		}
+		return nil
+	}
+	var runners []experiment.Runner
+	if *runIDs == "all" || *runIDs == "" {
+		runners = experiment.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			r, err := experiment.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			runners = append(runners, r)
+		}
+	}
+	opts := experiment.Options{Seed: *seed, Trials: *trials}
+	for _, r := range runners {
+		start := time.Now()
+		res, err := r.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Print(res.Text())
+		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestListAndSelect(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	// T1 is static and instant; a tiny F4 exercises the harness path.
+	if err := run([]string{"-run", "T1,F4", "-trials", "2"}); err != nil {
+		t.Fatalf("-run: %v", err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "F99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

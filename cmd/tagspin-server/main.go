@@ -1,0 +1,65 @@
+// Command tagspin-server runs the central localization server: it owns the
+// spinning-tag registry, collects phase snapshots from readers over the
+// LLRP-flavoured protocol, runs the Tagspin pipeline, and serves an
+// HTTP/JSON control API:
+//
+//	GET  /healthz
+//	GET  /v1/tags
+//	POST /v1/tags            {"epc":..., "centerM":[x,y,z], "radiusM":..., "omegaRadPerSec":...}
+//	DELETE /v1/tags/{epc}
+//	POST /v1/locate          {"readerAddr":"host:port", "mode":"2d"|"3d"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/locsrv"
+	"github.com/tagspin/tagspin/internal/registry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tagspin-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tagspin-server", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		regPath = fs.String("registry", "", "registry JSON to load at startup")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := registry.New()
+	if *regPath != "" {
+		loaded, err := registry.Load(*regPath)
+		if err != nil {
+			return err
+		}
+		reg = loaded
+		fmt.Printf("loaded %d spinning tags from %s\n", reg.Len(), *regPath)
+	}
+	srv, err := locsrv.New(locsrv.Config{
+		Registry: reg,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("localization server listening on http://%s\n", *addr)
+	return httpSrv.ListenAndServe()
+}

@@ -1,0 +1,184 @@
+// Command tagspin-trace records and replays collection-session traces.
+//
+//	tagspin-trace record -out session.jsonl -x -1.8 -y 1.4   # simulate & save
+//	tagspin-trace locate -in session.jsonl                   # replay & localize
+//	tagspin-trace analyze -in session.jsonl                  # per-tag statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/mathx"
+	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/testbed"
+	"github.com/tagspin/tagspin/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tagspin-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: tagspin-trace record|locate|analyze [flags]")
+	}
+	switch args[0] {
+	case "record":
+		return record(args[1:])
+	case "locate":
+		return locateCmd(args[1:])
+	case "analyze":
+		return analyze(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want record, locate or analyze)", args[0])
+	}
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	var (
+		out  = fs.String("out", "session.jsonl", "output trace path")
+		x    = fs.Float64("x", -1.8, "true antenna x (m)")
+		y    = fs.Float64("y", 1.4, "true antenna y (m)")
+		z    = fs.Float64("z", 0, "true antenna z (m)")
+		seed = fs.Int64("seed", 1, "random seed")
+		desc = fs.String("desc", "simulated session", "trace description")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	sc := testbed.DefaultScenario(0, rng)
+	target := geom.V3(*x, *y, *z)
+	sc.PlaceReader(target)
+	registered, err := sc.CalibratedSpinningTags(rng)
+	if err != nil {
+		return err
+	}
+	col, err := sc.Collect(rng)
+	if err != nil {
+		return err
+	}
+	truth := [3]float64{target.X, target.Y, target.Z}
+	tr := trace.New(*desc, registered, col.Obs, &truth)
+	if err := trace.Save(*out, tr); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d reads from %d spinning tags to %s\n",
+		len(tr.Records), len(tr.Header.Registered), *out)
+	return nil
+}
+
+func locateCmd(args []string) error {
+	fs := flag.NewFlagSet("locate", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "session.jsonl", "input trace path")
+		mode3d = fs.Bool("3d", false, "solve in 3D")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := trace.Load(*in)
+	if err != nil {
+		return err
+	}
+	obs, err := tr.Observations()
+	if err != nil {
+		return err
+	}
+	registered, err := tr.SpinningTags()
+	if err != nil {
+		return err
+	}
+	loc := core.NewLocator(core.Config{})
+	if *mode3d {
+		res, err := loc.Locate3D(registered, obs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("estimated position: %v (mirror %v)\n", res.Position, res.Mirror)
+		reportTruth3D(tr, res.Position)
+		return nil
+	}
+	res, err := loc.Locate2D(registered, obs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("estimated position: %v\n", res.Position)
+	if tr.Header.TruePosition != nil {
+		truth := geom.V2(tr.Header.TruePosition[0], tr.Header.TruePosition[1])
+		fmt.Printf("ground truth: %v — error %.1f cm\n", truth, res.Position.DistanceTo(truth)*100)
+	}
+	return nil
+}
+
+func reportTruth3D(tr *trace.Trace, got geom.Vec3) {
+	if tr.Header.TruePosition == nil {
+		return
+	}
+	truth := geom.V3(tr.Header.TruePosition[0], tr.Header.TruePosition[1], tr.Header.TruePosition[2])
+	fmt.Printf("ground truth: %v — error %.1f cm\n", truth, got.DistanceTo(truth)*100)
+}
+
+func analyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	in := fs.String("in", "session.jsonl", "input trace path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := trace.Load(*in)
+	if err != nil {
+		return err
+	}
+	obs, err := tr.Observations()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %q: %d registered tags, %d reads\n",
+		tr.Header.Description, len(tr.Header.Registered), len(tr.Records))
+	if tr.Header.TruePosition != nil {
+		fmt.Printf("ground truth: (%.3f, %.3f, %.3f)\n",
+			tr.Header.TruePosition[0], tr.Header.TruePosition[1], tr.Header.TruePosition[2])
+	}
+	epcs := make([]string, 0, len(obs))
+	byEPC := make(map[string][]phase.Snapshot, len(obs))
+	for epc, snaps := range obs {
+		epcs = append(epcs, epc.String())
+		byEPC[epc.String()] = snaps
+	}
+	sort.Strings(epcs)
+	for _, epc := range epcs {
+		snaps := byEPC[epc]
+		phase.SortByTime(snaps)
+		span := snaps[len(snaps)-1].Time - snaps[0].Time
+		rate := 0.0
+		if span > 0 {
+			rate = float64(len(snaps)-1) / span.Seconds()
+		}
+		var rssi []float64
+		channels := make(map[float64]bool)
+		wraps := 0
+		for i, s := range snaps {
+			rssi = append(rssi, s.RSSIdBm)
+			channels[s.FrequencyHz] = true
+			if i > 0 && math.Abs(s.Phase-snaps[i-1].Phase) > math.Pi {
+				wraps++
+			}
+		}
+		fmt.Printf("tag %s: %d reads over %v (%.1f/s), RSSI %.1f±%.1f dBm, %d carrier(s), %d phase wraps\n",
+			epc, len(snaps), span.Round(time.Millisecond), rate,
+			mathx.Mean(rssi), mathx.Std(rssi), len(channels), wraps)
+	}
+	return nil
+}

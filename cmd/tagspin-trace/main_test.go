@@ -1,0 +1,47 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordThenLocate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "session.jsonl")
+	if err := run([]string{"record", "-out", out, "-x", "-1.8", "-y", "1.4", "-seed", "3"}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if err := run([]string{"locate", "-in", out}); err != nil {
+		t.Fatalf("locate: %v", err)
+	}
+	if err := run([]string{"locate", "-in", out, "-3d"}); err != nil {
+		t.Fatalf("locate -3d: %v", err)
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"locate", "-in", filepath.Join(t.TempDir(), "missing.jsonl")}); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run([]string{"record", "-out", "/nonexistent-dir/x.jsonl"}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "session.jsonl")
+	if err := run([]string{"record", "-out", out, "-seed", "5"}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if err := run([]string{"analyze", "-in", out}); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if err := run([]string{"analyze", "-in", filepath.Join(t.TempDir(), "missing.jsonl")}); err == nil {
+		t.Error("missing trace accepted")
+	}
+}

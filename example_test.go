@@ -1,0 +1,43 @@
+package tagspin_test
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tagspin/tagspin"
+)
+
+// ExampleParseEPC shows EPC round-tripping.
+func ExampleParseEPC() {
+	epc, err := tagspin.ParseEPC("e280116060000207a4bb1518")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(epc)
+	// Output: e280116060000207a4bb1518
+}
+
+// ExampleFitOrientation runs the §III-B prelude fit on synthetic
+// center-spin samples and reads the offset back at two orientations.
+func ExampleFitOrientation() {
+	var samples []tagspin.OrientationSample
+	for i := 0; i < 90; i++ {
+		rho := 2 * math.Pi * float64(i) / 90
+		samples = append(samples, tagspin.OrientationSample{
+			Rho:   rho,
+			Phase: 1.2 + 0.3*math.Sin(2*rho), // constant + orientation response
+		})
+	}
+	cal, err := tagspin.FitOrientation(samples, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The reference orientation ρ = π/2 has zero offset by definition.
+	fmt.Printf("offset at ρ=90°: %.2f rad\n", cal.Offset(math.Pi/2))
+	fmt.Printf("offset at ρ=45°: %.2f rad\n", cal.Offset(math.Pi/4))
+	// Output:
+	// offset at ρ=90°: 0.00 rad
+	// offset at ρ=45°: 0.30 rad
+}

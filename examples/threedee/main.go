@@ -1,0 +1,63 @@
+// Threedee: localize an elevated reader antenna in 3D (§V-B).
+//
+// The disks spin in the horizontal plane, so each angle spectrum R(φ, γ)
+// determines the azimuth exactly but only the *magnitude* of the polar
+// angle: a reader at +z and its mirror at −z produce identical phases at
+// every horizontal disk. The pipeline returns both candidates and resolves
+// them with a dead-space policy, as the paper suggests.
+//
+// Run with: go run ./examples/threedee
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/tagspin/tagspin"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/testbed"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "threedee:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(5))
+
+	// Disks mounted 9.5 cm above the desk plane, as in the paper's 3D
+	// experiments; the reader hangs 1.1 m up.
+	world := testbed.DefaultScenario(0.095, rng)
+	truth := geom.V3(-1.6, 1.2, 1.1)
+	world.PlaceReader(truth)
+
+	registered, err := world.CalibratedSpinningTags(rng)
+	if err != nil {
+		return fmt.Errorf("orientation prelude: %w", err)
+	}
+	col, err := world.Collect(rng)
+	if err != nil {
+		return fmt.Errorf("collect: %w", err)
+	}
+
+	locator := tagspin.NewLocator(tagspin.Config{ZPolicy: tagspin.ZPreferNonNegative})
+	res, err := locator.Locate3D(registered, col.Obs)
+	if err != nil {
+		return fmt.Errorf("locate: %w", err)
+	}
+
+	for _, b := range res.Bearings {
+		fmt.Printf("tag %s: azimuth %.2f°, polar ±%.2f°\n",
+			b.EPC, geom.Degrees(b.Azimuth), geom.Degrees(b.Polar))
+	}
+	fmt.Printf("selected candidate: %v\n", res.Position)
+	fmt.Printf("mirror candidate:   %v (rejected: below the disks is dead space)\n", res.Mirror)
+	fmt.Printf("z-estimate spread between disks: %.1f cm\n", res.ZSpread*100)
+	fmt.Printf("true position:      %v\n", truth)
+	fmt.Printf("error distance:     %.1f cm\n", res.Position.DistanceTo(truth)*100)
+	return nil
+}

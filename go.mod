@@ -1,0 +1,3 @@
+module github.com/tagspin/tagspin
+
+go 1.22

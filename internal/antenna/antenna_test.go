@@ -1,0 +1,84 @@
+package antenna
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/geom"
+)
+
+func TestValidate(t *testing.T) {
+	good := Antenna{ID: 1, GainDBi: 8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid antenna rejected: %v", err)
+	}
+	for _, bad := range []Antenna{
+		{ID: 0, GainDBi: 8},
+		{ID: 1, GainDBi: 50},
+		{ID: 1, GainDBi: 8, PatternExponent: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid antenna accepted: %+v", bad)
+		}
+	}
+}
+
+func TestGainPattern(t *testing.T) {
+	a := Antenna{ID: 1, GainDBi: 8, Boresight: 0}
+	boresight := a.GainTowards(geom.V3(5, 0, 0))
+	if math.Abs(boresight-8) > 1e-9 {
+		t.Errorf("boresight gain = %v, want 8", boresight)
+	}
+	offAxis := a.GainTowards(geom.V3(5, 5, 0)) // 45° off
+	if offAxis >= boresight {
+		t.Error("gain should fall off away from boresight")
+	}
+	behind := a.GainTowards(geom.V3(-5, 0, 0))
+	if math.Abs(behind-(8-20)) > 1e-9 {
+		t.Errorf("back lobe = %v, want -12", behind)
+	}
+	// Fall-off is monotone out to 90°.
+	prev := boresight
+	for deg := 5; deg <= 90; deg += 5 {
+		az := geom.Radians(float64(deg))
+		g := a.GainTowards(geom.V3(5*math.Cos(az), 5*math.Sin(az), 0))
+		if g > prev+1e-9 {
+			t.Errorf("gain not monotone at %d°: %v > %v", deg, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestGainPatternSymmetric(t *testing.T) {
+	a := Antenna{ID: 1, GainDBi: 8, Boresight: math.Pi / 3}
+	left := a.GainTowards(geom.V3(math.Cos(math.Pi/3+0.4), math.Sin(math.Pi/3+0.4), 0))
+	right := a.GainTowards(geom.V3(math.Cos(math.Pi/3-0.4), math.Sin(math.Pi/3-0.4), 0))
+	if math.Abs(left-right) > 1e-9 {
+		t.Errorf("pattern asymmetric: %v vs %v", left, right)
+	}
+}
+
+func TestYeonSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	set := YeonSet(4, rng)
+	if len(set) != 4 {
+		t.Fatalf("len = %d", len(set))
+	}
+	divs := make(map[float64]bool, len(set))
+	for i, a := range set {
+		if a.ID != i+1 {
+			t.Errorf("antenna %d has ID %d", i, a.ID)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("antenna %d invalid: %v", i, err)
+		}
+		if divs[a.Diversity] {
+			t.Error("duplicate diversity across units")
+		}
+		divs[a.Diversity] = true
+		if math.Abs(a.GainDBi-8) > 1.5 {
+			t.Errorf("antenna %d gain %v far from 8 dBi", i, a.GainDBi)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/tagspin/tagspin/internal/antenna"
+	"github.com/tagspin/tagspin/internal/channel"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/mathx"
+)
+
+// AntLoc reimplements the variable-RF-attenuation antenna-localization idea
+// of Luo et al. (IEEE IECON'07): the reader sweeps its transmit power from
+// low to high and records, for every reference tag, the minimum power at
+// which the tag wakes up. That threshold is a proxy for path loss, hence for
+// distance; inverting the free-space model yields per-tag ranges, and the
+// reader position comes from weighted nonlinear multilateration (solved here
+// with a Gauss-Newton refinement seeded by a coarse grid search).
+type AntLoc struct {
+	// Env is the shared deployment.
+	Env *Environment
+	// PowerStepDB is the attenuation sweep resolution; zero means 1 dB.
+	PowerStepDB float64
+	// MinPowerDBm/MaxPowerDBm bound the sweep; zeros mean 0 and 30 dBm.
+	MinPowerDBm float64
+	MaxPowerDBm float64
+
+	// pathLossAt converts a wake-up threshold into a distance. Fitted in
+	// training against reference tags at known distance from a probe.
+	slope     float64
+	intercept float64
+	trained   bool
+}
+
+var _ Method = (*AntLoc)(nil)
+
+// Name implements Method.
+func (*AntLoc) Name() string { return "AntLoc" }
+
+func (a *AntLoc) powerStep() float64 {
+	if a.PowerStepDB <= 0 {
+		return 1
+	}
+	return a.PowerStepDB
+}
+
+func (a *AntLoc) maxPower() float64 {
+	if a.MaxPowerDBm == 0 {
+		return 30
+	}
+	return a.MaxPowerDBm
+}
+
+// wakeUpThreshold returns the lowest transmit power at which the tag wakes
+// up, minimized over antenna boresight rotations. AntLoc's prerequisite is a
+// *rotatable* antenna: rotating until the tag sits on boresight removes the
+// reader-gain term from the threshold, leaving (mostly) pure path loss.
+// NaN means the tag never responded at full power in any direction.
+func (a *AntLoc) wakeUpThreshold(sim *channel.Simulator, ant antenna.Antenna, ref RefTag, freq float64) float64 {
+	base := a.Env.Channel
+	bestNeed := math.NaN()
+	const rotations = 8
+	for rot := 0; rot < rotations; rot++ {
+		ant.Boresight = 2 * math.Pi * float64(rot) / rotations
+		var obs channel.Observation
+		responded := false
+		for attempt := 0; attempt < 4 && !responded; attempt++ {
+			obs, responded = sim.Observe(channel.Query{
+				Tag:           ref.Tag,
+				TagPos:        ref.Pos,
+				TagPlaneAngle: ref.PlaneAngle,
+				Antenna:       ant,
+				FrequencyHz:   freq,
+			})
+		}
+		if !responded {
+			continue
+		}
+		// The observation ran at base.TxPowerDBm; the tag wakes at any
+		// power p with obs.TagPowerDBm - (base - p) ≥ sensitivity.
+		need := ref.Tag.Model.SensitivityDBm - (obs.TagPowerDBm - base.TxPowerDBm)
+		if math.IsNaN(bestNeed) || need < bestNeed {
+			bestNeed = need
+		}
+	}
+	if math.IsNaN(bestNeed) || bestNeed > a.maxPower() {
+		return math.NaN()
+	}
+	if bestNeed < a.MinPowerDBm {
+		bestNeed = a.MinPowerDBm
+	}
+	// Quantize up to the sweep grid, as real attenuator steps would.
+	steps := math.Ceil((bestNeed - a.MinPowerDBm) / a.powerStep())
+	return a.MinPowerDBm + steps*a.powerStep()
+}
+
+// Train fits the threshold→distance model using probe positions around the
+// room (the original system calibrates its attenuation table the same way).
+func (a *AntLoc) Train(rng *rand.Rand) error {
+	if err := a.Env.Validate(); err != nil {
+		return err
+	}
+	sim, err := channel.NewSimulator(a.Env.Channel, rng)
+	if err != nil {
+		return err
+	}
+	freq, err := a.Env.frequency()
+	if err != nil {
+		return err
+	}
+	// Probe from a handful of known positions; regress threshold (dB)
+	// against log10(distance).
+	var design [][]float64
+	var y []float64
+	probes := []geom.Vec2{
+		{X: a.Env.Room.MinX + 0.5, Y: a.Env.Room.MinY + 0.5},
+		{X: a.Env.Room.MaxX - 0.5, Y: a.Env.Room.MinY + 0.5},
+		{X: a.Env.Room.MinX + 0.5, Y: a.Env.Room.MaxY - 0.5},
+		{X: a.Env.Room.MaxX - 0.5, Y: a.Env.Room.MaxY - 0.5},
+		{X: (a.Env.Room.MinX + a.Env.Room.MaxX) / 2, Y: (a.Env.Room.MinY + a.Env.Room.MaxY) / 2},
+	}
+	for _, p := range probes {
+		ant := antennaAt(geom.V3(p.X, p.Y, 0), a.Env.Room)
+		for _, ref := range a.Env.Refs {
+			th := a.wakeUpThreshold(sim, ant, ref, freq)
+			if math.IsNaN(th) {
+				continue
+			}
+			d := ref.surveyed().XY().DistanceTo(p)
+			if d < 0.3 {
+				continue // near-field points distort the fit
+			}
+			design = append(design, []float64{1, th})
+			y = append(y, math.Log10(d))
+		}
+	}
+	if len(y) < 8 {
+		return fmt.Errorf("antloc: only %d calibration points", len(y))
+	}
+	coef, err := mathx.LeastSquares(design, y)
+	if err != nil {
+		return fmt.Errorf("antloc train: %w", err)
+	}
+	a.intercept, a.slope = coef[0], coef[1]
+	a.trained = true
+	return nil
+}
+
+// distanceFromThreshold inverts the fitted model.
+func (a *AntLoc) distanceFromThreshold(th float64) float64 {
+	return math.Pow(10, a.intercept+a.slope*th)
+}
+
+// Locate implements Method.
+func (a *AntLoc) Locate(ant antenna.Antenna, rng *rand.Rand) (geom.Vec2, error) {
+	if !a.trained {
+		return geom.Vec2{}, ErrUntrained
+	}
+	sim, err := channel.NewSimulator(a.Env.Channel, rng)
+	if err != nil {
+		return geom.Vec2{}, err
+	}
+	freq, err := a.Env.frequency()
+	if err != nil {
+		return geom.Vec2{}, err
+	}
+	type ranging struct {
+		pos geom.Vec2
+		d   float64
+	}
+	var ranges []ranging
+	for _, ref := range a.Env.Refs {
+		th := a.wakeUpThreshold(sim, ant, ref, freq)
+		if math.IsNaN(th) {
+			continue
+		}
+		ranges = append(ranges, ranging{pos: ref.surveyed().XY(), d: a.distanceFromThreshold(th)})
+	}
+	if len(ranges) < 3 {
+		return geom.Vec2{}, fmt.Errorf("%w: %d ranged", ErrNoSignal, len(ranges))
+	}
+	cost := func(p geom.Vec2) float64 {
+		var s float64
+		for _, r := range ranges {
+			e := p.DistanceTo(r.pos) - r.d
+			s += e * e
+		}
+		return s
+	}
+	// Coarse grid seed, then Gauss-Newton refinement.
+	best := geom.V2((a.Env.Room.MinX+a.Env.Room.MaxX)/2, (a.Env.Room.MinY+a.Env.Room.MaxY)/2)
+	bestCost := cost(best)
+	for y := a.Env.Room.MinY; y <= a.Env.Room.MaxY; y += 0.25 {
+		for x := a.Env.Room.MinX; x <= a.Env.Room.MaxX; x += 0.25 {
+			p := geom.V2(x, y)
+			if c := cost(p); c < bestCost {
+				best, bestCost = p, c
+			}
+		}
+	}
+	for iter := 0; iter < 20; iter++ {
+		var jtj [2][2]float64
+		var jtr [2]float64
+		for _, r := range ranges {
+			diff := best.Sub(r.pos)
+			d := diff.Norm()
+			if d < 1e-6 {
+				continue
+			}
+			res := d - r.d
+			jx, jy := diff.X/d, diff.Y/d
+			jtj[0][0] += jx * jx
+			jtj[0][1] += jx * jy
+			jtj[1][0] += jy * jx
+			jtj[1][1] += jy * jy
+			jtr[0] += jx * res
+			jtr[1] += jy * res
+		}
+		det := jtj[0][0]*jtj[1][1] - jtj[0][1]*jtj[1][0]
+		if math.Abs(det) < 1e-12 {
+			break
+		}
+		dx := (jtj[1][1]*jtr[0] - jtj[0][1]*jtr[1]) / det
+		dy := (jtj[0][0]*jtr[1] - jtj[1][0]*jtr[0]) / det
+		next := geom.V2(best.X-dx, best.Y-dy)
+		if cost(next) >= bestCost {
+			break
+		}
+		best, bestCost = next, cost(next)
+	}
+	return best, nil
+}

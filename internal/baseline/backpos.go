@@ -1,0 +1,225 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/tagspin/tagspin/internal/antenna"
+	"github.com/tagspin/tagspin/internal/channel"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/mathx"
+)
+
+// BackPos reimplements Liu et al.'s BackPos (INFOCOM'14) phase-based
+// hyperbolic positioning, reversed for reader localization: the reader
+// measures the backscatter phase of the reference tags; for every tag pair
+// the wrapped phase difference constrains the *range difference* to the two
+// anchors (a hyperbola, modulo λ/2); the estimate is the bounded grid
+// argmin of the summed wrapped residuals, refined locally. Per-pair device
+// offsets are calibrated once from a known probe position, as the original
+// calibrates its RF chains. Its accuracy is limited by exactly what the
+// paper's introduction warns about: the hand-surveyed anchor positions
+// carry ≈1 cm errors, which is λ/30 of model error per anchor — enough to
+// push the wrapped-residual minimum onto wrong branches at range.
+type BackPos struct {
+	// Env is the shared deployment.
+	Env *Environment
+	// AnchorCount limits how many reference tags serve as anchors (the
+	// ones closest to the room center); zero means all of them. The
+	// method needs its anchor hull to cover the placements — with few or
+	// clustered anchors the wrapped-residual search locks onto wrong
+	// branches, the documented failure mode outside the original's
+	// antenna-constrained region.
+	AnchorCount int
+	// GridStep is the coarse search resolution; zero means 0.04 m.
+	GridStep float64
+	// Label overrides the reported name (e.g. "BackPos-4" vs
+	// "BackPos-16" in the T2 comparison).
+	Label string
+
+	anchors []RefTag
+	offsets []float64
+	trained bool
+	freq    float64
+}
+
+var _ Method = (*BackPos)(nil)
+
+// Name implements Method.
+func (b *BackPos) Name() string {
+	if b.Label != "" {
+		return b.Label
+	}
+	return "BackPos"
+}
+
+func (b *BackPos) gridStep() float64 {
+	if b.GridStep <= 0 {
+		return 0.04
+	}
+	return b.GridStep
+}
+
+// pairs enumerates anchor pairs (i, j), i < j.
+func (b *BackPos) pairs() [][2]int {
+	n := len(b.anchors)
+	out := make([][2]int, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// measureAll returns the circular-mean phase of every anchor seen from ant,
+// with NaN for unreadable ones. The antenna rotates through four boresights
+// so anchors behind the panel are read too — phase does not depend on the
+// boresight, only readability does.
+func (b *BackPos) measureAll(sim *channel.Simulator, ant antenna.Antenna) []float64 {
+	out := make([]float64, len(b.anchors))
+	for i, ref := range b.anchors {
+		var sumSin, sumCos float64
+		seen := false
+		for rot := 0; rot < 4; rot++ {
+			ant.Boresight = math.Pi / 2 * float64(rot)
+			if v, ok := measurePhase(sim, ant, ref, b.freq, b.Env.reads()); ok {
+				sumSin += math.Sin(v)
+				sumCos += math.Cos(v)
+				seen = true
+			}
+		}
+		if !seen {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = math.Atan2(sumSin, sumCos)
+	}
+	return out
+}
+
+// predictedDelta returns the model phase difference of anchor pair (i, j)
+// for a candidate reader position: (4π/λ)(d_i − d_j).
+func (b *BackPos) predictedDelta(p geom.Vec2, i, j int) float64 {
+	lambda := channel.Wavelength(b.freq)
+	di := b.anchors[i].surveyed().XY().DistanceTo(p)
+	dj := b.anchors[j].surveyed().XY().DistanceTo(p)
+	return 4 * math.Pi / lambda * (di - dj)
+}
+
+// Train adopts the environment's reference tags as anchors and calibrates
+// per-pair phase offsets with the probe at a known position.
+func (b *BackPos) Train(rng *rand.Rand) error {
+	if err := b.Env.Validate(); err != nil {
+		return err
+	}
+	sim, err := channel.NewSimulator(b.Env.Channel, rng)
+	if err != nil {
+		return err
+	}
+	b.freq, err = b.Env.frequency()
+	if err != nil {
+		return err
+	}
+	count := b.AnchorCount
+	if count <= 0 || count > len(b.Env.Refs) {
+		count = len(b.Env.Refs)
+	}
+	center := geom.V2((b.Env.Room.MinX+b.Env.Room.MaxX)/2, (b.Env.Room.MinY+b.Env.Room.MaxY)/2)
+	b.anchors = append(b.anchors[:0], b.Env.Refs...)
+	sort.Slice(b.anchors, func(i, j int) bool {
+		return b.anchors[i].Pos.XY().DistanceTo(center) < b.anchors[j].Pos.XY().DistanceTo(center)
+	})
+	b.anchors = b.anchors[:count]
+	// Known probe position offset from the array center.
+	anchorProbe := geom.V2(center.X+0.4, center.Y+0.3)
+	ant := antennaAt(geom.V3(anchorProbe.X, anchorProbe.Y, 0), b.Env.Room)
+	phases := b.measureAll(sim, ant)
+	allPairs := b.pairs()
+	b.offsets = make([]float64, len(allPairs))
+	calibrated := 0
+	for k, pr := range allPairs {
+		i, j := pr[0], pr[1]
+		if math.IsNaN(phases[i]) || math.IsNaN(phases[j]) {
+			b.offsets[k] = math.NaN()
+			continue
+		}
+		measured := phases[i] - phases[j]
+		b.offsets[k] = mathx.WrapToPi(measured - b.predictedDelta(anchorProbe, i, j))
+		calibrated++
+	}
+	if calibrated < 3 {
+		return fmt.Errorf("backpos: only %d pairs calibrated", calibrated)
+	}
+	b.trained = true
+	return nil
+}
+
+// Locate implements Method.
+func (b *BackPos) Locate(ant antenna.Antenna, rng *rand.Rand) (geom.Vec2, error) {
+	if !b.trained {
+		return geom.Vec2{}, ErrUntrained
+	}
+	sim, err := channel.NewSimulator(b.Env.Channel, rng)
+	if err != nil {
+		return geom.Vec2{}, err
+	}
+	phases := b.measureAll(sim, ant)
+	type constraint struct {
+		i, j  int
+		delta float64 // measured, offset-corrected phase difference
+	}
+	var usable []constraint
+	for k, pr := range b.pairs() {
+		i, j := pr[0], pr[1]
+		if math.IsNaN(phases[i]) || math.IsNaN(phases[j]) || math.IsNaN(b.offsets[k]) {
+			continue
+		}
+		usable = append(usable, constraint{
+			i: i, j: j,
+			delta: phases[i] - phases[j] - b.offsets[k],
+		})
+	}
+	if len(usable) < 3 {
+		return geom.Vec2{}, fmt.Errorf("%w: %d usable pairs", ErrNoSignal, len(usable))
+	}
+	// Smooth wrap-aware cost: 1 − cos(residual) behaves like r²/2 near the
+	// truth but stays bounded across wrap branches.
+	cost := func(p geom.Vec2) float64 {
+		var s float64
+		for _, c := range usable {
+			s += 1 - math.Cos(c.delta-b.predictedDelta(p, c.i, c.j))
+		}
+		return s
+	}
+	// Coarse grid search over the room, then two local refinements — the
+	// wrapped-residual landscape has many local minima, so global search
+	// comes first (as in the original's constrained solver).
+	best := geom.V2((b.Env.Room.MinX+b.Env.Room.MaxX)/2, (b.Env.Room.MinY+b.Env.Room.MaxY)/2)
+	bestCost := cost(best)
+	step := b.gridStep()
+	for y := b.Env.Room.MinY; y <= b.Env.Room.MaxY+1e-9; y += step {
+		for x := b.Env.Room.MinX; x <= b.Env.Room.MaxX+1e-9; x += step {
+			p := geom.V2(x, y)
+			if c := cost(p); c < bestCost {
+				best, bestCost = p, c
+			}
+		}
+	}
+	for round := 0; round < 2; round++ {
+		fine := step / 5
+		start := best
+		for dy := -step; dy <= step+1e-12; dy += fine {
+			for dx := -step; dx <= step+1e-12; dx += fine {
+				p := geom.V2(start.X+dx, start.Y+dy)
+				if c := cost(p); c < bestCost {
+					best, bestCost = p, c
+				}
+			}
+		}
+		step = fine
+	}
+	return best, nil
+}

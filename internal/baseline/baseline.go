@@ -1,0 +1,218 @@
+// Package baseline reimplements the four comparison systems of §VII
+// (LandMarc, AntLoc, PinIt, BackPos) as reader-localization methods run
+// against the same simulated radio world as Tagspin. The paper compares
+// against those systems' published numbers; here each algorithm actually
+// runs, so the evaluation measures "who wins by what factor" rather than
+// quoting it.
+//
+// All four share a deployment of static reference tags at known positions
+// and a training (offline) phase, mirroring each original system's
+// calibration requirements:
+//
+//   - LandMarc: RSSI fingerprint k-nearest-neighbours with 1/d² weighting.
+//   - AntLoc: variable RF-attenuation ranging — sweep transmit power,
+//     find each reference tag's wake-up threshold, invert the path-loss
+//     model into ranges, and multilaterate.
+//   - PinIt: spatial profile matching with dynamic time warping against
+//     reference profiles recorded on a training grid.
+//   - BackPos: phase-difference-of-arrival hyperbolic positioning over
+//     reference-tag pairs with diversity calibrated out in training.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/tagspin/tagspin/internal/antenna"
+	"github.com/tagspin/tagspin/internal/channel"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/mathx"
+	"github.com/tagspin/tagspin/internal/tags"
+)
+
+// ErrUntrained reports Locate before Train.
+var ErrUntrained = errors.New("baseline: method not trained")
+
+// ErrNoSignal reports that too few reference tags were readable to estimate
+// a position.
+var ErrNoSignal = errors.New("baseline: too few readable reference tags")
+
+// RefTag is one static reference tag. Pos is where the tag physically sits
+// (what the channel simulator uses); Surveyed is where the operator's manual
+// survey *says* it sits (what the algorithms use). The gap between them is
+// the inaccuracy of manual calibration that motivates the paper (§I).
+type RefTag struct {
+	// Tag is the physical tag instance.
+	Tag *tags.Tag
+	// Pos is the true position.
+	Pos geom.Vec3
+	// Surveyed is the hand-surveyed position the algorithms believe.
+	// A zero value means the survey was perfect.
+	Surveyed geom.Vec3
+	// PlaneAngle is the azimuth of the tag's antenna plane.
+	PlaneAngle float64
+}
+
+// surveyed returns the position the algorithms should use.
+func (r RefTag) surveyed() geom.Vec3 {
+	if r.Surveyed == (geom.Vec3{}) {
+		return r.Pos
+	}
+	return r.Surveyed
+}
+
+// Rect bounds the surveillance region in the horizontal plane.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether p lies inside the rectangle.
+func (r Rect) Contains(p geom.Vec2) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Environment is the shared deployment the baselines operate in.
+type Environment struct {
+	// Channel is the radio environment (same as Tagspin's).
+	Channel channel.Config
+	// Band is the frequency plan; measurements use its middle channel.
+	Band channel.Band
+	// Refs are the static reference tags.
+	Refs []RefTag
+	// Room bounds candidate positions.
+	Room Rect
+	// ReadsPerMeasurement is how many interrogations are averaged per
+	// measurement; zero means 16.
+	ReadsPerMeasurement int
+	// SurveyStd is the per-axis standard deviation of the manual survey
+	// error applied to reference-tag positions by DefaultEnvironment.
+	SurveyStd float64
+}
+
+// reads returns the effective averaging count.
+func (e *Environment) reads() int {
+	if e.ReadsPerMeasurement <= 0 {
+		return 16
+	}
+	return e.ReadsPerMeasurement
+}
+
+// Validate checks the environment.
+func (e *Environment) Validate() error {
+	if len(e.Refs) < 3 {
+		return fmt.Errorf("baseline: need ≥3 reference tags, have %d", len(e.Refs))
+	}
+	if e.Room.MaxX <= e.Room.MinX || e.Room.MaxY <= e.Room.MinY {
+		return fmt.Errorf("baseline: degenerate room %+v", e.Room)
+	}
+	return e.Channel.Validate()
+}
+
+// frequency returns the measurement carrier.
+func (e *Environment) frequency() (float64, error) {
+	return e.Band.FrequencyHz(e.Band.MidChannel())
+}
+
+// DefaultEnvironment deploys a grid of nx × ny reference tags of the default
+// model across the room, mirroring the reference deployments the original
+// systems assume.
+func DefaultEnvironment(room Rect, nx, ny int, rng *rand.Rand) (*Environment, error) {
+	if nx < 2 || ny < 2 {
+		return nil, fmt.Errorf("baseline: reference grid %dx%d too small", nx, ny)
+	}
+	env := &Environment{
+		Channel:   channel.DefaultConfig(),
+		Band:      channel.ChinaBand(),
+		Room:      room,
+		SurveyStd: 0.01, // hand-surveyed reference tags (±1 cm per axis)
+	}
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			x := room.MinX + (room.MaxX-room.MinX)*float64(ix)/float64(nx-1)
+			y := room.MinY + (room.MaxY-room.MinY)*float64(iy)/float64(ny-1)
+			pos := geom.V3(x, y, 0)
+			env.Refs = append(env.Refs, RefTag{
+				Tag:        tags.New(tags.DefaultModel(), rng),
+				Pos:        pos,
+				Surveyed:   pos.Add(geom.V3(rng.NormFloat64()*env.SurveyStd, rng.NormFloat64()*env.SurveyStd, 0)),
+				PlaneAngle: rng.Float64() * 2 * math.Pi,
+			})
+		}
+	}
+	return env, nil
+}
+
+// Method is a trained localization algorithm.
+type Method interface {
+	// Name labels the method in reports.
+	Name() string
+	// Train runs the offline phase.
+	Train(rng *rand.Rand) error
+	// Locate generates the reader-side measurements for an antenna at its
+	// true position, then estimates that position from the measurements
+	// alone.
+	Locate(ant antenna.Antenna, rng *rand.Rand) (geom.Vec2, error)
+}
+
+// measureRSSI averages the RSSI of one reference tag over several reads.
+// The boolean reports whether the tag was readable at all.
+func measureRSSI(sim *channel.Simulator, ant antenna.Antenna, ref RefTag, freqHz float64, n int) (float64, bool) {
+	var sum float64
+	var count int
+	for i := 0; i < n; i++ {
+		obs, ok := sim.Observe(channel.Query{
+			Tag:           ref.Tag,
+			TagPos:        ref.Pos,
+			TagPlaneAngle: ref.PlaneAngle,
+			Antenna:       ant,
+			FrequencyHz:   freqHz,
+		})
+		if !ok {
+			continue
+		}
+		sum += obs.RSSIdBm
+		count++
+	}
+	if count == 0 {
+		return math.NaN(), false
+	}
+	return sum / float64(count), true
+}
+
+// measurePhase circular-averages the phase of one reference tag.
+func measurePhase(sim *channel.Simulator, ant antenna.Antenna, ref RefTag, freqHz float64, n int) (float64, bool) {
+	var ph []float64
+	for i := 0; i < n; i++ {
+		obs, ok := sim.Observe(channel.Query{
+			Tag:           ref.Tag,
+			TagPos:        ref.Pos,
+			TagPlaneAngle: ref.PlaneAngle,
+			Antenna:       ant,
+			FrequencyHz:   freqHz,
+		})
+		if !ok {
+			continue
+		}
+		ph = append(ph, obs.PhaseRad)
+	}
+	if len(ph) == 0 {
+		return math.NaN(), false
+	}
+	mean, _ := mathx.CircularMean(ph)
+	return mean, true
+}
+
+// antennaAt places a standard 8 dBi measurement antenna at pos pointing at
+// the room center.
+func antennaAt(pos geom.Vec3, room Rect) antenna.Antenna {
+	center := geom.V2((room.MinX+room.MaxX)/2, (room.MinY+room.MaxY)/2)
+	return antenna.Antenna{
+		ID:        1,
+		Name:      "baseline-probe",
+		Position:  pos,
+		Boresight: center.Sub(pos.XY()).Bearing(),
+		GainDBi:   8,
+	}
+}

@@ -1,0 +1,211 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/geom"
+)
+
+func TestDTWBasics(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if d := DTW(a, a, 0); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	// A time-shifted copy has small DTW but large Euclidean distance.
+	b := []float64{1, 1, 2, 3}
+	shifted := DTW(a, b, 0)
+	var euclid float64
+	for i := range a {
+		euclid += math.Abs(a[i] - b[i])
+	}
+	if shifted >= euclid {
+		t.Errorf("DTW %v not below L1 %v for a shifted copy", shifted, euclid)
+	}
+	if !math.IsInf(DTW(nil, a, 0), 1) {
+		t.Error("empty sequence should give +Inf")
+	}
+}
+
+func TestDTWWindow(t *testing.T) {
+	a := []float64{0, 0, 0, 5, 0, 0}
+	b := []float64{0, 0, 0, 0, 5, 0}
+	// A window of 1 can absorb the single-sample shift.
+	if d := DTW(a, b, 1); d != 0 {
+		t.Errorf("windowed DTW = %v, want 0", d)
+	}
+	// Mismatched lengths still reach the corner with a small window.
+	c := []float64{0, 0, 5}
+	if d := DTW(a, c, 1); math.IsInf(d, 1) {
+		t.Error("window smaller than length gap must be widened internally")
+	}
+}
+
+func TestDTWSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		a := make([]float64, 5+rng.Intn(10))
+		b := make([]float64, 5+rng.Intn(10))
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		if d1, d2 := DTW(a, b, 4), DTW(b, a, 4); math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("asymmetric: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func testRoom() Rect { return Rect{MinX: -3, MinY: -3, MaxX: 3, MaxY: 3} }
+
+func testEnv(t *testing.T, seed int64) *Environment {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	env, err := DefaultEnvironment(testRoom(), 4, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestDefaultEnvironment(t *testing.T) {
+	env := testEnv(t, 1)
+	if len(env.Refs) != 16 {
+		t.Fatalf("refs = %d", len(env.Refs))
+	}
+	for _, ref := range env.Refs {
+		if !env.Room.Contains(ref.Pos.XY()) {
+			t.Errorf("ref at %v outside room", ref.Pos)
+		}
+	}
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DefaultEnvironment(testRoom(), 1, 4, rand.New(rand.NewSource(2))); err == nil {
+		t.Error("1-column grid accepted")
+	}
+}
+
+func TestEnvironmentValidate(t *testing.T) {
+	env := testEnv(t, 1)
+	bad := *env
+	bad.Refs = env.Refs[:2]
+	if bad.Validate() == nil {
+		t.Error("two refs accepted")
+	}
+	bad = *env
+	bad.Room = Rect{MinX: 1, MaxX: 0, MinY: 0, MaxY: 1}
+	if bad.Validate() == nil {
+		t.Error("degenerate room accepted")
+	}
+}
+
+// runMethod trains a method and localizes a probe at a few positions,
+// returning the mean error.
+func runMethod(t *testing.T, m Method, env *Environment, seed int64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	if err := m.Train(rng); err != nil {
+		t.Fatalf("%s train: %v", m.Name(), err)
+	}
+	targets := []geom.Vec2{
+		{X: -1.2, Y: 0.8}, {X: 1.5, Y: -1.1}, {X: 0.3, Y: 1.9},
+	}
+	var sum float64
+	for _, target := range targets {
+		ant := antennaAt(geom.V3(target.X, target.Y, 0), env.Room)
+		got, err := m.Locate(ant, rng)
+		if err != nil {
+			t.Fatalf("%s locate %v: %v", m.Name(), target, err)
+		}
+		sum += got.DistanceTo(target)
+	}
+	return sum / float64(len(targets))
+}
+
+func TestLandMarc(t *testing.T) {
+	env := testEnv(t, 3)
+	m := &LandMarc{Env: env}
+	if _, err := m.Locate(antennaAt(geom.V3(0, 0, 0), env.Room), rand.New(rand.NewSource(1))); !errors.Is(err, ErrUntrained) {
+		t.Errorf("untrained err = %v", err)
+	}
+	mean := runMethod(t, m, env, 4)
+	t.Logf("LandMarc mean error %.2f m", mean)
+	if mean > 1.5 {
+		t.Errorf("LandMarc mean error %.2f m implausibly bad", mean)
+	}
+	if mean < 0.02 {
+		t.Errorf("LandMarc mean error %.2f m implausibly good for an RSSI method", mean)
+	}
+}
+
+func TestAntLoc(t *testing.T) {
+	env := testEnv(t, 5)
+	m := &AntLoc{Env: env}
+	if _, err := m.Locate(antennaAt(geom.V3(0, 0, 0), env.Room), rand.New(rand.NewSource(1))); !errors.Is(err, ErrUntrained) {
+		t.Errorf("untrained err = %v", err)
+	}
+	mean := runMethod(t, m, env, 6)
+	t.Logf("AntLoc mean error %.2f m", mean)
+	if mean > 1.5 {
+		t.Errorf("AntLoc mean error %.2f m implausibly bad", mean)
+	}
+}
+
+func TestPinIt(t *testing.T) {
+	env := testEnv(t, 7)
+	m := &PinIt{Env: env}
+	if _, err := m.Locate(antennaAt(geom.V3(0, 0, 0), env.Room), rand.New(rand.NewSource(1))); !errors.Is(err, ErrUntrained) {
+		t.Errorf("untrained err = %v", err)
+	}
+	mean := runMethod(t, m, env, 8)
+	t.Logf("PinIt mean error %.2f m", mean)
+	if mean > 1.2 {
+		t.Errorf("PinIt mean error %.2f m implausibly bad", mean)
+	}
+}
+
+func TestBackPos(t *testing.T) {
+	env := testEnv(t, 9)
+	m := &BackPos{Env: env}
+	if _, err := m.Locate(antennaAt(geom.V3(0, 0, 0), env.Room), rand.New(rand.NewSource(1))); !errors.Is(err, ErrUntrained) {
+		t.Errorf("untrained err = %v", err)
+	}
+	mean := runMethod(t, m, env, 10)
+	t.Logf("BackPos mean error %.2f m", mean)
+	if mean > 1.2 {
+		t.Errorf("BackPos mean error %.2f m implausibly bad", mean)
+	}
+}
+
+func TestNoSignalFarAway(t *testing.T) {
+	env := testEnv(t, 11)
+	rng := rand.New(rand.NewSource(12))
+	m := &LandMarc{Env: env}
+	if err := m.Train(rng); err != nil {
+		t.Fatal(err)
+	}
+	far := antennaAt(geom.V3(400, 400, 0), env.Room)
+	if _, err := m.Locate(far, rng); !errors.Is(err, ErrNoSignal) {
+		t.Errorf("far-away err = %v, want ErrNoSignal", err)
+	}
+}
+
+func TestSignalDistance(t *testing.T) {
+	a := []float64{-50, -60, math.NaN()}
+	if d := signalDistance(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	b := []float64{-50, -60, -70}
+	if d := signalDistance(a, b); d <= 0 {
+		t.Errorf("NaN mismatch should cost something, got %v", d)
+	}
+	allNaN := []float64{math.NaN()}
+	if d := signalDistance(allNaN, allNaN); !math.IsInf(d, 1) {
+		t.Errorf("no common dims = %v, want +Inf", d)
+	}
+}

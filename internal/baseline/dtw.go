@@ -1,0 +1,66 @@
+package baseline
+
+import "math"
+
+// DTW computes the dynamic-time-warping distance between two sequences with
+// a Sakoe-Chiba window. PinIt uses DTW to compare multipath/spatial profiles
+// that are similar in shape but locally stretched. window ≤ 0 means
+// unconstrained.
+func DTW(a, b []float64, window int) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	if window <= 0 {
+		window = maxInt(n, m)
+	}
+	// The window must be at least |n-m| to reach the corner.
+	if d := n - m; d < 0 {
+		if window < -d {
+			window = -d
+		}
+	} else if window < d {
+		window = d
+	}
+	const inf = math.MaxFloat64
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo := i - window
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + window
+		if hi > m {
+			hi = m
+		}
+		for j := lo; j <= hi; j++ {
+			cost := math.Abs(a[i-1] - b[j-1])
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = cost + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// maxInt returns the larger of two ints.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/tagspin/tagspin/internal/antenna"
+	"github.com/tagspin/tagspin/internal/channel"
+	"github.com/tagspin/tagspin/internal/geom"
+)
+
+// LandMarc adapts Ni et al.'s LANDMARC (RSSI nearest-neighbours over
+// reference tags) to the reader-localization problem: during training a
+// probe antenna visits a grid of candidate positions and records the RSSI
+// vector of all reference tags (the fingerprint database); online, the
+// target reader's measured RSSI vector is matched against the database and
+// the position is the 1/d²-weighted average of the k nearest fingerprints —
+// LANDMARC's exact weighting rule, with signal-space distance playing the
+// role of the original's tag-to-tracking-tag distance.
+type LandMarc struct {
+	// Env is the shared deployment.
+	Env *Environment
+	// GridStep is the training-grid spacing in meters; zero means 0.5.
+	GridStep float64
+	// K is the neighbour count; zero means 4 (the LANDMARC paper's k).
+	K int
+
+	fingerprints []fingerprint
+}
+
+// fingerprint is one training sample: a candidate position and the RSSI of
+// every reference tag there (NaN when unreadable).
+type fingerprint struct {
+	pos  geom.Vec2
+	rssi []float64
+}
+
+var _ Method = (*LandMarc)(nil)
+
+// Name implements Method.
+func (*LandMarc) Name() string { return "LandMarc" }
+
+// gridStep returns the effective training spacing.
+func (l *LandMarc) gridStep() float64 {
+	if l.GridStep <= 0 {
+		return 0.5
+	}
+	return l.GridStep
+}
+
+// k returns the effective neighbour count.
+func (l *LandMarc) k() int {
+	if l.K <= 0 {
+		return 4
+	}
+	return l.K
+}
+
+// Train builds the fingerprint database.
+func (l *LandMarc) Train(rng *rand.Rand) error {
+	if err := l.Env.Validate(); err != nil {
+		return err
+	}
+	sim, err := channel.NewSimulator(l.Env.Channel, rng)
+	if err != nil {
+		return err
+	}
+	freq, err := l.Env.frequency()
+	if err != nil {
+		return err
+	}
+	l.fingerprints = l.fingerprints[:0]
+	step := l.gridStep()
+	for y := l.Env.Room.MinY; y <= l.Env.Room.MaxY+1e-9; y += step {
+		for x := l.Env.Room.MinX; x <= l.Env.Room.MaxX+1e-9; x += step {
+			pos := geom.V2(x, y)
+			fp := fingerprint{pos: pos, rssi: make([]float64, len(l.Env.Refs))}
+			ant := antennaAt(geom.V3(x, y, 0), l.Env.Room)
+			for i, ref := range l.Env.Refs {
+				v, ok := measureRSSI(sim, ant, ref, freq, l.Env.reads())
+				if !ok {
+					v = math.NaN()
+				}
+				fp.rssi[i] = v
+			}
+			l.fingerprints = append(l.fingerprints, fp)
+		}
+	}
+	if len(l.fingerprints) < l.k() {
+		return fmt.Errorf("landmarc: only %d fingerprints for k=%d", len(l.fingerprints), l.k())
+	}
+	return nil
+}
+
+// signalDistance is the Euclidean distance in dB space over the tags both
+// vectors observed; unreadable-in-one-only tags add a fixed penalty so "tag
+// visible here but not there" still separates fingerprints.
+func signalDistance(a, b []float64) float64 {
+	const missPenaltyDB = 20.0
+	var sum float64
+	var dims int
+	for i := range a {
+		aNaN, bNaN := math.IsNaN(a[i]), math.IsNaN(b[i])
+		switch {
+		case aNaN && bNaN:
+			continue
+		case aNaN || bNaN:
+			sum += missPenaltyDB * missPenaltyDB
+			dims++
+		default:
+			d := a[i] - b[i]
+			sum += d * d
+			dims++
+		}
+	}
+	if dims == 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(sum / float64(dims))
+}
+
+// Locate implements Method.
+func (l *LandMarc) Locate(ant antenna.Antenna, rng *rand.Rand) (geom.Vec2, error) {
+	if len(l.fingerprints) == 0 {
+		return geom.Vec2{}, ErrUntrained
+	}
+	sim, err := channel.NewSimulator(l.Env.Channel, rng)
+	if err != nil {
+		return geom.Vec2{}, err
+	}
+	freq, err := l.Env.frequency()
+	if err != nil {
+		return geom.Vec2{}, err
+	}
+	measured := make([]float64, len(l.Env.Refs))
+	readable := 0
+	for i, ref := range l.Env.Refs {
+		v, ok := measureRSSI(sim, ant, ref, freq, l.Env.reads())
+		if !ok {
+			v = math.NaN()
+		} else {
+			readable++
+		}
+		measured[i] = v
+	}
+	if readable < 3 {
+		return geom.Vec2{}, fmt.Errorf("%w: %d readable", ErrNoSignal, readable)
+	}
+	// k nearest fingerprints in signal space.
+	type scored struct {
+		d   float64
+		pos geom.Vec2
+	}
+	best := make([]scored, 0, l.k()+1)
+	for _, fp := range l.fingerprints {
+		d := signalDistance(measured, fp.rssi)
+		if math.IsInf(d, 1) {
+			continue
+		}
+		best = append(best, scored{d: d, pos: fp.pos})
+		// Keep the slice small: insertion sort capped at k.
+		for i := len(best) - 1; i > 0 && best[i].d < best[i-1].d; i-- {
+			best[i], best[i-1] = best[i-1], best[i]
+		}
+		if len(best) > l.k() {
+			best = best[:l.k()]
+		}
+	}
+	if len(best) == 0 {
+		return geom.Vec2{}, ErrNoSignal
+	}
+	// LANDMARC weighting: w_i = (1/d_i²) / Σ(1/d_j²).
+	var wSum float64
+	var est geom.Vec2
+	for _, s := range best {
+		w := 1 / (s.d*s.d + 1e-9)
+		est = est.Add(s.pos.Scale(w))
+		wSum += w
+	}
+	return est.Scale(1 / wSum), nil
+}

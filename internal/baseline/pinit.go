@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/tagspin/tagspin/internal/antenna"
+	"github.com/tagspin/tagspin/internal/channel"
+	"github.com/tagspin/tagspin/internal/geom"
+)
+
+// PinIt adapts Wang & Katabi's PinIt (SIGCOMM'13) to reader localization.
+// The original pins a tag by comparing its multipath/spatial profile —
+// power received along a synthetic aperture — against reference tags'
+// profiles using dynamic time warping, then averages the nearest
+// references' positions. Here the "profile" of a candidate reader position
+// is the vector of its RSSI readings over the reference-tag array ordered
+// along the deployment (a spatial power profile); training records profiles
+// on a position grid, and localization DTW-matches the measured profile and
+// k-NN-averages the best grid positions. The DTW matching retains PinIt's
+// robustness to local profile warps that plain Euclidean matching (LandMarc)
+// lacks.
+type PinIt struct {
+	// Env is the shared deployment.
+	Env *Environment
+	// GridStep is the training-grid spacing; zero means 0.4 m.
+	GridStep float64
+	// K is the neighbour count; zero means 3.
+	K int
+	// Window is the DTW window in samples; zero means 3.
+	Window int
+
+	profiles []pinitProfile
+}
+
+// pinitProfile is one training entry.
+type pinitProfile struct {
+	pos     geom.Vec2
+	profile []float64
+}
+
+var _ Method = (*PinIt)(nil)
+
+// Name implements Method.
+func (*PinIt) Name() string { return "PinIt" }
+
+func (p *PinIt) gridStep() float64 {
+	if p.GridStep <= 0 {
+		return 0.4
+	}
+	return p.GridStep
+}
+
+func (p *PinIt) k() int {
+	if p.K <= 0 {
+		return 3
+	}
+	return p.K
+}
+
+func (p *PinIt) window() int {
+	if p.Window <= 0 {
+		return 3
+	}
+	return p.Window
+}
+
+// profileAt records the spatial power profile seen from pos. Unreadable
+// reference tags contribute a floor value, which is itself a location
+// signal (PinIt's "which references are in range" effect).
+func (p *PinIt) profileAt(sim *channel.Simulator, pos geom.Vec2, freq float64) []float64 {
+	const floorDBm = -95.0
+	ant := antennaAt(geom.V3(pos.X, pos.Y, 0), p.Env.Room)
+	out := make([]float64, len(p.Env.Refs))
+	for i, ref := range p.Env.Refs {
+		v, ok := measureRSSI(sim, ant, ref, freq, p.Env.reads())
+		if !ok {
+			v = floorDBm
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Train records reference profiles over the room grid.
+func (p *PinIt) Train(rng *rand.Rand) error {
+	if err := p.Env.Validate(); err != nil {
+		return err
+	}
+	sim, err := channel.NewSimulator(p.Env.Channel, rng)
+	if err != nil {
+		return err
+	}
+	freq, err := p.Env.frequency()
+	if err != nil {
+		return err
+	}
+	p.profiles = p.profiles[:0]
+	step := p.gridStep()
+	for y := p.Env.Room.MinY; y <= p.Env.Room.MaxY+1e-9; y += step {
+		for x := p.Env.Room.MinX; x <= p.Env.Room.MaxX+1e-9; x += step {
+			pos := geom.V2(x, y)
+			p.profiles = append(p.profiles, pinitProfile{
+				pos:     pos,
+				profile: p.profileAt(sim, pos, freq),
+			})
+		}
+	}
+	if len(p.profiles) < p.k() {
+		return fmt.Errorf("pinit: only %d profiles for k=%d", len(p.profiles), p.k())
+	}
+	return nil
+}
+
+// Locate implements Method.
+func (p *PinIt) Locate(ant antenna.Antenna, rng *rand.Rand) (geom.Vec2, error) {
+	if len(p.profiles) == 0 {
+		return geom.Vec2{}, ErrUntrained
+	}
+	sim, err := channel.NewSimulator(p.Env.Channel, rng)
+	if err != nil {
+		return geom.Vec2{}, err
+	}
+	freq, err := p.Env.frequency()
+	if err != nil {
+		return geom.Vec2{}, err
+	}
+	measured := p.profileAt(sim, ant.Position.XY(), freq)
+	readable := 0
+	for _, v := range measured {
+		if v > -95 {
+			readable++
+		}
+	}
+	if readable < 3 {
+		return geom.Vec2{}, fmt.Errorf("%w: %d readable", ErrNoSignal, readable)
+	}
+	type scored struct {
+		d   float64
+		pos geom.Vec2
+	}
+	all := make([]scored, 0, len(p.profiles))
+	for _, prof := range p.profiles {
+		all = append(all, scored{
+			d:   DTW(measured, prof.profile, p.window()),
+			pos: prof.pos,
+		})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	k := p.k()
+	if k > len(all) {
+		k = len(all)
+	}
+	var est geom.Vec2
+	var wSum float64
+	for _, s := range all[:k] {
+		w := 1 / (s.d + 1e-9)
+		if math.IsInf(w, 0) {
+			return s.pos, nil
+		}
+		est = est.Add(s.pos.Scale(w))
+		wSum += w
+	}
+	return est.Scale(1 / wSum), nil
+}

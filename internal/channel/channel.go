@@ -1,0 +1,348 @@
+// Package channel simulates the UHF backscatter radio channel between a
+// reader antenna and a passive tag: the wrapped phase of Eqn. 1 including
+// hardware diversity and the tag-orientation effect of Observation 3.1, a
+// two-way Friis link budget with tag wake-up sensitivity, Gaussian phase and
+// RSSI noise, optional image-method multipath, and the read-rate
+// (sampling-density) behaviour the paper observed around ρ = π/2.
+//
+// This package is the substitution for the paper's physical testbed (see
+// DESIGN.md §2): everything downstream consumes only the observation tuples
+// it emits.
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"github.com/tagspin/tagspin/internal/antenna"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/mathx"
+	"github.com/tagspin/tagspin/internal/tags"
+)
+
+// SpeedOfLight is c in m/s.
+const SpeedOfLight = 299_792_458.0
+
+// Wavelength converts a carrier frequency in Hz to a wavelength in meters.
+func Wavelength(freqHz float64) float64 { return SpeedOfLight / freqHz }
+
+// Band is a regulatory frequency plan the reader hops over.
+type Band struct {
+	// StartHz is the center frequency of channel 0.
+	StartHz float64
+	// StepHz is the channel spacing.
+	StepHz float64
+	// Channels is the number of hop channels.
+	Channels int
+}
+
+// ChinaBand returns the 920.5–924.5 MHz UHF RFID band the paper operated in
+// (16 channels at 250 kHz spacing; wavelengths ≈ 32.4–32.6 cm).
+func ChinaBand() Band {
+	return Band{StartHz: 920.625e6, StepHz: 250e3, Channels: 16}
+}
+
+// FrequencyHz returns the center frequency of hop channel ch.
+func (b Band) FrequencyHz(ch int) (float64, error) {
+	if ch < 0 || ch >= b.Channels {
+		return 0, fmt.Errorf("channel: hop index %d outside band of %d channels", ch, b.Channels)
+	}
+	return b.StartHz + float64(ch)*b.StepHz, nil
+}
+
+// MidChannel returns the index of the band's center channel, the default
+// fixed channel for non-hopping sessions.
+func (b Band) MidChannel() int { return b.Channels / 2 }
+
+// Reflector is a vertical planar wall for image-method multipath. The plane
+// contains Point and has horizontal unit normal Normal. Coefficient is the
+// signed amplitude reflection coefficient (typically negative, magnitude
+// well below 1).
+type Reflector struct {
+	Point       geom.Vec3
+	Normal      geom.Vec3
+	Coefficient float64
+}
+
+// Image reflects p across the reflector's plane.
+func (r Reflector) Image(p geom.Vec3) geom.Vec3 {
+	n := r.Normal.Unit()
+	d := p.Sub(r.Point).Dot(n)
+	return p.Sub(n.Scale(2 * d))
+}
+
+// Illuminates reports whether the wall can reflect a path between a and b:
+// both endpoints must sit on the side its normal points toward (a wall does
+// not reflect from behind, and a degenerate zero-distance geometry would
+// blow the 1/d amplitude up).
+func (r Reflector) Illuminates(a, b geom.Vec3) bool {
+	n := r.Normal.Unit()
+	const minClearance = 0.05 // meters from the wall plane
+	return a.Sub(r.Point).Dot(n) > minClearance && b.Sub(r.Point).Dot(n) > minClearance
+}
+
+// Config sets the invariant parameters of the simulated radio environment.
+type Config struct {
+	// TxPowerDBm is the reader transmit power (30 dBm ≈ 1 W ERP typical).
+	TxPowerDBm float64
+	// PhaseNoiseStd is the per-read phase noise σ in radians. The paper
+	// (after Tagoram) uses 0.1 rad for COTS readers.
+	PhaseNoiseStd float64
+	// RSSINoiseStdDB is the per-read RSSI noise σ in dB.
+	RSSINoiseStdDB float64
+	// BackscatterLossDB is the modulation loss at the tag (positive dB).
+	BackscatterLossDB float64
+	// TagGainDBi is the tag antenna's best-case gain.
+	TagGainDBi float64
+	// Reflectors lists multipath walls. Empty means free space.
+	Reflectors []Reflector
+	// OrientationEffect scales the tag's ground-truth orientation phase
+	// response; 1 is physical, 0 disables the effect (for controlled
+	// experiments). Nil-like zero value means 1 when UseOrientationZero
+	// is false — use DefaultConfig and override explicitly.
+	OrientationEffect float64
+	// OutlierProb is the probability that a successful read reports a
+	// garbage phase (uniform on [0, 2π)) — decode glitches and capture
+	// collisions in dense reader environments. Zero disables; the paper's
+	// R profile is designed to survive exactly this regime ("strong noise
+	// environment", §IV).
+	OutlierProb float64
+}
+
+// DefaultConfig returns the environment used by the paper-style scenarios.
+func DefaultConfig() Config {
+	return Config{
+		TxPowerDBm:        30,
+		PhaseNoiseStd:     0.1,
+		RSSINoiseStdDB:    0.5,
+		BackscatterLossDB: 5,
+		TagGainDBi:        2,
+		OrientationEffect: 1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PhaseNoiseStd < 0 || c.RSSINoiseStdDB < 0 {
+		return fmt.Errorf("channel: negative noise std")
+	}
+	if c.BackscatterLossDB < 0 {
+		return fmt.Errorf("channel: negative backscatter loss")
+	}
+	if c.OrientationEffect < 0 {
+		return fmt.Errorf("channel: negative orientation effect")
+	}
+	if c.OutlierProb < 0 || c.OutlierProb > 1 {
+		return fmt.Errorf("channel: outlier probability %v outside [0, 1]", c.OutlierProb)
+	}
+	for i, r := range c.Reflectors {
+		if r.Normal.Norm() == 0 {
+			return fmt.Errorf("channel: reflector %d has zero normal", i)
+		}
+		if math.Abs(r.Coefficient) >= 1 {
+			return fmt.Errorf("channel: reflector %d has |Γ| ≥ 1", i)
+		}
+	}
+	return nil
+}
+
+// Observation is one successful tag read as the physical layer produces it,
+// before reader-side quantization.
+type Observation struct {
+	// PhaseRad is the measured backscatter phase, wrapped to [0, 2π).
+	PhaseRad float64
+	// RSSIdBm is the received signal strength at the reader.
+	RSSIdBm float64
+	// TagPowerDBm is the forward power that reached the tag chip.
+	TagPowerDBm float64
+}
+
+// Simulator evaluates the channel. It is not safe for concurrent use; give
+// each goroutine its own Simulator (they are cheap).
+type Simulator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewSimulator builds a Simulator with the given environment and randomness
+// source.
+func NewSimulator(cfg Config, rng *rand.Rand) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("channel: nil rng")
+	}
+	return &Simulator{cfg: cfg, rng: rng}, nil
+}
+
+// Config returns the simulator's environment configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Query describes one read attempt.
+type Query struct {
+	// Tag is the physical tag instance.
+	Tag *tags.Tag
+	// TagPos is the tag's true position.
+	TagPos geom.Vec3
+	// TagPlaneAngle is the absolute azimuth of the tag's antenna plane.
+	TagPlaneAngle float64
+	// Antenna is the interrogating reader antenna.
+	Antenna antenna.Antenna
+	// FrequencyHz is the carrier frequency.
+	FrequencyHz float64
+}
+
+// oneWay returns the complex one-way channel gain between two points,
+// including direct path and reflector images. The magnitude carries the 1/d
+// spreading; the λ/4π aperture factor is applied by the link budget.
+func (s *Simulator) oneWay(a, b geom.Vec3, lambda float64) complex128 {
+	h := pathTerm(a.DistanceTo(b), lambda, 1)
+	for _, r := range s.cfg.Reflectors {
+		if !r.Illuminates(a, b) {
+			continue
+		}
+		img := r.Image(a)
+		h += pathTerm(img.DistanceTo(b), lambda, r.Coefficient)
+	}
+	return h
+}
+
+// pathTerm is (Γ/d)·e^{-j2πd/λ}.
+func pathTerm(d, lambda, gamma float64) complex128 {
+	if d <= 0 {
+		d = 1e-6
+	}
+	return cmplx.Rect(gamma/d, -2*math.Pi*d/lambda)
+}
+
+// orientationTo returns ρ, the angle between the tag plane and the sight
+// line from tag to reader.
+func orientationTo(q Query) float64 {
+	az := q.Antenna.Position.Sub(q.TagPos).Azimuth()
+	return geom.NormalizeAngle(q.TagPlaneAngle - az)
+}
+
+// tagGainDB returns the tag antenna gain toward the reader: best when the
+// tag plane is perpendicular to the sight line (ρ = π/2 + kπ), as §III-B
+// explains, with a floor so the tag is never perfectly invisible.
+func (s *Simulator) tagGainDB(rho float64) float64 {
+	const floor = 0.15 // linear power fraction at worst orientation
+	sin := math.Sin(rho)
+	frac := floor + (1-floor)*sin*sin
+	return s.cfg.TagGainDBi + 10*math.Log10(frac)
+}
+
+// linkState is the deterministic part of a read attempt.
+type linkState struct {
+	h        complex128
+	rho      float64
+	gReader  float64
+	gTag     float64
+	oneWayDB float64
+	tagPower float64
+}
+
+// link evaluates the deterministic link budget for a query.
+func (s *Simulator) link(q Query) linkState {
+	lambda := Wavelength(q.FrequencyHz)
+	h := s.oneWay(q.Antenna.Position, q.TagPos, lambda)
+	rho := orientationTo(q)
+	aperture := 20 * math.Log10(lambda/(4*math.Pi))
+	oneWayDB := 20*math.Log10(cmplx.Abs(h)) + aperture
+	gReader := q.Antenna.GainTowards(q.TagPos)
+	gTag := s.tagGainDB(rho)
+	return linkState{
+		h: h, rho: rho, gReader: gReader, gTag: gTag, oneWayDB: oneWayDB,
+		tagPower: s.cfg.TxPowerDBm + gReader + gTag + oneWayDB,
+	}
+}
+
+// measure fills the noisy measurement fields of an observation for a
+// singulated read.
+func (s *Simulator) measure(q Query, ls linkState) Observation {
+	obs := Observation{TagPowerDBm: ls.tagPower}
+	// Round trip: reciprocal channel, so H = h². The reader reports the
+	// negated argument of H plus the hardware and orientation terms.
+	geomPhase := -2 * cmplx.Phase(ls.h)
+	phase := geomPhase +
+		q.Tag.Diversity +
+		q.Antenna.Diversity +
+		s.cfg.OrientationEffect*q.Tag.OrientationOffset(ls.rho) +
+		s.rng.NormFloat64()*s.cfg.PhaseNoiseStd
+	if s.cfg.OutlierProb > 0 && s.rng.Float64() < s.cfg.OutlierProb {
+		phase = s.rng.Float64() * 2 * math.Pi
+	}
+	obs.PhaseRad = mathx.WrapPhase(phase)
+	obs.RSSIdBm = ls.tagPower - s.cfg.BackscatterLossDB + ls.gTag + ls.gReader + ls.oneWayDB +
+		s.rng.NormFloat64()*s.cfg.RSSINoiseStdDB
+	return obs
+}
+
+// Observe performs one read attempt. ok reports whether the tag responded
+// and the reader decoded it; when ok is false the Observation is only
+// partially filled (TagPowerDBm is still meaningful).
+func (s *Simulator) Observe(q Query) (Observation, bool) {
+	ls := s.link(q)
+	obs := Observation{TagPowerDBm: ls.tagPower}
+	margin := ls.tagPower - q.Tag.Model.SensitivityDBm
+	if margin <= 0 {
+		return obs, false
+	}
+	if s.rng.Float64() >= readProbability(margin) {
+		return obs, false
+	}
+	return s.measure(q, ls), true
+}
+
+// Powered reports whether the tag chip wakes up for this query. It is
+// deterministic (no noise draw) — the Gen2 MAC uses it as the
+// participation predicate, with slot contention handled by the MAC itself.
+func (s *Simulator) Powered(q Query) bool {
+	return s.link(q).tagPower > q.Tag.Model.SensitivityDBm
+}
+
+// ObserveSingulated produces the measurement for a read whose singulation
+// was already decided by the MAC layer: the probabilistic read gate is
+// skipped, only the power threshold applies.
+func (s *Simulator) ObserveSingulated(q Query) (Observation, bool) {
+	ls := s.link(q)
+	if ls.tagPower <= q.Tag.Model.SensitivityDBm {
+		return Observation{TagPowerDBm: ls.tagPower}, false
+	}
+	return s.measure(q, ls), true
+}
+
+// readProbability maps link margin (dB above tag sensitivity) to the
+// probability that one inventory attempt yields a decoded read. It saturates
+// at 0.95: even a hot link occasionally loses a slot to collisions.
+func readProbability(marginDB float64) float64 {
+	if marginDB <= 0 {
+		return 0
+	}
+	p := 0.15 + 0.8*(marginDB/15)
+	if p > 0.95 {
+		p = 0.95
+	}
+	return p
+}
+
+// IdealPhase returns the noise-free wrapped phase for a query, including
+// diversity and orientation terms. Experiments use it as ground truth.
+func (s *Simulator) IdealPhase(q Query) float64 {
+	lambda := Wavelength(q.FrequencyHz)
+	h := s.oneWay(q.Antenna.Position, q.TagPos, lambda)
+	rho := orientationTo(q)
+	return mathx.WrapPhase(-2*cmplx.Phase(h) +
+		q.Tag.Diversity + q.Antenna.Diversity +
+		s.cfg.OrientationEffect*q.Tag.OrientationOffset(rho))
+}
+
+// GeometricPhase returns the pure Eqn. 1 phase (4π·d/λ wrapped) between two
+// points with no hardware terms and no multipath, for analytical checks.
+func GeometricPhase(a, b geom.Vec3, freqHz float64) float64 {
+	lambda := Wavelength(freqHz)
+	return mathx.WrapPhase(4 * math.Pi * a.DistanceTo(b) / lambda)
+}

@@ -1,0 +1,302 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/antenna"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/mathx"
+	"github.com/tagspin/tagspin/internal/tags"
+)
+
+func testSim(t *testing.T, cfg Config, seed int64) *Simulator {
+	t.Helper()
+	s, err := NewSimulator(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func quietConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PhaseNoiseStd = 0
+	cfg.RSSINoiseStdDB = 0
+	cfg.OrientationEffect = 0
+	return cfg
+}
+
+func testQuery(rng *rand.Rand) Query {
+	tag := tags.New(tags.DefaultModel(), rng)
+	tag.Diversity = 0
+	return Query{
+		Tag:           tag,
+		TagPos:        geom.V3(0.5, 0, 0),
+		TagPlaneAngle: math.Pi / 2,
+		Antenna:       antenna.Antenna{ID: 1, Position: geom.V3(3, 0, 0), Boresight: math.Pi, GainDBi: 8},
+		FrequencyHz:   922.5e6,
+	}
+}
+
+func TestWavelength(t *testing.T) {
+	l := Wavelength(922.5e6)
+	if math.Abs(l-0.32498) > 1e-4 {
+		t.Errorf("λ(922.5 MHz) = %v, want ≈0.325 m", l)
+	}
+}
+
+func TestChinaBand(t *testing.T) {
+	b := ChinaBand()
+	if b.Channels != 16 {
+		t.Fatalf("channels = %d", b.Channels)
+	}
+	lo, err := b.FrequencyHz(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := b.FrequencyHz(b.Channels - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 920.5e6 || hi > 924.5e6 {
+		t.Errorf("band [%v, %v] outside 920.5–924.5 MHz", lo, hi)
+	}
+	if _, err := b.FrequencyHz(-1); err == nil {
+		t.Error("negative channel accepted")
+	}
+	if _, err := b.FrequencyHz(16); err == nil {
+		t.Error("out-of-band channel accepted")
+	}
+	if mid := b.MidChannel(); mid != 8 {
+		t.Errorf("mid channel = %d", mid)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.PhaseNoiseStd = -1
+	if bad.Validate() == nil {
+		t.Error("negative noise accepted")
+	}
+	bad = DefaultConfig()
+	bad.Reflectors = []Reflector{{Normal: geom.Vec3{}, Coefficient: 0.3}}
+	if bad.Validate() == nil {
+		t.Error("zero-normal reflector accepted")
+	}
+	bad = DefaultConfig()
+	bad.Reflectors = []Reflector{{Normal: geom.V3(1, 0, 0), Coefficient: 1.5}}
+	if bad.Validate() == nil {
+		t.Error("|Γ|≥1 reflector accepted")
+	}
+	if _, err := NewSimulator(DefaultConfig(), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestGeometricPhaseMatchesEqn1(t *testing.T) {
+	a, b := geom.V3(0, 0, 0), geom.V3(2, 0, 0)
+	freq := 922.5e6
+	want := mathx.WrapPhase(4 * math.Pi * 2 / Wavelength(freq))
+	if got := GeometricPhase(a, b, freq); math.Abs(got-want) > 1e-12 {
+		t.Errorf("GeometricPhase = %v, want %v", got, want)
+	}
+}
+
+func TestObservePhaseIsEqn1InFreeSpace(t *testing.T) {
+	s := testSim(t, quietConfig(), 1)
+	rng := rand.New(rand.NewSource(2))
+	q := testQuery(rng)
+	want := GeometricPhase(q.Antenna.Position, q.TagPos, q.FrequencyHz)
+	obs, ok := s.Observe(q)
+	for !ok { // read success is probabilistic; retry
+		obs, ok = s.Observe(q)
+	}
+	if math.Abs(mathx.WrapToPi(obs.PhaseRad-want)) > 1e-9 {
+		t.Errorf("phase = %v, want %v", obs.PhaseRad, want)
+	}
+}
+
+func TestObserveIncludesDiversity(t *testing.T) {
+	s := testSim(t, quietConfig(), 1)
+	rng := rand.New(rand.NewSource(2))
+	q := testQuery(rng)
+	q.Tag.Diversity = 1.0
+	q.Antenna.Diversity = 0.5
+	base := GeometricPhase(q.Antenna.Position, q.TagPos, q.FrequencyHz)
+	got := s.IdealPhase(q)
+	if math.Abs(mathx.WrapToPi(got-base-1.5)) > 1e-9 {
+		t.Errorf("diversity not additive: got %v, base %v", got, base)
+	}
+}
+
+func TestObservePhaseNoiseStatistics(t *testing.T) {
+	cfg := quietConfig()
+	cfg.PhaseNoiseStd = 0.1
+	s := testSim(t, cfg, 3)
+	rng := rand.New(rand.NewSource(4))
+	q := testQuery(rng)
+	want := s.IdealPhase(q)
+	var devs []float64
+	for len(devs) < 4000 {
+		if obs, ok := s.Observe(q); ok {
+			devs = append(devs, mathx.WrapToPi(obs.PhaseRad-want))
+		}
+	}
+	if m := mathx.Mean(devs); math.Abs(m) > 0.01 {
+		t.Errorf("phase noise mean = %v, want ≈0", m)
+	}
+	if sd := mathx.Std(devs); math.Abs(sd-0.1) > 0.01 {
+		t.Errorf("phase noise std = %v, want ≈0.1", sd)
+	}
+}
+
+func TestOrientationEffectInjection(t *testing.T) {
+	cfg := quietConfig()
+	cfg.OrientationEffect = 1
+	s := testSim(t, cfg, 5)
+	rng := rand.New(rand.NewSource(6))
+	q := testQuery(rng)
+	base := GeometricPhase(q.Antenna.Position, q.TagPos, q.FrequencyHz)
+	// Reader due east of the tag; ρ = plane angle − 0.
+	var maxDev float64
+	for i := 0; i < 72; i++ {
+		q.TagPlaneAngle = 2 * math.Pi * float64(i) / 72
+		dev := math.Abs(mathx.WrapToPi(s.IdealPhase(q) - base))
+		maxDev = math.Max(maxDev, dev)
+	}
+	if maxDev < 0.2 {
+		t.Errorf("orientation effect too small: max deviation %v rad", maxDev)
+	}
+	// Matches the tag's ground-truth response exactly.
+	q.TagPlaneAngle = 1.234
+	want := mathx.WrapPhase(base + q.Tag.OrientationOffset(1.234))
+	if got := s.IdealPhase(q); math.Abs(mathx.WrapToPi(got-want)) > 1e-9 {
+		t.Errorf("orientation offset mismatch: %v vs %v", got, want)
+	}
+}
+
+func TestLinkBudgetDistanceFalloff(t *testing.T) {
+	s := testSim(t, quietConfig(), 7)
+	rng := rand.New(rand.NewSource(8))
+	q := testQuery(rng)
+	near, _ := s.Observe(q)
+	q2 := q
+	q2.Antenna.Position = geom.V3(6, 0, 0)
+	far, _ := s.Observe(q2)
+	if far.TagPowerDBm >= near.TagPowerDBm {
+		t.Errorf("tag power should fall with distance: near %v, far %v",
+			near.TagPowerDBm, far.TagPowerDBm)
+	}
+	// Doubling one-way distance costs ≈6 dB one-way.
+	drop := near.TagPowerDBm - far.TagPowerDBm
+	// Distances: 2.5 m vs 5.5 m → 20log10(5.5/2.5) ≈ 6.85 dB.
+	if math.Abs(drop-20*math.Log10(5.5/2.5)) > 0.5 {
+		t.Errorf("free-space falloff = %v dB", drop)
+	}
+}
+
+func TestTagStopsRespondingBeyondSensitivity(t *testing.T) {
+	s := testSim(t, quietConfig(), 9)
+	rng := rand.New(rand.NewSource(10))
+	q := testQuery(rng)
+	q.Antenna.Position = geom.V3(500, 0, 0) // far outside UHF read range
+	obs, ok := s.Observe(q)
+	if ok {
+		t.Error("tag read at 500 m")
+	}
+	if obs.TagPowerDBm >= q.Tag.Model.SensitivityDBm {
+		t.Errorf("tag power %v above sensitivity at 500 m", obs.TagPowerDBm)
+	}
+}
+
+func TestReadRateHigherWhenPerpendicular(t *testing.T) {
+	s := testSim(t, DefaultConfig(), 11)
+	rng := rand.New(rand.NewSource(12))
+	q := testQuery(rng)
+	q.Antenna.Position = geom.V3(4.5, 0, 0) // weak link so p(ρ) is not saturated
+	count := func(plane float64) int {
+		q.TagPlaneAngle = plane
+		n := 0
+		for i := 0; i < 3000; i++ {
+			if _, ok := s.Observe(q); ok {
+				n++
+			}
+		}
+		return n
+	}
+	perp := count(math.Pi / 2) // plane ⊥ sight line: best coupling
+	para := count(0)           // plane ∥ sight line: worst
+	if perp <= para {
+		t.Errorf("read rate should peak at ρ=π/2: perp %d vs para %d", perp, para)
+	}
+}
+
+func TestMultipathPerturbsPhase(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Reflectors = []Reflector{{
+		Point:       geom.V3(0, 3, 0),
+		Normal:      geom.V3(0, -1, 0), // reflective side faces the tags below
+		Coefficient: -0.4,
+	}}
+	s := testSim(t, cfg, 13)
+	free := testSim(t, quietConfig(), 13)
+	rng := rand.New(rand.NewSource(14))
+	q := testQuery(rng)
+	d := math.Abs(mathx.WrapToPi(s.IdealPhase(q) - free.IdealPhase(q)))
+	if d == 0 {
+		t.Error("reflector had no effect on phase")
+	}
+	if d > 0.5 {
+		t.Errorf("a single |Γ|=0.4 wall shifted phase by %v rad; implausibly large", d)
+	}
+}
+
+func TestReflectorImage(t *testing.T) {
+	r := Reflector{Point: geom.V3(0, 2, 0), Normal: geom.V3(0, 1, 0), Coefficient: -0.3}
+	if r.Illuminates(geom.V3(1, 0, 0), geom.V3(0, 1, 0)) {
+		t.Error("wall reflected from behind")
+	}
+	if !r.Illuminates(geom.V3(1, 3, 0), geom.V3(0, 4, 0)) {
+		t.Error("wall failed to reflect on its front side")
+	}
+	img := r.Image(geom.V3(1, 0, 0.5))
+	if img.DistanceTo(geom.V3(1, 4, 0.5)) > 1e-12 {
+		t.Errorf("image = %v, want (1,4,0.5)", img)
+	}
+	// Reflecting twice returns the original point.
+	if r.Image(img).DistanceTo(geom.V3(1, 0, 0.5)) > 1e-12 {
+		t.Error("double reflection is not identity")
+	}
+}
+
+func TestReadProbabilityShape(t *testing.T) {
+	if readProbability(-1) != 0 || readProbability(0) != 0 {
+		t.Error("no link margin must mean no reads")
+	}
+	if p := readProbability(100); p != 0.95 {
+		t.Errorf("saturated probability = %v, want 0.95", p)
+	}
+	if readProbability(5) >= readProbability(10) {
+		t.Error("read probability should grow with margin")
+	}
+}
+
+func TestRSSIReasonableRange(t *testing.T) {
+	s := testSim(t, DefaultConfig(), 15)
+	rng := rand.New(rand.NewSource(16))
+	q := testQuery(rng)
+	var obs Observation
+	ok := false
+	for !ok {
+		obs, ok = s.Observe(q)
+	}
+	// Backscatter RSSI at 2.5 m is typically -45…-75 dBm on COTS readers.
+	if obs.RSSIdBm > -30 || obs.RSSIdBm < -90 {
+		t.Errorf("RSSI = %v dBm, outside plausible backscatter range", obs.RSSIdBm)
+	}
+}

@@ -1,0 +1,128 @@
+// Package client implements the host side of the reader protocol: it
+// connects to a reader, starts an inventory session, collects the streamed
+// tag reports, and converts them into the snapshot series the localization
+// pipeline consumes (expanding phase words to radians and channel indices to
+// carrier frequencies).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/channel"
+	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/llrp"
+	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/tags"
+)
+
+// ErrRejected reports that the reader refused to start the session.
+var ErrRejected = errors.New("client: reader rejected RO spec")
+
+// Config tunes a collection session.
+type Config struct {
+	// Band maps channel indices to carrier frequencies; zero value means
+	// the China band the paper used.
+	Band channel.Band
+	// Duration is the simulated session length; zero means 4 s (two
+	// rotations at ω = π).
+	Duration time.Duration
+	// Timeout bounds the whole wall-clock exchange; zero means 30 s.
+	Timeout time.Duration
+}
+
+// band returns the effective frequency plan.
+func (c Config) band() channel.Band {
+	if c.Band.Channels == 0 {
+		return channel.ChinaBand()
+	}
+	return c.Band
+}
+
+// duration returns the effective session length.
+func (c Config) duration() time.Duration {
+	if c.Duration <= 0 {
+		return 4 * time.Second
+	}
+	return c.Duration
+}
+
+// timeout returns the effective wall-clock bound.
+func (c Config) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.Timeout
+}
+
+// Collect dials a reader, runs one inventory session, and returns the
+// per-EPC snapshot series.
+func Collect(addr string, cfg Config) (core.Observations, error) {
+	raw, err := net.DialTimeout("tcp", addr, cfg.timeout())
+	if err != nil {
+		return nil, fmt.Errorf("client dial: %w", err)
+	}
+	if err := raw.SetDeadline(time.Now().Add(cfg.timeout())); err != nil {
+		raw.Close() //nolint:errcheck // already failing
+		return nil, fmt.Errorf("client deadline: %w", err)
+	}
+	conn := llrp.NewConn(raw)
+	defer conn.Close() //nolint:errcheck // read side already drained
+	return collect(conn, cfg)
+}
+
+// collect runs the session protocol over an established connection.
+func collect(conn *llrp.Conn, cfg Config) (core.Observations, error) {
+	if _, err := conn.Send(&llrp.StartROSpec{
+		ROSpecID:       1,
+		DurationMicros: uint64(cfg.duration() / time.Microsecond),
+	}); err != nil {
+		return nil, err
+	}
+	band := cfg.band()
+	obs := make(core.Observations)
+	started := false
+	for {
+		_, msg, err := conn.Receive()
+		if err != nil {
+			return nil, fmt.Errorf("client receive: %w", err)
+		}
+		switch m := msg.(type) {
+		case *llrp.StartROSpecResponse:
+			if m.Status != llrp.StatusOK {
+				return nil, ErrRejected
+			}
+			started = true
+		case *llrp.ROAccessReport:
+			for _, rep := range m.Reports {
+				freq, err := band.FrequencyHz(int(rep.ChannelIndex))
+				if err != nil {
+					return nil, fmt.Errorf("client: report %v: %w", rep.EPC, err)
+				}
+				epc := tags.EPC(rep.EPC)
+				obs[epc] = append(obs[epc], phase.Snapshot{
+					Time:        time.Duration(rep.FirstSeenMicros) * time.Microsecond,
+					Phase:       llrp.RadiansFromPhaseWord(rep.PhaseWord),
+					RSSIdBm:     llrp.DBmFromRSSIWord(rep.PeakRSSI),
+					FrequencyHz: freq,
+					AntennaID:   int(rep.AntennaID),
+				})
+			}
+		case *llrp.KeepAlive:
+			if err := conn.Reply(0, &llrp.KeepAliveAck{}); err != nil {
+				return nil, err
+			}
+		case *llrp.ReaderEventNotification:
+			if m.Event == llrp.EventROSpecDone {
+				if !started {
+					return nil, errors.New("client: session ended before it started")
+				}
+				return obs, nil
+			}
+		case *llrp.CloseConnection:
+			return nil, errors.New("client: reader closed the connection mid-session")
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/channel"
+	"github.com/tagspin/tagspin/internal/llrp"
+)
+
+// fakeReader scripts a reader endpoint over net.Pipe for protocol-level
+// client tests (the full readersim integration lives in internal/readersim).
+func fakeReader(t *testing.T, script func(conn *llrp.Conn)) *llrp.Conn {
+	t.Helper()
+	clientSide, serverSide := net.Pipe()
+	for _, c := range []net.Conn{clientSide, serverSide} {
+		if err := c.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	server := llrp.NewConn(serverSide)
+	go func() {
+		defer server.Close()
+		script(server)
+	}()
+	cc := llrp.NewConn(clientSide)
+	t.Cleanup(func() { cc.Close() })
+	return cc
+}
+
+// expectStart consumes the client's StartROSpec.
+func expectStart(t *testing.T, conn *llrp.Conn) uint32 {
+	t.Helper()
+	id, msg, err := conn.Receive()
+	if err != nil {
+		t.Errorf("server receive: %v", err)
+		return 0
+	}
+	if _, ok := msg.(*llrp.StartROSpec); !ok {
+		t.Errorf("server got %v, want StartROSpec", msg.MsgType())
+	}
+	return id
+}
+
+func TestCollectHappyPath(t *testing.T) {
+	epc := [12]byte{1, 2, 3}
+	conn := fakeReader(t, func(s *llrp.Conn) {
+		id := expectStart(t, s)
+		if err := s.Reply(id, &llrp.StartROSpecResponse{ROSpecID: 1, Status: llrp.StatusOK}); err != nil {
+			return
+		}
+		report := &llrp.ROAccessReport{Reports: []llrp.TagReportData{{
+			EPC:             epc,
+			AntennaID:       2,
+			ChannelIndex:    8,
+			PeakRSSI:        -6215,
+			PhaseWord:       1024, // π/2
+			FirstSeenMicros: 500_000,
+		}}}
+		if _, err := s.Send(report); err != nil {
+			return
+		}
+		if _, err := s.Send(&llrp.ReaderEventNotification{Event: llrp.EventROSpecDone}); err != nil {
+			return
+		}
+	})
+	obs, err := collect(conn, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 {
+		t.Fatalf("tags = %d", len(obs))
+	}
+	for gotEPC, snaps := range obs {
+		if gotEPC != epc {
+			t.Errorf("EPC = %v", gotEPC)
+		}
+		if len(snaps) != 1 {
+			t.Fatalf("snaps = %d", len(snaps))
+		}
+		s := snaps[0]
+		if s.Time != 500*time.Millisecond {
+			t.Errorf("time = %v", s.Time)
+		}
+		if s.AntennaID != 2 {
+			t.Errorf("antenna = %d", s.AntennaID)
+		}
+		if s.RSSIdBm != -62.15 {
+			t.Errorf("rssi = %v", s.RSSIdBm)
+		}
+		if d := s.Phase - 3.14159265/2; d > 0.01 || d < -0.01 {
+			t.Errorf("phase = %v, want ≈π/2", s.Phase)
+		}
+		mid, err := channel.ChinaBand().FrequencyHz(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.FrequencyHz != mid {
+			t.Errorf("freq = %v, want %v", s.FrequencyHz, mid)
+		}
+	}
+}
+
+func TestCollectRejected(t *testing.T) {
+	conn := fakeReader(t, func(s *llrp.Conn) {
+		id := expectStart(t, s)
+		if err := s.Reply(id, &llrp.StartROSpecResponse{Status: llrp.StatusError}); err != nil {
+			return
+		}
+	})
+	if _, err := collect(conn, Config{}); !errors.Is(err, ErrRejected) {
+		t.Errorf("err = %v, want ErrRejected", err)
+	}
+}
+
+func TestCollectAnswersKeepAlive(t *testing.T) {
+	conn := fakeReader(t, func(s *llrp.Conn) {
+		id := expectStart(t, s)
+		if err := s.Reply(id, &llrp.StartROSpecResponse{Status: llrp.StatusOK}); err != nil {
+			return
+		}
+		if _, err := s.Send(&llrp.KeepAlive{}); err != nil {
+			return
+		}
+		// The client must ack before the session ends.
+		_, msg, err := s.Receive()
+		if err != nil {
+			t.Errorf("expected keepalive ack, got error %v", err)
+			return
+		}
+		if _, ok := msg.(*llrp.KeepAliveAck); !ok {
+			t.Errorf("got %v, want KeepAliveAck", msg.MsgType())
+		}
+		if _, err := s.Send(&llrp.ReaderEventNotification{Event: llrp.EventROSpecDone}); err != nil {
+			return
+		}
+	})
+	if _, err := collect(conn, Config{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectReaderClosesMidSession(t *testing.T) {
+	conn := fakeReader(t, func(s *llrp.Conn) {
+		id := expectStart(t, s)
+		if err := s.Reply(id, &llrp.StartROSpecResponse{Status: llrp.StatusOK}); err != nil {
+			return
+		}
+		if _, err := s.Send(&llrp.CloseConnection{}); err != nil {
+			return
+		}
+	})
+	if _, err := collect(conn, Config{}); err == nil {
+		t.Error("mid-session close accepted")
+	}
+}
+
+func TestCollectBadChannelIndex(t *testing.T) {
+	conn := fakeReader(t, func(s *llrp.Conn) {
+		id := expectStart(t, s)
+		if err := s.Reply(id, &llrp.StartROSpecResponse{Status: llrp.StatusOK}); err != nil {
+			return
+		}
+		report := &llrp.ROAccessReport{Reports: []llrp.TagReportData{{ChannelIndex: 99}}}
+		if _, err := s.Send(report); err != nil {
+			return
+		}
+	})
+	if _, err := collect(conn, Config{}); err == nil {
+		t.Error("out-of-band channel index accepted")
+	}
+}
+
+func TestCollectDialFailure(t *testing.T) {
+	if _, err := Collect("127.0.0.1:1", Config{Timeout: 200 * time.Millisecond}); err == nil {
+		t.Error("dial to a dead port succeeded")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.band().Channels != 16 {
+		t.Errorf("default band = %+v", c.band())
+	}
+	if c.duration() != 4*time.Second {
+		t.Errorf("default duration = %v", c.duration())
+	}
+	if c.timeout() != 30*time.Second {
+		t.Errorf("default timeout = %v", c.timeout())
+	}
+}

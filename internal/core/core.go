@@ -1,0 +1,436 @@
+// Package core orchestrates the full Tagspin pipeline (§II): given phase
+// snapshots of registered spinning tags, it calibrates the phase sequences,
+// generates an angle spectrum per tag, and intersects the resulting bearings
+// to pinpoint the reader antenna in 2D or 3D.
+//
+// The orientation calibration runs as a two-pass scheme: the reader
+// direction is first estimated from uncalibrated snapshots, the orientation
+// ρ of each snapshot is computed against that coarse direction, the fitted
+// phase-orientation function is subtracted, and the spectrum is recomputed.
+// (§III-B specifies *that* the offset must be erased per sampled
+// orientation; the orientation is only computable once a direction estimate
+// exists, hence the two passes.)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/locate"
+	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/spectrum"
+	"github.com/tagspin/tagspin/internal/spindisk"
+	"github.com/tagspin/tagspin/internal/tags"
+)
+
+// Errors returned by the pipeline.
+var (
+	// ErrTooFewTags reports fewer than two usable spinning tags.
+	ErrTooFewTags = errors.New("core: need snapshots from at least two spinning tags")
+	// ErrTooFewSnapshots reports a tag with too few reads to form a
+	// spectrum.
+	ErrTooFewSnapshots = errors.New("core: too few snapshots for tag")
+)
+
+// SpinningTag is one registered infrastructure tag: its identity, disk
+// geometry as surveyed at installation, and (optionally) the orientation
+// calibration fitted during the §III-B prelude.
+type SpinningTag struct {
+	// EPC identifies the tag.
+	EPC tags.EPC
+	// Disk is the nominal disk geometry.
+	Disk spindisk.Disk
+	// Orientation, when non-nil, enables the orientation correction.
+	Orientation *phase.OrientationCalibration
+}
+
+// Config tunes the pipeline.
+type Config struct {
+	// Kind selects the power profile; zero means the enhanced KindR.
+	Kind spectrum.Kind
+	// Sigma is the assumed phase noise for R weights; zero means
+	// spectrum.DefaultSigma.
+	Sigma float64
+	// LiteralReference uses Definition 4.1's weights verbatim instead of
+	// the robust common-offset-cancelling variant (ablation A6; see
+	// spectrum.Params.LiteralReference).
+	LiteralReference bool
+	// Search tunes the peak search.
+	Search spectrum.SearchOptions
+	// MinSnapshots is the per-tag minimum; zero means 10.
+	MinSnapshots int
+	// DisableOrientation skips the orientation correction even when a
+	// calibration is present (the Fig. 11(b) control arm).
+	DisableOrientation bool
+	// ZPolicy resolves the 3D mirror ambiguity; zero means
+	// locate.ZPreferNonNegative.
+	ZPolicy locate.ZPolicy
+}
+
+// kind returns the effective profile kind.
+func (c Config) kind() spectrum.Kind {
+	if c.Kind == 0 {
+		return spectrum.KindR
+	}
+	return c.Kind
+}
+
+// minSnapshots returns the effective per-tag minimum.
+func (c Config) minSnapshots() int {
+	if c.MinSnapshots <= 0 {
+		return 10
+	}
+	return c.MinSnapshots
+}
+
+// Locator runs the Tagspin pipeline.
+type Locator struct {
+	cfg Config
+}
+
+// NewLocator builds a Locator.
+func NewLocator(cfg Config) *Locator { return &Locator{cfg: cfg} }
+
+// TagEstimate is the per-tag intermediate result: the angle spectrum peak.
+type TagEstimate struct {
+	// EPC identifies the spinning tag.
+	EPC tags.EPC
+	// Azimuth is the estimated direction from disk center to reader.
+	Azimuth float64
+	// Polar is the estimated polar angle (3D only; 0 in 2D).
+	Polar float64
+	// Power is the profile value at the peak, used as fusion weight.
+	Power float64
+	// Snapshots is how many reads contributed.
+	Snapshots int
+}
+
+// Result2D is the output of Locate2D.
+type Result2D struct {
+	// Position is the estimated reader position in the plane.
+	Position geom.Vec2
+	// Bearings holds the per-tag spectrum peaks that were fused.
+	Bearings []TagEstimate
+}
+
+// Result3D is the output of Locate3D.
+type Result3D struct {
+	// Position is the selected reader position estimate.
+	Position geom.Vec3
+	// Mirror is the z-mirrored second candidate (§V-B).
+	Mirror geom.Vec3
+	// ZSpread is the disagreement between per-tag height estimates.
+	ZSpread float64
+	// Bearings holds the per-tag spectrum peaks that were fused.
+	Bearings []TagEstimate
+}
+
+// Observations maps each spinning tag's EPC to its snapshot series for one
+// collection session against one target antenna.
+type Observations map[tags.EPC][]phase.Snapshot
+
+// selectSnapshots validates, sorts, and reduces a tag's snapshots to the
+// dominant carrier frequency (with hopping readers, mixing channels would
+// break the θ_div cancellation because the D-dependent term differs per λ).
+func (l *Locator) selectSnapshots(snaps []phase.Snapshot) ([]phase.Snapshot, error) {
+	if len(snaps) < l.cfg.minSnapshots() {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewSnapshots, len(snaps), l.cfg.minSnapshots())
+	}
+	groups := make(map[float64][]phase.Snapshot)
+	for _, s := range snaps {
+		groups[s.FrequencyHz] = append(groups[s.FrequencyHz], s)
+	}
+	var best []phase.Snapshot
+	var bestFreq float64
+	for freq, g := range groups {
+		if len(g) > len(best) || (len(g) == len(best) && freq < bestFreq) {
+			best, bestFreq = g, freq
+		}
+	}
+	if len(best) < l.cfg.minSnapshots() {
+		return nil, fmt.Errorf("%w: dominant channel has %d reads, need %d",
+			ErrTooFewSnapshots, len(best), l.cfg.minSnapshots())
+	}
+	out := make([]phase.Snapshot, len(best))
+	copy(out, best)
+	phase.SortByTime(out)
+	return out, nil
+}
+
+// applyOrientation removes the fitted orientation offset from snaps given a
+// coarse reader position estimate. The orientation ρ of each snapshot is
+// computed against the sight line from the tag's *rim position* at that
+// instant — using the disk center instead would leave an ω-frequency
+// residual (the rim-to-reader azimuth oscillates by ≈r/D) that couples into
+// the aperture term.
+func applyOrientation(tag SpinningTag, snaps []phase.Snapshot, readerPos geom.Vec3) []phase.Snapshot {
+	return tag.Orientation.Apply(snaps, func(i int) float64 {
+		a := tag.Disk.Angle(snaps[i].Time)
+		rim := tag.Disk.TagPositionAt(a)
+		az := readerPos.Sub(rim).Azimuth()
+		return geom.NormalizeAngle(tag.Disk.TagPlaneAngle(a) - az)
+	})
+}
+
+// estimate2D runs the per-tag 2D spectrum. When correctAgainst is non-nil
+// and the tag has an orientation calibration, the fitted offset is removed
+// against that reader-position estimate first.
+func (l *Locator) estimate2D(tag SpinningTag, selected []phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec2) (TagEstimate, error) {
+	params := spectrum.Params{Disk: tag.Disk, Sigma: l.cfg.Sigma, LiteralReference: l.cfg.LiteralReference}
+	input := selected
+	if correctAgainst != nil && tag.Orientation != nil && !l.cfg.DisableOrientation {
+		input = applyOrientation(tag, selected, geom.V3(correctAgainst.X, correctAgainst.Y, tag.Disk.Center.Z))
+	}
+	az, power, err := spectrum.FindPeak2D(input, params, kind, l.cfg.Search)
+	if err != nil {
+		return TagEstimate{}, fmt.Errorf("tag %s: %w", tag.EPC, err)
+	}
+	return TagEstimate{
+		EPC:       tag.EPC,
+		Azimuth:   az,
+		Power:     power,
+		Snapshots: len(selected),
+	}, nil
+}
+
+// estimate3D is the 3D analogue of estimate2D.
+func (l *Locator) estimate3D(tag SpinningTag, selected []phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec3) (TagEstimate, error) {
+	params := spectrum.Params{Disk: tag.Disk, Sigma: l.cfg.Sigma, LiteralReference: l.cfg.LiteralReference}
+	input := selected
+	if correctAgainst != nil && tag.Orientation != nil && !l.cfg.DisableOrientation {
+		input = applyOrientation(tag, selected, *correctAgainst)
+	}
+	pk, err := spectrum.FindPeak3D(input, params, kind, l.cfg.Search)
+	if err != nil {
+		return TagEstimate{}, fmt.Errorf("tag %s: %w", tag.EPC, err)
+	}
+	return TagEstimate{
+		EPC:       tag.EPC,
+		Azimuth:   pk.Azimuth,
+		Polar:     pk.Polar,
+		Power:     pk.Power,
+		Snapshots: len(selected),
+	}, nil
+}
+
+// orderTags returns the registered tags that have observations, in a
+// deterministic order (by EPC).
+func orderTags(registered []SpinningTag, obs Observations) []SpinningTag {
+	var present []SpinningTag
+	for _, t := range registered {
+		if len(obs[t.EPC]) > 0 {
+			present = append(present, t)
+		}
+	}
+	sort.Slice(present, func(i, j int) bool {
+		return present[i].EPC.String() < present[j].EPC.String()
+	})
+	return present
+}
+
+// solvePass2D runs one estimate-and-intersect pass.
+func (l *Locator) solvePass2D(present []SpinningTag, selected map[string][]phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec2) ([]TagEstimate, geom.Vec2, error) {
+	var ests []TagEstimate
+	var bearings []locate.Bearing2D
+	for _, tag := range present {
+		est, err := l.estimate2D(tag, selected[tag.EPC.String()], kind, correctAgainst)
+		if err != nil {
+			return nil, geom.Vec2{}, err
+		}
+		ests = append(ests, est)
+		bearings = append(bearings, locate.Bearing2D{
+			Origin:  tag.Disk.Center.XY(),
+			Azimuth: est.Azimuth,
+			Weight:  est.Power,
+		})
+	}
+	pos, err := locate.Solve2D(bearings)
+	if err != nil {
+		return nil, geom.Vec2{}, err
+	}
+	return ests, pos, nil
+}
+
+// Locate2D estimates the reader position in the plane from the observations
+// of two or more registered spinning tags. When orientation calibrations are
+// available it runs two passes: an uncorrected solve provides the coarse
+// position the per-snapshot orientations are computed against, then the
+// corrected snapshots are solved again (§III-B's Step 2 needs a direction,
+// which only exists after a first estimate).
+func (l *Locator) Locate2D(registered []SpinningTag, obs Observations) (Result2D, error) {
+	present, selected, err := l.selectAll(registered, obs)
+	if err != nil {
+		return Result2D{}, err
+	}
+	bootstrapKind := l.cfg.kind()
+	if l.wantsOrientation(present) {
+		// The enhanced profile's likelihood weights are brittle under the
+		// *uncalibrated* orientation error (structured, not Gaussian), so
+		// the bootstrap pass always uses the traditional Q profile; the
+		// corrected passes use the configured profile.
+		bootstrapKind = spectrum.KindQ
+	}
+	ests, pos, err := l.solvePass2D(present, selected, bootstrapKind, nil)
+	if err != nil {
+		return Result2D{}, err
+	}
+	if l.wantsOrientation(present) {
+		// Iterate: a better position estimate gives more accurate
+		// per-snapshot orientations, which gives a better position.
+		// Convergence is fast; 1 cm of position movement changes ρ by
+		// well under a degree at operating distances.
+		for pass := 0; pass < 3; pass++ {
+			coarse := pos
+			ests, pos, err = l.solvePass2D(present, selected, l.cfg.kind(), &coarse)
+			if err != nil {
+				return Result2D{}, err
+			}
+			if pos.DistanceTo(coarse) < 0.01 {
+				break
+			}
+		}
+	}
+	return Result2D{Position: pos, Bearings: ests}, nil
+}
+
+// selectAll validates and channel-filters every present tag's snapshots.
+func (l *Locator) selectAll(registered []SpinningTag, obs Observations) ([]SpinningTag, map[string][]phase.Snapshot, error) {
+	present := orderTags(registered, obs)
+	if len(present) < 2 {
+		return nil, nil, ErrTooFewTags
+	}
+	selected := make(map[string][]phase.Snapshot, len(present))
+	for _, tag := range present {
+		snaps, err := l.selectSnapshots(obs[tag.EPC])
+		if err != nil {
+			return nil, nil, fmt.Errorf("tag %s: %w", tag.EPC, err)
+		}
+		selected[tag.EPC.String()] = snaps
+	}
+	return present, selected, nil
+}
+
+// wantsOrientation reports whether a correction pass would change anything.
+func (l *Locator) wantsOrientation(present []SpinningTag) bool {
+	if l.cfg.DisableOrientation {
+		return false
+	}
+	for _, tag := range present {
+		if tag.Orientation != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// solvePass3D runs one estimate-and-triangulate pass.
+func (l *Locator) solvePass3D(present []SpinningTag, selected map[string][]phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec3) ([]TagEstimate, []locate.Candidate, error) {
+	var ests []TagEstimate
+	var bearings []locate.Bearing3D
+	for _, tag := range present {
+		est, err := l.estimate3D(tag, selected[tag.EPC.String()], kind, correctAgainst)
+		if err != nil {
+			return nil, nil, err
+		}
+		ests = append(ests, est)
+		bearings = append(bearings, locate.Bearing3D{
+			Origin:  tag.Disk.Center,
+			Azimuth: est.Azimuth,
+			Polar:   est.Polar,
+			Weight:  est.Power,
+		})
+	}
+	cands, err := locate.Solve3D(bearings, locate.Options3D{Policy: locate.ZKeepBoth})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ests, cands, nil
+}
+
+// Locate3D estimates the reader position in space from the observations of
+// two or more registered spinning tags, with the same two-pass orientation
+// handling as Locate2D.
+func (l *Locator) Locate3D(registered []SpinningTag, obs Observations) (Result3D, error) {
+	present, selected, err := l.selectAll(registered, obs)
+	if err != nil {
+		return Result3D{}, err
+	}
+	bootstrapKind := l.cfg.kind()
+	if l.wantsOrientation(present) {
+		bootstrapKind = spectrum.KindQ // see Locate2D
+	}
+	ests, cands, err := l.solvePass3D(present, selected, bootstrapKind, nil)
+	if err != nil {
+		return Result3D{}, err
+	}
+	if l.wantsOrientation(present) {
+		// The orientation ρ is (to first order) insensitive to the sign
+		// of z, so correcting against the preferred candidate is safe
+		// even before the mirror ambiguity is resolved. Iterate as in 2D.
+		for pass := 0; pass < 3; pass++ {
+			coarse := cands[0].Position
+			ests, cands, err = l.solvePass3D(present, selected, l.cfg.kind(), &coarse)
+			if err != nil {
+				return Result3D{}, err
+			}
+			if cands[0].Position.DistanceTo(coarse) < 0.01 {
+				break
+			}
+		}
+	}
+	var res Result3D
+	res.Bearings = ests
+	best, mirror := cands[0], cands[1]
+	if l.cfg.ZPolicy == locate.ZPreferNonPositive && best.Position.Z > 0 ||
+		(l.cfg.ZPolicy == 0 || l.cfg.ZPolicy == locate.ZPreferNonNegative) && best.Position.Z < 0 {
+		best, mirror = mirror, best
+	}
+	res.Position = best.Position
+	res.Mirror = mirror.Position
+	res.ZSpread = best.ZSpread
+	return res, nil
+}
+
+// Diagnosis reports how well a tag's snapshots fit its registered disk
+// geometry. Operators use it to catch registry mistakes — a wrong angular
+// velocity, radius, or phase reference makes the angle spectrum incoherent
+// long before it shows up as a silently wrong position.
+type Diagnosis struct {
+	// EPC identifies the tag.
+	EPC tags.EPC
+	// Snapshots is how many reads were usable.
+	Snapshots int
+	// PeakPower is the Q-profile peak (1.0 = perfectly coherent stack).
+	PeakPower float64
+	// Coherent reports whether the fit clears CoherenceThreshold.
+	Coherent bool
+}
+
+// CoherenceThreshold is the Q-profile peak power below which a registration
+// is considered inconsistent with the measurements. A correct geometry
+// under nominal noise scores ≈e^(−σ²/2) ≈ 0.95; mis-registered kinematics
+// scatter the phasors toward ~1/√n.
+const CoherenceThreshold = 0.6
+
+// ValidateRegistration checks one registered tag against a snapshot series.
+// It uses the Q profile: unlike R it has no weighting that could mask an
+// incoherent stack.
+func (l *Locator) ValidateRegistration(tag SpinningTag, snaps []phase.Snapshot) (Diagnosis, error) {
+	selected, err := l.selectSnapshots(snaps)
+	if err != nil {
+		return Diagnosis{}, fmt.Errorf("tag %s: %w", tag.EPC, err)
+	}
+	params := spectrum.Params{Disk: tag.Disk, Sigma: l.cfg.Sigma}
+	_, power, err := spectrum.FindPeak2D(selected, params, spectrum.KindQ, l.cfg.Search)
+	if err != nil {
+		return Diagnosis{}, fmt.Errorf("tag %s: %w", tag.EPC, err)
+	}
+	return Diagnosis{
+		EPC:       tag.EPC,
+		Snapshots: len(selected),
+		PeakPower: power,
+		Coherent:  power >= CoherenceThreshold,
+	}, nil
+}

@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/testbed"
+)
+
+// TestDebugBiasSources isolates systematic bearing-error sources. Diagnostic
+// only; run with -v.
+func TestDebugBiasSources(t *testing.T) {
+	cases := []struct {
+		name        string
+		orientation float64 // channel injection scale
+		noise       float64
+		calibrate   bool
+	}{
+		{"clean-no-orient-no-noise", 0, 0, false},
+		{"noise-only", 0, 0.1, false},
+		{"orient-only-uncal", 1, 0, false},
+		{"orient-only-cal", 1, 0, true},
+		{"full-cal", 1, 0.1, true},
+	}
+	target := geom.V3(-1.8, 1.4, 0)
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(42))
+		sc := testbed.DefaultScenario(0, rng)
+		sc.Channel.OrientationEffect = tc.orientation
+		sc.Channel.PhaseNoiseStd = tc.noise
+		sc.PlaceReader(target)
+		registered := []core.SpinningTag(nil)
+		var err error
+		if tc.calibrate {
+			registered, err = sc.CalibratedSpinningTags(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		col, err := sc.Collect(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if registered == nil {
+			registered = col.Registered
+		}
+		res, err := core.NewLocator(core.Config{}).Locate2D(registered, col.Obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range res.Bearings {
+			var diskCenter geom.Vec3
+			for _, r := range registered {
+				if r.EPC == b.EPC {
+					diskCenter = r.Disk.Center
+				}
+			}
+			want := target.Sub(diskCenter).Azimuth()
+			t.Logf("%-26s tag%d err=%.3f°", tc.name, i,
+				geom.Degrees(geom.AngleDistance(b.Azimuth, want)))
+		}
+		t.Logf("%-26s pos err=%.1fcm", tc.name, res.Position.DistanceTo(target.XY())*100)
+	}
+}

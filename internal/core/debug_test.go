@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/testbed"
+)
+
+// TestDebugBearingErrors is a diagnostic that prints per-tag azimuth errors;
+// it never fails. Run with -v to inspect.
+func TestDebugBearingErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sc := testbed.DefaultScenario(0, rng)
+	target := geom.V3(-1.8, 1.4, 0)
+	sc.PlaceReader(target)
+	registered, err := sc.CalibratedSpinningTags(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := sc.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []core.Config{{}, {DisableOrientation: true}} {
+		res, err := core.NewLocator(cfg).Locate2D(registered, col.Obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range res.Bearings {
+			var diskCenter geom.Vec3
+			for _, r := range registered {
+				if r.EPC == b.EPC {
+					diskCenter = r.Disk.Center
+				}
+			}
+			want := target.Sub(diskCenter).Azimuth()
+			t.Logf("disableOrient=%v tag %s: az=%.3f° want=%.3f° err=%.3f° n=%d",
+				cfg.DisableOrientation, b.EPC.String()[:6],
+				geom.Degrees(b.Azimuth), geom.Degrees(want),
+				geom.Degrees(geom.AngleDistance(b.Azimuth, want)), b.Snapshots)
+		}
+		t.Logf("disableOrient=%v pos=%v err=%.1fcm", cfg.DisableOrientation,
+			res.Position, res.Position.DistanceTo(target.XY())*100)
+	}
+}

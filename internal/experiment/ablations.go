@@ -1,0 +1,308 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/channel"
+	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/mathx"
+	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/spectrum"
+	"github.com/tagspin/tagspin/internal/spindisk"
+	"github.com/tagspin/tagspin/internal/testbed"
+)
+
+// RunA1 sweeps the R-profile weight σ: too small over-trusts the model and
+// kills honest snapshots, too large degrades toward Q.
+func RunA1(opts Options) (Result, error) {
+	n := opts.trials(15)
+	res := Result{
+		ID:     "A1",
+		Title:  "Ablation: R-profile weight σ",
+		Values: map[string]float64{},
+	}
+	var rows [][]string
+	for _, sigma := range []float64{0.05, 0.10, 0.15, 0.20, 0.30, 0.40} {
+		errs, err := runTrials(trialSetup{
+			locator: core.Config{Sigma: sigma},
+		}, n, opts.Seed+300)
+		if err != nil {
+			return Result{}, err
+		}
+		mean := mathx.Mean(errs.combined)
+		res.Values[fmt.Sprintf("mean@sigma%.2f", sigma)] = mean
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", sigma),
+			fmt.Sprintf("%.1f", mean*100),
+			fmt.Sprintf("%.1f", mathx.Percentile(errs.combined, 90)*100),
+		})
+	}
+	res.Lines = append(res.Lines, table(
+		[]string{"σ (rad)", "mean (cm)", "p90 (cm)"}, rows)...)
+	res.Lines = append(res.Lines, "(the channel's true per-read noise is σ = 0.1 rad)")
+	return res, nil
+}
+
+// RunA2 validates the coarse-to-fine peak search against exhaustive search:
+// same answer, far fewer profile evaluations.
+func RunA2(opts Options) (Result, error) {
+	rng := rand.New(rand.NewSource(opts.Seed + 301))
+	sc := testbed.DefaultScenario(0, rng)
+	sc.Installs = sc.Installs[:1]
+	sc.PlaceReader(geom.V3(-2.2, 1.3, 0))
+	col, err := sc.Collect(rng)
+	if err != nil {
+		return Result{}, err
+	}
+	snaps := col.Obs[sc.Installs[0].Tag.EPC]
+	phase.SortByTime(snaps)
+	params := spectrum.Params{Disk: sc.Installs[0].Disk}
+
+	const rounds = 20
+	var maxDiff float64
+	start := time.Now()
+	var fastAz float64
+	for i := 0; i < rounds; i++ {
+		fastAz, _, err = spectrum.FindPeak2D(snaps, params, spectrum.KindR, spectrum.SearchOptions{})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	fastDur := time.Since(start) / rounds
+	start = time.Now()
+	slowAz, _, err := spectrum.ExhaustivePeak2D(snaps, params, spectrum.KindR, geom.Radians(0.02))
+	if err != nil {
+		return Result{}, err
+	}
+	slowDur := time.Since(start)
+	maxDiff = geom.Degrees(geom.AngleDistance(fastAz, slowAz))
+
+	res := Result{
+		ID:    "A2",
+		Title: "Ablation: coarse-to-fine vs exhaustive search",
+		Values: map[string]float64{
+			"angleDiffDeg": maxDiff,
+			"speedup":      float64(slowDur) / float64(fastDur),
+		},
+	}
+	res.Lines = append(res.Lines,
+		fmt.Sprintf("coarse-to-fine: %.3f ms; exhaustive @0.02°: %.1f ms; speedup %.0f×",
+			float64(fastDur)/1e6, float64(slowDur)/1e6, res.Values["speedup"]),
+		fmt.Sprintf("azimuth difference: %.3f° (both land on the same main lobe; small offsets", maxDiff),
+		" reflect noise-level plateau structure near the peak)")
+	return res, nil
+}
+
+// RunA3 sweeps the interrogation rate: more snapshots per rotation, lower
+// error, with diminishing returns.
+func RunA3(opts Options) (Result, error) {
+	n := opts.trials(15)
+	res := Result{
+		ID:     "A3",
+		Title:  "Ablation: read rate vs accuracy",
+		Values: map[string]float64{},
+	}
+	var rows [][]string
+	for _, rate := range []float64{10, 20, 40, 80, 160} {
+		r := rate
+		errs, err := runTrials(trialSetup{
+			locator: core.Config{MinSnapshots: 6},
+			modify:  func(sc *testbed.Scenario) { sc.ReadRateHz = r },
+		}, n, opts.Seed+302)
+		if err != nil {
+			return Result{}, err
+		}
+		mean := mathx.Mean(errs.combined)
+		res.Values[fmt.Sprintf("mean@%.0fHz", r)] = mean
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", r),
+			fmt.Sprintf("%.1f", mean*100),
+			fmt.Sprintf("%.1f", mathx.Percentile(errs.combined, 90)*100),
+		})
+	}
+	res.Lines = append(res.Lines, table(
+		[]string{"attempts/s", "mean (cm)", "p90 (cm)"}, rows)...)
+	return res, nil
+}
+
+// RunA4 sweeps multipath strength: image-method walls with growing
+// reflection coefficients bias the phase model and degrade accuracy
+// gracefully.
+func RunA4(opts Options) (Result, error) {
+	n := opts.trials(15)
+	res := Result{
+		ID:     "A4",
+		Title:  "Ablation: multipath strength",
+		Values: map[string]float64{},
+	}
+	var rows [][]string
+	for _, gamma := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		g := gamma
+		errs, err := runTrials(trialSetup{
+			modify: func(sc *testbed.Scenario) {
+				if g == 0 {
+					return
+				}
+				sc.Channel.Reflectors = []channel.Reflector{
+					{Point: geom.V3(0, 3.8, 0), Normal: geom.V3(0, -1, 0), Coefficient: -g},
+					{Point: geom.V3(-3.3, 0, 0), Normal: geom.V3(1, 0, 0), Coefficient: -g},
+				}
+			},
+			// Keep the reader ≥1 m off the walls (as T2 does): standing
+			// on a wall makes the image path degenerate, which is a
+			// deployment error, not a multipath result.
+			placeReader: func(rng *rand.Rand) geom.Vec3 {
+				for {
+					p := placement(rng, 0)
+					if p.XY().Norm() <= 2.6 {
+						return p
+					}
+				}
+			},
+		}, n, opts.Seed+303)
+		if err != nil {
+			return Result{}, err
+		}
+		mean := mathx.Mean(errs.combined)
+		res.Values[fmt.Sprintf("mean@gamma%.1f", g)] = mean
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", g),
+			fmt.Sprintf("%.1f", mean*100),
+			fmt.Sprintf("%.1f", mathx.Percentile(errs.combined, 90)*100),
+		})
+	}
+	res.Lines = append(res.Lines, table(
+		[]string{"|Γ| per wall", "mean (cm)", "p90 (cm)"}, rows)...)
+	return res, nil
+}
+
+// RunA5 sweeps the number of disks: redundant bearings fused by weighted
+// least squares shrink the error beyond the paper's two-disk setup.
+func RunA5(opts Options) (Result, error) {
+	n := opts.trials(15)
+	res := Result{
+		ID:     "A5",
+		Title:  "Ablation: number of disks",
+		Values: map[string]float64{},
+	}
+	// Candidate centers: a line plus offsets so extra disks add geometry.
+	centers := []geom.Vec3{
+		{X: -0.25}, {X: 0.25}, {X: 0, Y: -0.35}, {X: -0.5, Y: -0.2}, {X: 0.5, Y: -0.2},
+	}
+	var rows [][]string
+	for count := 2; count <= 5; count++ {
+		k := count
+		errs, err := runTrials(trialSetup{
+			modify: func(sc *testbed.Scenario) {
+				rng := rand.New(rand.NewSource(opts.Seed + 500 + int64(k)))
+				base := sc.Installs[0]
+				sc.Installs = sc.Installs[:0]
+				for i := 0; i < k; i++ {
+					in := base
+					in.Tag = newDefaultTag(rng)
+					in.Disk = spindisk.Disk{
+						Center: centers[i],
+						Radius: 0.10,
+						Omega:  math.Pi,
+						Theta0: float64(i) * math.Pi / 5,
+					}
+					sc.Installs = append(sc.Installs, in)
+				}
+			},
+		}, n, opts.Seed+304)
+		if err != nil {
+			return Result{}, err
+		}
+		mean := mathx.Mean(errs.combined)
+		res.Values[fmt.Sprintf("mean@%ddisks", k)] = mean
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.1f", mean*100),
+			fmt.Sprintf("%.1f", mathx.Percentile(errs.combined, 90)*100),
+		})
+	}
+	res.Lines = append(res.Lines, table(
+		[]string{"disks", "mean (cm)", "p90 (cm)"}, rows)...)
+	res.Lines = append(res.Lines,
+		"(beyond the paper: extra disks fuse by weighted least squares, Eqn. 9 generalized)")
+	return res, nil
+}
+
+// RunA6 compares Definition 4.1's literal first-snapshot reference against
+// the robust common-offset-cancelling weights this implementation defaults
+// to (see spectrum.Params.LiteralReference).
+func RunA6(opts Options) (Result, error) {
+	n := opts.trials(20)
+	robust, err := runTrials(trialSetup{}, n, opts.Seed+305)
+	if err != nil {
+		return Result{}, err
+	}
+	literal, err := runTrials(trialSetup{
+		locator: core.Config{LiteralReference: true},
+	}, n, opts.Seed+305) // same seed: identical worlds
+	if err != nil {
+		return Result{}, err
+	}
+	mR, mL := mathx.Summarize(robust.combined), mathx.Summarize(literal.combined)
+	res := Result{
+		ID:    "A6",
+		Title: "Ablation: literal vs robust R reference",
+		Values: map[string]float64{
+			"meanRobust":  mR.Mean,
+			"meanLiteral": mL.Mean,
+			"ratio":       mL.Mean / mR.Mean,
+		},
+	}
+	res.Lines = append(res.Lines, table(summaryHeader("variant (cm)"), [][]string{
+		summaryRow("robust (default)", mR),
+		summaryRow("literal Definition 4.1", mL),
+	})...)
+	res.Lines = append(res.Lines,
+		fmt.Sprintf("the literal weights inherit the reference snapshot's noise; robust wins %.1f×",
+			res.Values["ratio"]))
+	return res, nil
+}
+
+// RunA7 sweeps impulsive interference: a fraction of reads reports garbage
+// phase (decode glitches, capture collisions). This is the regime the
+// enhanced profile R was designed for — its likelihood weights discard the
+// outliers while Q's uniform phasor sum absorbs them.
+func RunA7(opts Options) (Result, error) {
+	n := opts.trials(15)
+	res := Result{
+		ID:     "A7",
+		Title:  "Ablation: impulsive interference, Q vs R",
+		Values: map[string]float64{},
+	}
+	var rows [][]string
+	for _, frac := range []float64{0, 0.05, 0.10, 0.20, 0.30} {
+		f := frac
+		means := map[spectrum.Kind]float64{}
+		for _, kind := range []spectrum.Kind{spectrum.KindQ, spectrum.KindR} {
+			errs, err := runTrials(trialSetup{
+				locator: core.Config{Kind: kind},
+				modify:  func(sc *testbed.Scenario) { sc.Channel.OutlierProb = f },
+			}, n, opts.Seed+306)
+			if err != nil {
+				return Result{}, err
+			}
+			means[kind] = mathx.Mean(errs.combined)
+		}
+		res.Values[fmt.Sprintf("meanQ@%.2f", f)] = means[spectrum.KindQ]
+		res.Values[fmt.Sprintf("meanR@%.2f", f)] = means[spectrum.KindR]
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", f*100),
+			fmt.Sprintf("%.1f", means[spectrum.KindQ]*100),
+			fmt.Sprintf("%.1f", means[spectrum.KindR]*100),
+		})
+	}
+	res.Lines = append(res.Lines, table(
+		[]string{"outlier reads", "Q mean (cm)", "R mean (cm)"}, rows)...)
+	res.Lines = append(res.Lines,
+		"(R's Gaussian weights suppress garbage reads; Q sums them coherently)")
+	return res, nil
+}

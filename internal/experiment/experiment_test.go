@@ -1,0 +1,209 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick returns reduced-trial options for fast test runs.
+func quick() Options { return Options{Seed: 1, Trials: 6} }
+
+func TestAllRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	seen := make(map[string]bool)
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			if seen[r.ID] {
+				t.Fatalf("duplicate experiment id %s", r.ID)
+			}
+			seen[r.ID] = true
+			res, err := r.Run(Options{Seed: 2, Trials: 4})
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if res.ID != r.ID {
+				t.Errorf("result id %q != runner id %q", res.ID, r.ID)
+			}
+			if len(res.Lines) == 0 {
+				t.Errorf("%s produced no output", r.ID)
+			}
+			if len(res.Values) == 0 {
+				t.Errorf("%s produced no metrics", r.ID)
+			}
+			if !strings.Contains(res.Text(), r.ID) {
+				t.Errorf("%s text rendering missing id", r.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	r, err := ByID("f10a")
+	if err != nil || r.ID != "F10a" {
+		t.Errorf("ByID = %+v, %v", r, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestF4CalibrationReducesResidual(t *testing.T) {
+	res, err := RunF4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["rmsdAfterOrientation"] >= res.Values["rmsdAfterDiversity"] {
+		t.Errorf("orientation calibration did not reduce residual: %+v", res.Values)
+	}
+	if res.Values["diversityConfidence"] < 0.8 {
+		t.Errorf("diversity estimate confidence %v too low", res.Values["diversityConfidence"])
+	}
+}
+
+func TestF5OrientationAmplitude(t *testing.T) {
+	res, err := RunF5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := res.Values["peakToPeakRad"]
+	if pp < 0.3 || pp > 1.5 {
+		t.Errorf("peak-to-peak %v rad outside the ≈0.7 rad regime", pp)
+	}
+}
+
+func TestF6RSharperThanQ(t *testing.T) {
+	res, err := RunF6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["RSharpness"] <= res.Values["QSharpness"] {
+		t.Errorf("R not sharper than Q: %+v", res.Values)
+	}
+	if res.Values["QPeakErrDeg"] > 3 || res.Values["RPeakErrDeg"] > 3 {
+		t.Errorf("profile peaks stray from truth: %+v", res.Values)
+	}
+}
+
+func TestF8MirrorPeaks(t *testing.T) {
+	res, err := RunF8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["mirrorPeaks"] < 2 {
+		t.Errorf("expected the two z-mirror peaks, got %v", res.Values["mirrorPeaks"])
+	}
+	if res.Values["RPeakAzErrDeg"] > 3 {
+		t.Errorf("R 3D azimuth error %v°", res.Values["RPeakAzErrDeg"])
+	}
+}
+
+func TestF10aAccuracyBand(t *testing.T) {
+	res, err := RunF10a(Options{Seed: 1, Trials: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["meanCombined"] > 0.15 {
+		t.Errorf("2D mean error %.1f cm implausibly high", res.Values["meanCombined"]*100)
+	}
+	if res.Values["meanCombined"] <= 0 {
+		t.Error("zero error is implausible with noise on")
+	}
+}
+
+func TestF10bAccuracyBand(t *testing.T) {
+	res, err := RunF10b(Options{Seed: 1, Trials: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["meanCombined"] > 0.35 {
+		t.Errorf("3D mean error %.1f cm implausibly high", res.Values["meanCombined"]*100)
+	}
+}
+
+func TestF11bCalibrationHelps(t *testing.T) {
+	res, err := RunF11b(Options{Seed: 1, Trials: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["improvement"] <= 1 {
+		t.Errorf("orientation calibration should improve accuracy: %+v", res.Values)
+	}
+}
+
+func TestF12cModelsBehaveAlike(t *testing.T) {
+	res, err := RunF12c(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["spread"] > 0.08 {
+		t.Errorf("model spread %.1f cm too large", res.Values["spread"]*100)
+	}
+}
+
+func TestT2TagspinWins(t *testing.T) {
+	res, err := RunT2(Options{Seed: 1, Trials: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{"LandMarc", "AntLoc", "PinIt", "BackPos-4"} {
+		if res.Values["factor@"+method] <= 1 {
+			t.Errorf("%s beat Tagspin: factor %v", method, res.Values["factor@"+method])
+		}
+	}
+	// BackPos with the dense calibrated anchor grid is legitimately
+	// competitive in simulation (no RF-chain drift); it must still produce
+	// a sane result.
+	if res.Values["mean@BackPos-16"] <= 0 || res.Values["mean@BackPos-16"] > 2 {
+		t.Errorf("BackPos-16 mean %v implausible", res.Values["mean@BackPos-16"])
+	}
+}
+
+func TestA2SearchEquivalence(t *testing.T) {
+	res, err := RunA2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["angleDiffDeg"] > 0.2 {
+		t.Errorf("coarse-to-fine differs from exhaustive by %v°", res.Values["angleDiffDeg"])
+	}
+	if res.Values["speedup"] < 2 {
+		t.Errorf("speedup %v implausibly low", res.Values["speedup"])
+	}
+}
+
+func TestA6RobustBeatsLiteral(t *testing.T) {
+	res, err := RunA6(Options{Seed: 1, Trials: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["ratio"] <= 1 {
+		t.Errorf("robust weights should beat the literal reference: %+v", res.Values)
+	}
+}
+
+func TestX1VerticalDiskResolvesMirror(t *testing.T) {
+	res, err := RunX1(Options{Seed: 1, Trials: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["signAccuracy"] < 0.9 {
+		t.Errorf("vertical disk sign accuracy %v", res.Values["signAccuracy"])
+	}
+	if res.Values["meanVertical"] >= res.Values["meanDeadSpace"] {
+		t.Errorf("vertical disk did not beat the dead-space rule: %+v", res.Values)
+	}
+}
+
+func TestA7RBeatsQUnderOutliers(t *testing.T) {
+	res, err := RunA7(Options{Seed: 1, Trials: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["meanR@0.20"] >= res.Values["meanQ@0.20"] {
+		t.Errorf("R should beat Q at 20%% outliers: R %v vs Q %v",
+			res.Values["meanR@0.20"], res.Values["meanQ@0.20"])
+	}
+}

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/tagspin/tagspin/internal/baseline"
+	"github.com/tagspin/tagspin/internal/channel"
+	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/mathx"
+	"github.com/tagspin/tagspin/internal/tags"
+	"github.com/tagspin/tagspin/internal/testbed"
+)
+
+// RunT1 reproduces Table I: the tag model catalogue.
+func RunT1(Options) (Result, error) {
+	res := Result{
+		ID:     "T1",
+		Title:  "Tag model catalogue (Table I)",
+		Values: map[string]float64{},
+	}
+	var rows [][]string
+	for i, m := range tags.Catalog() {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			m.SKU, m.Name, m.Company, m.Chip,
+			fmt.Sprintf("%.1f × %.1f", m.SizeMM[0], m.SizeMM[1]),
+			fmt.Sprintf("%d", m.Quantity),
+		})
+		res.Values["qty@"+m.Name] = float64(m.Quantity)
+	}
+	res.Values["models"] = float64(len(tags.Catalog()))
+	res.Lines = append(res.Lines, table(
+		[]string{"#", "model", "name", "company", "chip", "size (mm²)", "qty"}, rows)...)
+	res.Lines = append(res.Lines,
+		"(part numbers and sizes reconstructed from Alien's product line; the OCR of",
+		" the paper lost the exact digits — see EXPERIMENTS.md)")
+	return res, nil
+}
+
+// officeWalls returns the multipath environment for the baseline
+// comparison: two walls of the 6 m × 9 m office, enclosing every placement
+// (normals point into the room). |Γ| = 0.08 models drywall seen through the
+// reader's circular polarization, which attenuates odd-bounce reflections.
+func officeWalls() []channel.Reflector {
+	return []channel.Reflector{
+		{Point: geom.V3(0, 3.8, 0), Normal: geom.V3(0, -1, 0), Coefficient: -0.08},
+		{Point: geom.V3(-3.3, 0, 0), Normal: geom.V3(1, 0, 0), Coefficient: -0.08},
+	}
+}
+
+// RunT2 reproduces the §VII-B comparison: Tagspin versus LandMarc, AntLoc,
+// PinIt and BackPos, all run against the same multipath office and the same
+// reader placements.
+func RunT2(opts Options) (Result, error) {
+	n := opts.trials(20)
+	rng := rand.New(rand.NewSource(opts.Seed + 200))
+	room := baseline.Rect{MinX: -3, MinY: -3, MaxX: 3, MaxY: 3}
+	env, err := baseline.DefaultEnvironment(room, 4, 4, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	env.Channel.Reflectors = officeWalls()
+	methods := []baseline.Method{
+		&baseline.LandMarc{Env: env},
+		&baseline.AntLoc{Env: env},
+		&baseline.PinIt{Env: env},
+		// BackPos twice: with its published 4-anchor budget (fails outside
+		// the anchor hull, its documented constraint) and with the full
+		// calibrated 16-tag grid (stronger than its published numbers
+		// because the simulator has no RF-chain drift) — see EXPERIMENTS.md.
+		&baseline.BackPos{Env: env, AnchorCount: 4, Label: "BackPos-4"},
+		&baseline.BackPos{Env: env, Label: "BackPos-16"},
+	}
+	for _, m := range methods {
+		if err := m.Train(rng); err != nil {
+			return Result{}, fmt.Errorf("train %s: %w", m.Name(), err)
+		}
+	}
+
+	// Tagspin runs in the same multipath channel.
+	sc := testbed.DefaultScenario(0, rng)
+	sc.Channel.Reflectors = officeWalls()
+	sc.PlaceReader(geom.V3(0, 2.5, 0))
+	registered, err := sc.CalibratedSpinningTags(rng)
+	if err != nil {
+		return Result{}, err
+	}
+	loc := core.NewLocator(core.Config{})
+
+	// Shared placements, kept inside the room.
+	targets := make([]geom.Vec3, 0, n)
+	for len(targets) < n {
+		p := placement(rng, 0)
+		if p.XY().Norm() <= 2.6 && room.Contains(p.XY()) {
+			targets = append(targets, p)
+		}
+	}
+	errsByMethod := map[string][]float64{}
+	for _, target := range targets {
+		sc.PlaceReader(target)
+		col, err := sc.Collect(rng)
+		if err != nil {
+			return Result{}, err
+		}
+		res2d, err := loc.Locate2D(registered, col.Obs)
+		if err != nil {
+			return Result{}, err
+		}
+		errsByMethod["Tagspin"] = append(errsByMethod["Tagspin"],
+			res2d.Position.DistanceTo(target.XY()))
+		for _, m := range methods {
+			ant := sc.Antenna // same physical antenna unit as Tagspin's target
+			ant.Position = target
+			got, err := m.Locate(ant, rng)
+			if err != nil {
+				// A miss (e.g. no signal) counts as a room-diagonal error,
+				// the worst case — baselines must not silently skip
+				// hard placements.
+				errsByMethod[m.Name()] = append(errsByMethod[m.Name()],
+					math.Hypot(room.MaxX-room.MinX, room.MaxY-room.MinY))
+				continue
+			}
+			errsByMethod[m.Name()] = append(errsByMethod[m.Name()], got.DistanceTo(target.XY()))
+		}
+	}
+
+	res := Result{
+		ID:     "T2",
+		Title:  "Baseline comparison (§VII-B)",
+		Values: map[string]float64{"trials": float64(n)},
+	}
+	tagspinMean := mathx.Mean(errsByMethod["Tagspin"])
+	order := []string{"Tagspin", "LandMarc", "AntLoc", "PinIt", "BackPos-4", "BackPos-16"}
+	var rows [][]string
+	for _, name := range order {
+		s := mathx.Summarize(errsByMethod[name])
+		res.Values["mean@"+name] = s.Mean
+		res.Values["median@"+name] = s.Median
+		factor := s.Mean / tagspinMean
+		res.Values["factor@"+name] = factor
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.1f", s.Mean*100),
+			fmt.Sprintf("%.1f", s.Median*100),
+			fmt.Sprintf("%.1f", s.Std*100),
+			fmt.Sprintf("%.1f", s.P90*100),
+			fmt.Sprintf("%.1f×", factor),
+		})
+	}
+	res.Lines = append(res.Lines, table(
+		[]string{"method", "mean (cm)", "median (cm)", "std (cm)", "p90 (cm)", "vs Tagspin"}, rows)...)
+	res.Lines = append(res.Lines,
+		fmt.Sprintf("environment: office with two Γ=-0.08 walls (CP-rejected drywall); %d shared placements", n),
+		"published means for context: LandMarc ≈100 cm, PinIt ≈11 cm, BackPos ≈13 cm",
+		"(the paper quotes published numbers; here every method runs in-simulator)")
+	return res, nil
+}

@@ -1,0 +1,196 @@
+// Package gen2 simulates the EPC Class-1 Generation-2 inventory MAC — the
+// slotted-ALOHA singulation protocol with the adaptive Q algorithm — that
+// produced the paper's read timing. The reader issues Query/QueryRep
+// commands; each participating tag draws a random slot; a slot with exactly
+// one reply singulates that tag (an EPC read), colliding and idle slots
+// burn shorter amounts of air time; and the reader adapts the frame-size
+// exponent Q toward one reply per slot.
+//
+// Tagspin itself never inspects MAC details — it only sees timestamps — but
+// the MAC shapes those timestamps: reads arrive irregularly, rates fall as
+// the tag population grows, and per-tag read rates fluctuate with link
+// margin. testbed.Scenario can schedule its sessions through this package
+// instead of the uniform-rate default.
+package gen2
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Config sets the MAC parameters.
+type Config struct {
+	// InitialQ is the starting frame-size exponent; zero means 2 (a sane
+	// start for the handful of tags a Tagspin deployment carries).
+	InitialQ int
+	// AdaptiveQ enables the Q algorithm (Qfp ± C on collision/idle);
+	// when false the frame size stays fixed.
+	AdaptiveQ bool
+	// QStep is the Qfp adjustment constant C in (0.1, 0.5]; zero
+	// means 0.25.
+	QStep float64
+	// SuccessSlot is the air time of a singulation (RN16 + ACK + EPC);
+	// zero means 2.4 ms, typical of Miller-4 at 250 kHz BLF with a 96-bit
+	// EPC.
+	SuccessSlot time.Duration
+	// CollisionSlot is the air time wasted on a collided RN16; zero
+	// means 575 µs.
+	CollisionSlot time.Duration
+	// IdleSlot is the air time of an empty slot; zero means 150 µs.
+	IdleSlot time.Duration
+	// QueryOverhead is the extra air time of the Query that opens each
+	// round; zero means 250 µs.
+	QueryOverhead time.Duration
+}
+
+func (c Config) initialQ() int {
+	if c.InitialQ <= 0 {
+		return 2
+	}
+	if c.InitialQ > 15 {
+		return 15
+	}
+	return c.InitialQ
+}
+
+func (c Config) qStep() float64 {
+	if c.QStep <= 0 {
+		return 0.25
+	}
+	return c.QStep
+}
+
+func (c Config) successSlot() time.Duration {
+	if c.SuccessSlot <= 0 {
+		return 2400 * time.Microsecond
+	}
+	return c.SuccessSlot
+}
+
+func (c Config) collisionSlot() time.Duration {
+	if c.CollisionSlot <= 0 {
+		return 575 * time.Microsecond
+	}
+	return c.CollisionSlot
+}
+
+func (c Config) idleSlot() time.Duration {
+	if c.IdleSlot <= 0 {
+		return 150 * time.Microsecond
+	}
+	return c.IdleSlot
+}
+
+func (c Config) queryOverhead() time.Duration {
+	if c.QueryOverhead <= 0 {
+		return 250 * time.Microsecond
+	}
+	return c.QueryOverhead
+}
+
+// Read is one singulation event on the session timeline.
+type Read struct {
+	// Tag is the index (into the population passed to Run) of the tag
+	// that was singulated.
+	Tag int
+	// At is the session time of the EPC read.
+	At time.Duration
+}
+
+// Participation decides, per round and tag, whether the tag hears the
+// reader and replies — the power-dependent behaviour the channel model
+// owns. Returning false keeps the tag silent for that round.
+type Participation func(tag int, at time.Duration) bool
+
+// Simulator runs inventory rounds.
+type Simulator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New builds a Simulator.
+func New(cfg Config, rng *rand.Rand) (*Simulator, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("gen2: nil rng")
+	}
+	if cfg.InitialQ > 15 {
+		return nil, fmt.Errorf("gen2: initial Q %d exceeds the protocol maximum 15", cfg.InitialQ)
+	}
+	return &Simulator{cfg: cfg, rng: rng}, nil
+}
+
+// Run simulates inventory rounds over the session duration for a population
+// of tagCount tags and returns the time-ordered singulations. participate
+// may be nil (every tag always participates).
+//
+// Continuous-inventory behaviour is modelled: after a round ends (every tag
+// singulated or all slots exhausted), the reader immediately starts a new
+// round in which all tags participate again — which is how a reader keeps
+// re-reading the same spinning tags hundreds of times per session.
+func (s *Simulator) Run(duration time.Duration, tagCount int, participate Participation) ([]Read, error) {
+	if tagCount <= 0 {
+		return nil, fmt.Errorf("gen2: tag count %d", tagCount)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("gen2: non-positive duration %v", duration)
+	}
+	var reads []Read
+	now := time.Duration(0)
+	qfp := float64(s.cfg.initialQ())
+	for now < duration {
+		// One inventory round.
+		now += s.cfg.queryOverhead()
+		q := int(qfp + 0.5)
+		if q < 0 {
+			q = 0
+		}
+		if q > 15 {
+			q = 15
+		}
+		slots := 1 << q
+
+		// Tags that hear this round's Query draw slots.
+		pending := make([]int, 0, tagCount)
+		for tag := 0; tag < tagCount; tag++ {
+			if participate == nil || participate(tag, now) {
+				pending = append(pending, tag)
+			}
+		}
+		if len(pending) == 0 {
+			// Nothing in the field: burn an idle frame and retry.
+			now += time.Duration(slots) * s.cfg.idleSlot()
+			continue
+		}
+		slotOf := make(map[int][]int, slots)
+		for _, tag := range pending {
+			slot := s.rng.Intn(slots)
+			slotOf[slot] = append(slotOf[slot], tag)
+		}
+		for slot := 0; slot < slots && now < duration; slot++ {
+			occupants := slotOf[slot]
+			switch len(occupants) {
+			case 0:
+				now += s.cfg.idleSlot()
+				if s.cfg.AdaptiveQ {
+					qfp -= s.cfg.qStep()
+					if qfp < 0 {
+						qfp = 0
+					}
+				}
+			case 1:
+				now += s.cfg.successSlot()
+				reads = append(reads, Read{Tag: occupants[0], At: now})
+			default:
+				now += s.cfg.collisionSlot()
+				if s.cfg.AdaptiveQ {
+					qfp += s.cfg.qStep()
+					if qfp > 15 {
+						qfp = 15
+					}
+				}
+			}
+		}
+	}
+	return reads, nil
+}

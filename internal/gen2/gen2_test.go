@@ -1,0 +1,167 @@
+package gen2
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func sim(t *testing.T, cfg Config, seed int64) *Simulator {
+	t.Helper()
+	s, err := New(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := New(Config{InitialQ: 20}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("Q > 15 accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := sim(t, Config{}, 1)
+	if _, err := s.Run(time.Second, 0, nil); err == nil {
+		t.Error("zero tags accepted")
+	}
+	if _, err := s.Run(0, 2, nil); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestReadsAreOrderedAndBounded(t *testing.T) {
+	s := sim(t, Config{AdaptiveQ: true}, 2)
+	reads, err := s.Run(4*time.Second, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) == 0 {
+		t.Fatal("no reads")
+	}
+	for i, r := range reads {
+		if r.Tag < 0 || r.Tag >= 2 {
+			t.Fatalf("read %d: tag %d", i, r.Tag)
+		}
+		if r.At <= 0 || r.At > 4*time.Second+3*time.Millisecond {
+			t.Fatalf("read %d: time %v", i, r.At)
+		}
+		if i > 0 && r.At < reads[i-1].At {
+			t.Fatalf("reads out of order at %d", i)
+		}
+	}
+}
+
+func TestReadRateRegime(t *testing.T) {
+	// Two tags, adaptive Q: a Gen2 reader sees each of two lone tags some
+	// tens to a few hundred times per second.
+	s := sim(t, Config{AdaptiveQ: true}, 3)
+	reads, err := s.Run(4*time.Second, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTag := map[int]int{}
+	for _, r := range reads {
+		perTag[r.Tag]++
+	}
+	for tag, n := range perTag {
+		rate := float64(n) / 4
+		if rate < 30 || rate > 400 {
+			t.Errorf("tag %d rate %.0f/s outside the Gen2 regime", tag, rate)
+		}
+	}
+	// Both tags get read a comparable number of times.
+	if perTag[0] == 0 || perTag[1] == 0 {
+		t.Fatalf("starved tag: %+v", perTag)
+	}
+	ratio := float64(perTag[0]) / float64(perTag[1])
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("unfair singulation: %+v", perTag)
+	}
+}
+
+func TestRateFallsWithPopulation(t *testing.T) {
+	perTagRate := func(tags int) float64 {
+		s := sim(t, Config{AdaptiveQ: true}, 4)
+		reads, err := s.Run(4*time.Second, tags, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(len(reads)) / float64(tags) / 4
+	}
+	small, large := perTagRate(2), perTagRate(30)
+	if large >= small {
+		t.Errorf("per-tag rate should fall with population: 2 tags %.0f/s vs 30 tags %.0f/s", small, large)
+	}
+}
+
+func TestAdaptiveQBeatsFixedQForLargePopulations(t *testing.T) {
+	run := func(adaptive bool) int {
+		s := sim(t, Config{InitialQ: 1, AdaptiveQ: adaptive}, 5)
+		reads, err := s.Run(2*time.Second, 40, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(reads)
+	}
+	fixed, adaptive := run(false), run(true)
+	// A Q of 1 against 40 tags collides almost every slot; adaptation must
+	// claw throughput back.
+	if adaptive <= fixed {
+		t.Errorf("adaptive Q (%d reads) did not beat fixed tiny Q (%d reads)", adaptive, fixed)
+	}
+}
+
+func TestParticipationGatesReads(t *testing.T) {
+	s := sim(t, Config{AdaptiveQ: true}, 6)
+	// Tag 1 never participates (out of power range).
+	reads, err := s.Run(2*time.Second, 2, func(tag int, _ time.Duration) bool {
+		return tag == 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		if r.Tag != 0 {
+			t.Fatalf("silent tag was read: %+v", r)
+		}
+	}
+	if len(reads) == 0 {
+		t.Error("participating tag starved")
+	}
+}
+
+func TestAllSilentBurnsTimeWithoutReads(t *testing.T) {
+	s := sim(t, Config{}, 7)
+	reads, err := s.Run(100*time.Millisecond, 3, func(int, time.Duration) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 0 {
+		t.Errorf("reads from silent field: %d", len(reads))
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() []Read {
+		s := sim(t, Config{AdaptiveQ: true}, 8)
+		reads, err := s.Run(time.Second, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reads
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("read %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

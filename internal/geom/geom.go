@@ -1,0 +1,157 @@
+// Package geom provides the small amount of 2D/3D vector geometry Tagspin
+// needs: vectors, bearings, lines, and point-from-lines solvers.
+//
+// Conventions: distances are in meters, angles in radians. Azimuthal angles
+// are measured counter-clockwise from the +x axis in [0, 2π); polar angles
+// are measured from the horizontal plane toward +z in [-π/2, π/2].
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a point or direction in the horizontal plane.
+type Vec2 struct {
+	X float64
+	Y float64
+}
+
+// Vec3 is a point or direction in 3D space.
+type Vec3 struct {
+	X float64
+	Y float64
+	Z float64
+}
+
+// V2 builds a Vec2.
+func V2(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// V3 builds a Vec3.
+func V3(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + o.
+func (v Vec2) Add(o Vec2) Vec2 { return Vec2{X: v.X + o.X, Y: v.Y + o.Y} }
+
+// Sub returns v - o.
+func (v Vec2) Sub(o Vec2) Vec2 { return Vec2{X: v.X - o.X, Y: v.Y - o.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{X: v.X * s, Y: v.Y * s} }
+
+// Dot returns the dot product of v and o.
+func (v Vec2) Dot(o Vec2) float64 { return v.X*o.X + v.Y*o.Y }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// DistanceTo returns the Euclidean distance between two points.
+func (v Vec2) DistanceTo(o Vec2) float64 { return v.Sub(o).Norm() }
+
+// Bearing returns the azimuthal angle of v in [0, 2π).
+func (v Vec2) Bearing() float64 { return NormalizeAngle(math.Atan2(v.Y, v.X)) }
+
+// Unit returns the unit vector in the direction of v. The zero vector is
+// returned unchanged.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// String renders the vector with centimeter precision, for logs and errors.
+func (v Vec2) String() string { return fmt.Sprintf("(%.3f, %.3f)", v.X, v.Y) }
+
+// XY projects a Vec3 onto the horizontal plane.
+func (v Vec3) XY() Vec2 { return Vec2{X: v.X, Y: v.Y} }
+
+// Add returns v + o.
+func (v Vec3) Add(o Vec3) Vec3 { return Vec3{X: v.X + o.X, Y: v.Y + o.Y, Z: v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{X: v.X - o.X, Y: v.Y - o.Y, Z: v.Z - o.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{X: v.X * s, Y: v.Y * s, Z: v.Z * s} }
+
+// Dot returns the dot product of v and o.
+func (v Vec3) Dot(o Vec3) float64 { return v.X*o.X + v.Y*o.Y + v.Z*o.Z }
+
+// Cross returns the cross product v × o.
+func (v Vec3) Cross(o Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*o.Z - v.Z*o.Y,
+		Y: v.Z*o.X - v.X*o.Z,
+		Z: v.X*o.Y - v.Y*o.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// DistanceTo returns the Euclidean distance between two points.
+func (v Vec3) DistanceTo(o Vec3) float64 { return v.Sub(o).Norm() }
+
+// Unit returns the unit vector in the direction of v. The zero vector is
+// returned unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Azimuth returns the azimuthal angle of v's horizontal projection in [0, 2π).
+func (v Vec3) Azimuth() float64 { return v.XY().Bearing() }
+
+// Polar returns the elevation angle of v from the horizontal plane, in
+// [-π/2, π/2].
+func (v Vec3) Polar() float64 {
+	h := v.XY().Norm()
+	return math.Atan2(v.Z, h)
+}
+
+// String renders the vector with millimeter precision, for logs and errors.
+func (v Vec3) String() string { return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z) }
+
+// DirectionFromAngles converts an azimuth/polar angle pair back into a unit
+// direction vector. It is the inverse of (Azimuth, Polar) for unit vectors.
+func DirectionFromAngles(azimuth, polar float64) Vec3 {
+	ch := math.Cos(polar)
+	return Vec3{
+		X: ch * math.Cos(azimuth),
+		Y: ch * math.Sin(azimuth),
+		Z: math.Sin(polar),
+	}
+}
+
+// NormalizeAngle maps an angle to [0, 2π).
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// WrapToPi maps an angle to (-π, π].
+func WrapToPi(a float64) float64 {
+	a = math.Mod(a+math.Pi, 2*math.Pi)
+	if a <= 0 {
+		a += 2 * math.Pi
+	}
+	return a - math.Pi
+}
+
+// AngleDistance returns the absolute angular separation between two angles,
+// in [0, π].
+func AngleDistance(a, b float64) float64 { return math.Abs(WrapToPi(a - b)) }
+
+// Degrees converts radians to degrees.
+func Degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Radians converts degrees to radians.
+func Radians(deg float64) float64 { return deg * math.Pi / 180 }

@@ -1,0 +1,202 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVec2Arithmetic(t *testing.T) {
+	a, b := V2(1, 2), V2(3, -4)
+	if got := a.Add(b); got != V2(4, -2) {
+		t.Errorf("Add = %v, want (4,-2)", got)
+	}
+	if got := a.Sub(b); got != V2(-2, 6) {
+		t.Errorf("Sub = %v, want (-2,6)", got)
+	}
+	if got := a.Scale(2); got != V2(2, 4) {
+		t.Errorf("Scale = %v, want (2,4)", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v, want -5", got)
+	}
+	if got := b.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := V2(0, 3).DistanceTo(V2(4, 0)); got != 5 {
+		t.Errorf("DistanceTo = %v, want 5", got)
+	}
+}
+
+func TestVec2Bearing(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Vec2
+		want float64
+	}{
+		{"east", V2(1, 0), 0},
+		{"north", V2(0, 1), math.Pi / 2},
+		{"west", V2(-1, 0), math.Pi},
+		{"south", V2(0, -1), 3 * math.Pi / 2},
+		{"diagonal", V2(1, 1), math.Pi / 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Bearing(); !almostEqual(got, tt.want, eps) {
+				t.Errorf("Bearing(%v) = %v, want %v", tt.v, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVec2Unit(t *testing.T) {
+	u := V2(3, 4).Unit()
+	if !almostEqual(u.Norm(), 1, eps) {
+		t.Errorf("unit norm = %v, want 1", u.Norm())
+	}
+	if got := (Vec2{}).Unit(); got != (Vec2{}) {
+		t.Errorf("zero unit = %v, want zero", got)
+	}
+}
+
+func TestVec3Arithmetic(t *testing.T) {
+	a, b := V3(1, 2, 3), V3(-1, 0, 2)
+	if got := a.Add(b); got != V3(0, 2, 5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V3(2, 2, 1) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != -1+0+6 {
+		t.Errorf("Dot = %v, want 5", got)
+	}
+	if got := a.Scale(-1); got != V3(-1, -2, -3) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := V3(1, 2, 2).Norm(); got != 3 {
+		t.Errorf("Norm = %v, want 3", got)
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x, y, z := V3(1, 0, 0), V3(0, 1, 0), V3(0, 0, 1)
+	if got := x.Cross(y); got != z {
+		t.Errorf("x×y = %v, want z", got)
+	}
+	if got := y.Cross(z); got != x {
+		t.Errorf("y×z = %v, want x", got)
+	}
+	if got := z.Cross(x); got != y {
+		t.Errorf("z×x = %v, want y", got)
+	}
+}
+
+func TestVec3Angles(t *testing.T) {
+	v := V3(1, 1, math.Sqrt2)
+	if got := v.Azimuth(); !almostEqual(got, math.Pi/4, eps) {
+		t.Errorf("Azimuth = %v, want π/4", got)
+	}
+	if got := v.Polar(); !almostEqual(got, math.Pi/4, eps) {
+		t.Errorf("Polar = %v, want π/4", got)
+	}
+	down := V3(0, 0, -1)
+	if got := down.Polar(); !almostEqual(got, -math.Pi/2, eps) {
+		t.Errorf("Polar(down) = %v, want -π/2", got)
+	}
+}
+
+func TestDirectionFromAnglesRoundTrip(t *testing.T) {
+	f := func(azRaw, polRaw float64) bool {
+		az := NormalizeAngle(azRaw)
+		pol := math.Mod(polRaw, math.Pi/2) // keep away from the ±π/2 poles
+		d := DirectionFromAngles(az, pol)
+		if !almostEqual(d.Norm(), 1, 1e-9) {
+			return false
+		}
+		if !almostEqual(d.Polar(), pol, 1e-9) {
+			return false
+		}
+		// Azimuth is undefined at the poles; only check away from them.
+		if math.Abs(math.Cos(pol)) > 1e-6 {
+			return AngleDistance(d.Azimuth(), az) < 1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{5 * math.Pi, math.Pi},
+		{-7 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, tt := range tests {
+		if got := NormalizeAngle(tt.in); !almostEqual(got, tt.want, eps) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWrapToPi(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi / 2, -math.Pi / 2},
+		{2 * math.Pi, 0},
+		{-5 * math.Pi / 2, -math.Pi / 2},
+	}
+	for _, tt := range tests {
+		if got := WrapToPi(tt.in); !almostEqual(got, tt.want, eps) {
+			t.Errorf("WrapToPi(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWrapToPiProperties(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e12 {
+			return true
+		}
+		w := WrapToPi(a)
+		if w <= -math.Pi || w > math.Pi {
+			return false
+		}
+		// Wrapping preserves the angle modulo 2π.
+		return almostEqual(math.Mod(a-w, 2*math.Pi), 0, 1e-6) ||
+			almostEqual(math.Abs(math.Mod(a-w, 2*math.Pi)), 2*math.Pi, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDistance(t *testing.T) {
+	if got := AngleDistance(0.1, 2*math.Pi-0.1); !almostEqual(got, 0.2, eps) {
+		t.Errorf("AngleDistance across 0 = %v, want 0.2", got)
+	}
+	if got := AngleDistance(math.Pi/2, -math.Pi/2); !almostEqual(got, math.Pi, eps) {
+		t.Errorf("AngleDistance opposite = %v, want π", got)
+	}
+}
+
+func TestDegreesRadiansRoundTrip(t *testing.T) {
+	f := func(deg float64) bool {
+		if math.IsNaN(deg) || math.IsInf(deg, 0) || math.Abs(deg) > 1e300 {
+			return true
+		}
+		return almostEqual(Degrees(Radians(deg)), deg, math.Abs(deg)*1e-9+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

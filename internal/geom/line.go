@@ -1,0 +1,191 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrParallelLines reports that a set of bearing lines has no usable
+// intersection because the lines are (nearly) parallel.
+var ErrParallelLines = errors.New("geom: bearing lines are parallel")
+
+// ErrNoLines reports that a solver was invoked with too few lines.
+var ErrNoLines = errors.New("geom: need at least two lines")
+
+// Line2D is a ray anchored at Origin heading along azimuthal angle Bearing.
+// Tagspin uses it to represent "the reader lies in direction Bearing as seen
+// from this disk center".
+type Line2D struct {
+	Origin  Vec2
+	Bearing float64
+	// Weight scales this line's contribution in least-squares fusion.
+	// Zero means weight 1.
+	Weight float64
+}
+
+// Direction returns the unit direction vector of the line.
+func (l Line2D) Direction() Vec2 {
+	return Vec2{X: math.Cos(l.Bearing), Y: math.Sin(l.Bearing)}
+}
+
+// weight returns the effective fusion weight of the line.
+func (l Line2D) weight() float64 {
+	if l.Weight <= 0 {
+		return 1
+	}
+	return l.Weight
+}
+
+// DistanceToPoint returns the perpendicular distance from p to the infinite
+// extension of the line.
+func (l Line2D) DistanceToPoint(p Vec2) float64 {
+	d := l.Direction()
+	r := p.Sub(l.Origin)
+	// Perpendicular component: |r - (r·d)d|, i.e. the 2D cross magnitude.
+	return math.Abs(r.X*d.Y - r.Y*d.X)
+}
+
+// String renders the line for diagnostics.
+func (l Line2D) String() string {
+	return fmt.Sprintf("line{origin=%v bearing=%.2f°}", l.Origin, Degrees(l.Bearing))
+}
+
+// IntersectLines2D solves the intersection of two bearing lines. This is
+// Eqn. 9 of the paper, written in vector form so it does not degenerate when
+// a bearing approaches ±π/2 (where tan φ blows up).
+func IntersectLines2D(a, b Line2D) (Vec2, error) {
+	da, db := a.Direction(), b.Direction()
+	// Solve a.Origin + s*da = b.Origin + t*db.
+	det := da.X*(-db.Y) - (-db.X)*da.Y
+	if math.Abs(det) < 1e-12 {
+		return Vec2{}, ErrParallelLines
+	}
+	rhs := b.Origin.Sub(a.Origin)
+	s := (rhs.X*(-db.Y) - (-db.X)*rhs.Y) / det
+	return a.Origin.Add(da.Scale(s)), nil
+}
+
+// LeastSquaresPoint2D returns the point minimizing the weighted sum of
+// squared perpendicular distances to the given lines. With two
+// non-degenerate lines it coincides with IntersectLines2D; with three or
+// more it fuses redundant bearings (ablation A5).
+func LeastSquaresPoint2D(lines []Line2D) (Vec2, error) {
+	if len(lines) < 2 {
+		return Vec2{}, ErrNoLines
+	}
+	// For each line with unit normal n, the residual is n·(p - origin).
+	// Accumulate the normal equations sum(w n nᵀ) p = sum(w n nᵀ origin).
+	var a11, a12, a22, b1, b2 float64
+	for _, l := range lines {
+		d := l.Direction()
+		n := Vec2{X: -d.Y, Y: d.X}
+		w := l.weight()
+		a11 += w * n.X * n.X
+		a12 += w * n.X * n.Y
+		a22 += w * n.Y * n.Y
+		c := n.Dot(l.Origin)
+		b1 += w * n.X * c
+		b2 += w * n.Y * c
+	}
+	det := a11*a22 - a12*a12
+	if math.Abs(det) < 1e-12 {
+		return Vec2{}, ErrParallelLines
+	}
+	return Vec2{
+		X: (a22*b1 - a12*b2) / det,
+		Y: (a11*b2 - a12*b1) / det,
+	}, nil
+}
+
+// Line3D is a ray anchored at Origin heading along the unit vector Dir.
+type Line3D struct {
+	Origin Vec3
+	Dir    Vec3
+	// Weight scales this line's contribution in least-squares fusion.
+	// Zero means weight 1.
+	Weight float64
+}
+
+// weight returns the effective fusion weight of the line.
+func (l Line3D) weight() float64 {
+	if l.Weight <= 0 {
+		return 1
+	}
+	return l.Weight
+}
+
+// DistanceToPoint returns the perpendicular distance from p to the infinite
+// extension of the line.
+func (l Line3D) DistanceToPoint(p Vec3) float64 {
+	d := l.Dir.Unit()
+	r := p.Sub(l.Origin)
+	return r.Sub(d.Scale(r.Dot(d))).Norm()
+}
+
+// LeastSquaresPoint3D returns the point minimizing the weighted sum of
+// squared perpendicular distances to the given 3D lines ("midpoint of the
+// common perpendicular", generalized). It solves sum(w(I - ddᵀ)) p =
+// sum(w(I - ddᵀ) origin) with a direct 3×3 solve.
+func LeastSquaresPoint3D(lines []Line3D) (Vec3, error) {
+	if len(lines) < 2 {
+		return Vec3{}, ErrNoLines
+	}
+	var m [3][3]float64
+	var b [3]float64
+	for _, l := range lines {
+		d := l.Dir.Unit()
+		w := l.weight()
+		// p = I - d dᵀ (projector onto the plane normal to d).
+		proj := [3][3]float64{
+			{1 - d.X*d.X, -d.X * d.Y, -d.X * d.Z},
+			{-d.Y * d.X, 1 - d.Y*d.Y, -d.Y * d.Z},
+			{-d.Z * d.X, -d.Z * d.Y, 1 - d.Z*d.Z},
+		}
+		o := [3]float64{l.Origin.X, l.Origin.Y, l.Origin.Z}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += w * proj[i][j]
+				b[i] += w * proj[i][j] * o[j]
+			}
+		}
+	}
+	sol, err := solve3x3(m, b)
+	if err != nil {
+		return Vec3{}, err
+	}
+	return Vec3{X: sol[0], Y: sol[1], Z: sol[2]}, nil
+}
+
+// solve3x3 solves m·x = b by Gaussian elimination with partial pivoting.
+func solve3x3(m [3][3]float64, b [3]float64) ([3]float64, error) {
+	var x [3]float64
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for row := col + 1; row < 3; row++ {
+			if math.Abs(m[row][col]) > math.Abs(m[pivot][col]) {
+				pivot = row
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return x, ErrParallelLines
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		for row := col + 1; row < 3; row++ {
+			f := m[row][col] / m[col][col]
+			for k := col; k < 3; k++ {
+				m[row][k] -= f * m[col][k]
+			}
+			b[row] -= f * b[col]
+		}
+	}
+	for row := 2; row >= 0; row-- {
+		sum := b[row]
+		for k := row + 1; k < 3; k++ {
+			sum -= m[row][k] * x[k]
+		}
+		x[row] = sum / m[row][row]
+	}
+	return x, nil
+}

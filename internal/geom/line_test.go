@@ -1,0 +1,243 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntersectLines2DBasic(t *testing.T) {
+	// A ray east from the origin and a ray north from (2,-1) meet at (2,0).
+	a := Line2D{Origin: V2(0, 0), Bearing: 0}
+	b := Line2D{Origin: V2(2, -1), Bearing: math.Pi / 2}
+	p, err := IntersectLines2D(a, b)
+	if err != nil {
+		t.Fatalf("IntersectLines2D: %v", err)
+	}
+	if !almostEqual(p.X, 2, eps) || !almostEqual(p.Y, 0, eps) {
+		t.Errorf("intersection = %v, want (2,0)", p)
+	}
+}
+
+func TestIntersectLines2DVertical(t *testing.T) {
+	// Eqn. 9 in tan form degenerates at φ = π/2; the vector form must not.
+	a := Line2D{Origin: V2(-1, 0), Bearing: math.Pi / 2}
+	b := Line2D{Origin: V2(1, 0), Bearing: 3 * math.Pi / 4}
+	p, err := IntersectLines2D(a, b)
+	if err != nil {
+		t.Fatalf("IntersectLines2D: %v", err)
+	}
+	if !almostEqual(p.X, -1, eps) || !almostEqual(p.Y, 2, eps) {
+		t.Errorf("intersection = %v, want (-1,2)", p)
+	}
+}
+
+func TestIntersectLines2DParallel(t *testing.T) {
+	a := Line2D{Origin: V2(0, 0), Bearing: 1}
+	b := Line2D{Origin: V2(1, 0), Bearing: 1}
+	if _, err := IntersectLines2D(a, b); !errors.Is(err, ErrParallelLines) {
+		t.Errorf("err = %v, want ErrParallelLines", err)
+	}
+	// Anti-parallel bearings describe the same pencil of directions.
+	b.Bearing = 1 + math.Pi
+	if _, err := IntersectLines2D(a, b); !errors.Is(err, ErrParallelLines) {
+		t.Errorf("anti-parallel err = %v, want ErrParallelLines", err)
+	}
+}
+
+// TestIntersectionRecoversTarget synthesizes bearings from two origins to a
+// random target and checks the intersection recovers the target.
+func TestIntersectionRecoversTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		o1 := V2(rng.Float64()*4-2, rng.Float64()*4-2)
+		o2 := V2(rng.Float64()*4-2, rng.Float64()*4-2)
+		target := V2(rng.Float64()*10-5, rng.Float64()*10-5)
+		if o1.DistanceTo(o2) < 0.1 ||
+			target.DistanceTo(o1) < 0.2 || target.DistanceTo(o2) < 0.2 {
+			continue
+		}
+		l1 := Line2D{Origin: o1, Bearing: target.Sub(o1).Bearing()}
+		l2 := Line2D{Origin: o2, Bearing: target.Sub(o2).Bearing()}
+		p, err := IntersectLines2D(l1, l2)
+		if err != nil {
+			continue // target collinear with the two origins
+		}
+		if p.DistanceTo(target) > 1e-6 {
+			t.Fatalf("trial %d: got %v, want %v", i, p, target)
+		}
+	}
+}
+
+func TestLeastSquaresPoint2DMatchesPairwise(t *testing.T) {
+	a := Line2D{Origin: V2(0, 0), Bearing: math.Pi / 4}
+	b := Line2D{Origin: V2(3, 0), Bearing: 3 * math.Pi / 4}
+	want, err := IntersectLines2D(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LeastSquaresPoint2D([]Line2D{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DistanceTo(want) > 1e-9 {
+		t.Errorf("LS point %v != intersection %v", got, want)
+	}
+}
+
+func TestLeastSquaresPoint2DThreeLines(t *testing.T) {
+	target := V2(1.5, 2.5)
+	origins := []Vec2{V2(-1, 0), V2(1, 0), V2(0, -2)}
+	lines := make([]Line2D, 0, len(origins))
+	for _, o := range origins {
+		lines = append(lines, Line2D{Origin: o, Bearing: target.Sub(o).Bearing()})
+	}
+	got, err := LeastSquaresPoint2D(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DistanceTo(target) > 1e-9 {
+		t.Errorf("LS point = %v, want %v", got, target)
+	}
+}
+
+func TestLeastSquaresPoint2DWeighted(t *testing.T) {
+	// Two lines agree on (0,1); a third, heavily down-weighted, disagrees.
+	good1 := Line2D{Origin: V2(-1, 0), Bearing: V2(1, 1).Bearing(), Weight: 1}
+	good2 := Line2D{Origin: V2(1, 0), Bearing: V2(-1, 1).Bearing(), Weight: 1}
+	bad := Line2D{Origin: V2(0, -3), Bearing: V2(1, 1).Bearing(), Weight: 1e-9}
+	got, err := LeastSquaresPoint2D([]Line2D{good1, good2, bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DistanceTo(V2(0, 1)) > 1e-3 {
+		t.Errorf("weighted LS point = %v, want ≈(0,1)", got)
+	}
+}
+
+func TestLeastSquaresPoint2DErrors(t *testing.T) {
+	if _, err := LeastSquaresPoint2D(nil); !errors.Is(err, ErrNoLines) {
+		t.Errorf("nil lines err = %v, want ErrNoLines", err)
+	}
+	same := Line2D{Origin: V2(0, 0), Bearing: 0.3}
+	if _, err := LeastSquaresPoint2D([]Line2D{same, same}); !errors.Is(err, ErrParallelLines) {
+		t.Errorf("parallel err = %v, want ErrParallelLines", err)
+	}
+}
+
+func TestLine2DDistanceToPoint(t *testing.T) {
+	l := Line2D{Origin: V2(0, 0), Bearing: 0}
+	if got := l.DistanceToPoint(V2(5, 3)); !almostEqual(got, 3, eps) {
+		t.Errorf("distance = %v, want 3", got)
+	}
+	if got := l.DistanceToPoint(V2(-7, -2)); !almostEqual(got, 2, eps) {
+		t.Errorf("distance = %v, want 2", got)
+	}
+}
+
+func TestLine3DDistanceToPoint(t *testing.T) {
+	l := Line3D{Origin: V3(0, 0, 0), Dir: V3(1, 0, 0)}
+	if got := l.DistanceToPoint(V3(10, 3, 4)); !almostEqual(got, 5, eps) {
+		t.Errorf("distance = %v, want 5", got)
+	}
+}
+
+func TestLeastSquaresPoint3DRecoversTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		target := V3(rng.Float64()*6-3, rng.Float64()*6-3, rng.Float64()*2)
+		var lines []Line3D
+		for k := 0; k < 3; k++ {
+			o := V3(rng.Float64()*2-1, rng.Float64()*2-1, 0)
+			if target.DistanceTo(o) < 0.3 {
+				o = o.Add(V3(0.5, 0.5, 0))
+			}
+			lines = append(lines, Line3D{Origin: o, Dir: target.Sub(o).Unit()})
+		}
+		got, err := LeastSquaresPoint3D(lines)
+		if err != nil {
+			continue // degenerate random draw
+		}
+		if got.DistanceTo(target) > 1e-6 {
+			t.Fatalf("trial %d: got %v, want %v", i, got, target)
+		}
+	}
+}
+
+func TestLeastSquaresPoint3DErrors(t *testing.T) {
+	if _, err := LeastSquaresPoint3D(nil); !errors.Is(err, ErrNoLines) {
+		t.Errorf("nil lines err = %v, want ErrNoLines", err)
+	}
+	l := Line3D{Origin: V3(0, 0, 0), Dir: V3(0, 0, 1)}
+	m := Line3D{Origin: V3(1, 1, 0), Dir: V3(0, 0, 1)}
+	// Two parallel vertical lines: x/y are determined (average), z is not.
+	if _, err := LeastSquaresPoint3D([]Line3D{l, m}); !errors.Is(err, ErrParallelLines) {
+		t.Errorf("parallel err = %v, want ErrParallelLines", err)
+	}
+}
+
+// TestLeastSquaresPoint3DResidualOptimality perturbs the LS solution in
+// random directions and verifies the weighted residual never decreases —
+// i.e. the solver actually found the minimum.
+func TestLeastSquaresPoint3DResidualOptimality(t *testing.T) {
+	lines := []Line3D{
+		{Origin: V3(0, 0, 0), Dir: V3(1, 0.2, 0.1).Unit()},
+		{Origin: V3(1, -1, 0), Dir: V3(-0.3, 1, 0.2).Unit()},
+		{Origin: V3(-1, 1, 0.5), Dir: V3(0.5, -0.2, 1).Unit(), Weight: 2},
+	}
+	p, err := LeastSquaresPoint3D(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := func(q Vec3) float64 {
+		var s float64
+		for _, l := range lines {
+			d := l.DistanceToPoint(q)
+			s += l.weight() * d * d
+		}
+		return s
+	}
+	base := resid(p)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		dir := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Unit()
+		if r := resid(p.Add(dir.Scale(0.01))); r < base-1e-12 {
+			t.Fatalf("perturbation %d lowered residual: %v < %v", i, r, base)
+		}
+	}
+}
+
+func TestSolve3x3Property(t *testing.T) {
+	// For random well-conditioned systems, m·solve(m,b) ≈ b.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m [3][3]float64
+		var b [3]float64
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] = rng.NormFloat64()
+			}
+			m[i][i] += 4 // diagonal dominance keeps it well-conditioned
+			b[i] = rng.NormFloat64()
+		}
+		x, err := solve3x3(m, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3; i++ {
+			var got float64
+			for j := 0; j < 3; j++ {
+				got += m[i][j] * x[j]
+			}
+			if !almostEqual(got, b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+package hologram
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/mathx"
+	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/spindisk"
+)
+
+const (
+	testFreq = 922.5e6
+	testWave = 299_792_458.0 / testFreq
+)
+
+// synthSession builds one disk's snapshots with exact geometry.
+func synthSession(center geom.Vec3, theta0 float64, reader geom.Vec3, n int, div, sigma float64, rng *rand.Rand) Session {
+	disk := spindisk.Disk{Center: center, Radius: 0.10, Omega: math.Pi, Theta0: theta0}
+	s := Session{Disk: disk}
+	period := disk.Period()
+	for i := 0; i < n; i++ {
+		tm := time.Duration(float64(period) * float64(i) / float64(n) * 2)
+		pos := disk.TagPosition(tm)
+		ph := 4*math.Pi*pos.DistanceTo(reader)/testWave + div
+		if sigma > 0 {
+			ph += rng.NormFloat64() * sigma
+		}
+		s.Snapshots = append(s.Snapshots, phase.Snapshot{
+			Time:        tm,
+			Phase:       mathx.WrapPhase(ph),
+			FrequencyHz: testFreq,
+		})
+	}
+	return s
+}
+
+func bounds() Rect { return Rect{MinX: -3, MinY: -0.5, MaxX: 3, MaxY: 3.5} }
+
+func TestLocate2DRecoversReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	reader := geom.V3(-1.6, 1.7, 0)
+	sessions := []Session{
+		synthSession(geom.V3(-0.25, 0, 0), 0, reader, 150, 1.1, 0.1, rng),
+		synthSession(geom.V3(0.25, 0, 0), 1, reader, 150, 4.2, 0.1, rng),
+	}
+	got, score, err := Locate2D(sessions, Options{Bounds: bounds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range is weakly constrained by the ridge crossing (same DOP as the
+	// bearing intersection), so a single noisy draw lands within ~20 cm.
+	if e := got.DistanceTo(reader.XY()); e > 0.20 {
+		t.Errorf("hologram error %.1f cm (pos %v)", e*100, got)
+	}
+	if score < 0.5 || score > 1.001 {
+		t.Errorf("score = %v", score)
+	}
+}
+
+func TestLocate2DNoFarFieldBias(t *testing.T) {
+	// Close-in reader where the far-field approximation is poorest: the
+	// hologram uses exact distances and must stay accurate.
+	rng := rand.New(rand.NewSource(2))
+	reader := geom.V3(-0.4, 0.8, 0) // under 1 m from both disks
+	sessions := []Session{
+		synthSession(geom.V3(-0.25, 0, 0), 0, reader, 150, 0.4, 0.05, rng),
+		synthSession(geom.V3(0.25, 0, 0), 1, reader, 150, 2.8, 0.05, rng),
+	}
+	got, _, err := Locate2D(sessions, Options{Bounds: bounds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got.DistanceTo(reader.XY()); e > 0.08 {
+		t.Errorf("near-field hologram error %.1f cm", e*100)
+	}
+}
+
+func TestLocate2DSingleDiskStillFindsRidge(t *testing.T) {
+	// One disk constrains bearing but barely constrains range: the
+	// estimate must at least lie on the bearing ray.
+	rng := rand.New(rand.NewSource(3))
+	reader := geom.V3(-1.2, 2.0, 0)
+	center := geom.V3(0, 0, 0)
+	sessions := []Session{synthSession(center, 0, reader, 150, 0.9, 0.05, rng)}
+	got, _, err := Locate2D(sessions, Options{Bounds: bounds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAz := reader.Sub(center).Azimuth()
+	gotAz := got.Sub(center.XY()).Bearing()
+	if geom.AngleDistance(gotAz, wantAz) > geom.Radians(2) {
+		t.Errorf("single-disk bearing %.1f°, want %.1f°", geom.Degrees(gotAz), geom.Degrees(wantAz))
+	}
+}
+
+func TestLocate2DThreeDisks(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	reader := geom.V3(1.4, 1.9, 0)
+	sessions := []Session{
+		synthSession(geom.V3(-0.25, 0, 0), 0, reader, 120, 0.1, 0.1, rng),
+		synthSession(geom.V3(0.25, 0, 0), 1, reader, 120, 2.2, 0.1, rng),
+		synthSession(geom.V3(0, -0.35, 0), 2, reader, 120, 5.0, 0.1, rng),
+	}
+	got, _, err := Locate2D(sessions, Options{Bounds: bounds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got.DistanceTo(reader.XY()); e > 0.08 {
+		t.Errorf("three-disk hologram error %.1f cm", e*100)
+	}
+}
+
+func TestLocate2DErrors(t *testing.T) {
+	if _, _, err := Locate2D(nil, Options{Bounds: bounds()}); !errors.Is(err, ErrNoTags) {
+		t.Errorf("err = %v, want ErrNoTags", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	good := synthSession(geom.V3(0, 0, 0), 0, geom.V3(-2, 1, 0), 50, 0, 0.1, rng)
+	// Degenerate bounds.
+	if _, _, err := Locate2D([]Session{good}, Options{Bounds: Rect{MinX: 1, MaxX: 0}}); err == nil {
+		t.Error("degenerate bounds accepted")
+	}
+	// Invalid disk.
+	bad := good
+	bad.Disk.Omega = 0
+	if _, _, err := Locate2D([]Session{bad}, Options{Bounds: bounds()}); err == nil {
+		t.Error("invalid disk accepted")
+	}
+	// Missing carrier.
+	bad2 := good
+	bad2.Snapshots = append([]phase.Snapshot(nil), good.Snapshots...)
+	bad2.Snapshots[3].FrequencyHz = 0
+	if _, _, err := Locate2D([]Session{bad2}, Options{Bounds: bounds()}); err == nil {
+		t.Error("missing carrier accepted")
+	}
+	// A session with <2 snapshots is skipped; all-skipped errors out.
+	empty := Session{Disk: good.Disk, Snapshots: good.Snapshots[:1]}
+	if _, _, err := Locate2D([]Session{empty}, Options{Bounds: bounds()}); !errors.Is(err, ErrNoTags) {
+		t.Errorf("all-skipped err = %v, want ErrNoTags", err)
+	}
+}
+
+func TestDiversityInvariance(t *testing.T) {
+	// Shifting a tag's diversity must not move the hologram peak.
+	reader := geom.V3(-2.0, 1.2, 0)
+	a := []Session{
+		synthSession(geom.V3(-0.25, 0, 0), 0, reader, 100, 0.0, 0, nil),
+		synthSession(geom.V3(0.25, 0, 0), 1, reader, 100, 0.0, 0, nil),
+	}
+	b := []Session{
+		synthSession(geom.V3(-0.25, 0, 0), 0, reader, 100, 2.9, 0, nil),
+		synthSession(geom.V3(0.25, 0, 0), 1, reader, 100, 5.5, 0, nil),
+	}
+	pa, _, err := Locate2D(a, Options{Bounds: bounds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _, err := Locate2D(b, Options{Bounds: bounds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.DistanceTo(pb) > 1e-6 {
+		t.Errorf("diversity moved the peak: %v vs %v", pa, pb)
+	}
+}

@@ -1,0 +1,111 @@
+package llrp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Encode serializes a message with the given correlation id into a frame.
+func Encode(id uint32, m Message) ([]byte, error) {
+	body := m.appendBody(nil)
+	if len(body) > MaxMessageSize {
+		return nil, fmt.Errorf("%w: body %d bytes", ErrTooLarge, len(body))
+	}
+	frame := make([]byte, 0, headerSize+len(body))
+	frame = append(frame, ProtocolVersion, byte(m.MsgType()))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(body)))
+	frame = binary.BigEndian.AppendUint32(frame, id)
+	return append(frame, body...), nil
+}
+
+// ReadMessage reads and decodes one frame from r. It returns the correlation
+// id and the decoded message.
+func ReadMessage(r io.Reader) (uint32, Message, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != ProtocolVersion {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[0])
+	}
+	msgType := MessageType(hdr[1])
+	bodyLen := binary.BigEndian.Uint32(hdr[2:6])
+	id := binary.BigEndian.Uint32(hdr[6:10])
+	if bodyLen > MaxMessageSize {
+		return 0, nil, fmt.Errorf("%w: declared body %d bytes", ErrTooLarge, bodyLen)
+	}
+	msg, err := newMessage(msgType)
+	if err != nil {
+		return 0, nil, err
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("read body of %v: %w", msgType, err)
+	}
+	if err := msg.decodeBody(body); err != nil {
+		return 0, nil, fmt.Errorf("decode %v: %w", msgType, err)
+	}
+	return id, msg, nil
+}
+
+// WriteMessage encodes and writes one frame to w.
+func WriteMessage(w io.Writer, id uint32, m Message) error {
+	frame, err := Encode(id, m)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("write %v: %w", m.MsgType(), err)
+	}
+	return nil
+}
+
+// Conn is a message-oriented wrapper around a byte stream. Send and Receive
+// are each safe for one concurrent user (one writer goroutine, one reader
+// goroutine), the usual shape of an LLRP endpoint.
+type Conn struct {
+	raw net.Conn
+	br  *bufio.Reader
+
+	sendMu sync.Mutex
+	nextID uint32
+}
+
+// NewConn wraps a network connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{raw: c, br: bufio.NewReader(c)}
+}
+
+// Send writes a message with a fresh correlation id and returns that id.
+func (c *Conn) Send(m Message) (uint32, error) {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.nextID++
+	id := c.nextID
+	if err := WriteMessage(c.raw, id, m); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Reply writes a message echoing an existing correlation id.
+func (c *Conn) Reply(id uint32, m Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return WriteMessage(c.raw, id, m)
+}
+
+// Receive reads the next message.
+func (c *Conn) Receive() (uint32, Message, error) {
+	return ReadMessage(c.br)
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// RemoteAddr exposes the peer address for logging.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }

@@ -1,0 +1,407 @@
+// Package llrp implements a compact binary reader-protocol in the spirit of
+// EPCglobal's Low Level Reader Protocol with Impinj's phase-report
+// extension, which is how the paper's testbed shipped phase snapshots from
+// the Speedway reader to the host. It is not wire-compatible with real LLRP
+// (that protocol is far larger); it preserves the parts the system depends
+// on: message framing, RO spec start/stop, batched tag report data carrying
+// EPC, antenna, channel index, peak RSSI, a 12-bit phase word, and the
+// reader-side microsecond timestamp, plus keepalives.
+package llrp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ProtocolVersion is the only version this implementation speaks.
+const ProtocolVersion = 1
+
+// MaxMessageSize bounds the body size accepted from the wire, protecting
+// the host from a corrupt or hostile length field.
+const MaxMessageSize = 1 << 20
+
+// headerSize is the encoded size of a message header:
+// version(1) type(1) bodyLen(4) id(4).
+const headerSize = 10
+
+// Errors recognized by users of the codec.
+var (
+	// ErrBadVersion reports a frame with an unsupported protocol version.
+	ErrBadVersion = errors.New("llrp: unsupported protocol version")
+	// ErrUnknownType reports a frame with an unrecognized message type.
+	ErrUnknownType = errors.New("llrp: unknown message type")
+	// ErrTooLarge reports a frame whose declared body exceeds
+	// MaxMessageSize.
+	ErrTooLarge = errors.New("llrp: message too large")
+	// ErrTruncated reports a body shorter than its structure requires.
+	ErrTruncated = errors.New("llrp: truncated message body")
+)
+
+// MessageType enumerates the protocol's message types.
+type MessageType uint8
+
+const (
+	// MsgReaderEventNotification announces reader lifecycle events.
+	MsgReaderEventNotification MessageType = iota + 1
+	// MsgStartROSpec asks the reader to begin an inventory session.
+	MsgStartROSpec
+	// MsgStartROSpecResponse acknowledges MsgStartROSpec.
+	MsgStartROSpecResponse
+	// MsgStopROSpec asks the reader to end the session.
+	MsgStopROSpec
+	// MsgStopROSpecResponse acknowledges MsgStopROSpec.
+	MsgStopROSpecResponse
+	// MsgROAccessReport carries a batch of tag reads.
+	MsgROAccessReport
+	// MsgKeepAlive is the reader's liveness probe.
+	MsgKeepAlive
+	// MsgKeepAliveAck answers MsgKeepAlive.
+	MsgKeepAliveAck
+	// MsgCloseConnection announces an orderly shutdown.
+	MsgCloseConnection
+)
+
+// String implements fmt.Stringer.
+func (t MessageType) String() string {
+	switch t {
+	case MsgReaderEventNotification:
+		return "ReaderEventNotification"
+	case MsgStartROSpec:
+		return "StartROSpec"
+	case MsgStartROSpecResponse:
+		return "StartROSpecResponse"
+	case MsgStopROSpec:
+		return "StopROSpec"
+	case MsgStopROSpecResponse:
+		return "StopROSpecResponse"
+	case MsgROAccessReport:
+		return "ROAccessReport"
+	case MsgKeepAlive:
+		return "KeepAlive"
+	case MsgKeepAliveAck:
+		return "KeepAliveAck"
+	case MsgCloseConnection:
+		return "CloseConnection"
+	default:
+		return fmt.Sprintf("MessageType(%d)", uint8(t))
+	}
+}
+
+// Message is one protocol message body.
+type Message interface {
+	// MsgType returns the wire type tag of the message.
+	MsgType() MessageType
+	// appendBody appends the encoded body to dst.
+	appendBody(dst []byte) []byte
+	// decodeBody parses the body.
+	decodeBody(src []byte) error
+}
+
+// PhaseWordBits is the resolution of the phase report: Impinj readers report
+// phase as a 12-bit word over [0, 2π).
+const PhaseWordBits = 12
+
+// phaseWordMax is the modulus of the phase word.
+const phaseWordMax = 1 << PhaseWordBits
+
+// PhaseWordFromRadians quantizes a phase in radians to the wire word.
+func PhaseWordFromRadians(rad float64) uint16 {
+	w := math.Mod(rad, 2*math.Pi)
+	if w < 0 {
+		w += 2 * math.Pi
+	}
+	return uint16(math.Round(w/(2*math.Pi)*phaseWordMax)) % phaseWordMax
+}
+
+// RadiansFromPhaseWord expands a wire phase word back to radians in [0, 2π).
+func RadiansFromPhaseWord(word uint16) float64 {
+	return float64(word%phaseWordMax) / phaseWordMax * 2 * math.Pi
+}
+
+// RSSIWordFromDBm quantizes an RSSI in dBm to the wire's centi-dBm int16.
+func RSSIWordFromDBm(dbm float64) int16 {
+	v := math.Round(dbm * 100)
+	if v > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	if v < math.MinInt16 {
+		return math.MinInt16
+	}
+	return int16(v)
+}
+
+// DBmFromRSSIWord expands a wire RSSI word to dBm.
+func DBmFromRSSIWord(word int16) float64 { return float64(word) / 100 }
+
+// TagReportData is one tag read inside an ROAccessReport.
+type TagReportData struct {
+	// EPC is the tag's 96-bit identity.
+	EPC [12]byte
+	// AntennaID is the 1-based reader port.
+	AntennaID uint16
+	// ChannelIndex is the hop-channel index of the read.
+	ChannelIndex uint16
+	// PeakRSSI is the received strength in centi-dBm.
+	PeakRSSI int16
+	// PhaseWord is the 12-bit backscatter phase word.
+	PhaseWord uint16
+	// FirstSeenMicros is the reader-clock timestamp in microseconds.
+	FirstSeenMicros uint64
+}
+
+// tagReportSize is the encoded size of one TagReportData.
+const tagReportSize = 12 + 2 + 2 + 2 + 2 + 8
+
+// appendTo appends the encoded report to dst.
+func (d TagReportData) appendTo(dst []byte) []byte {
+	dst = append(dst, d.EPC[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, d.AntennaID)
+	dst = binary.BigEndian.AppendUint16(dst, d.ChannelIndex)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(d.PeakRSSI))
+	dst = binary.BigEndian.AppendUint16(dst, d.PhaseWord)
+	dst = binary.BigEndian.AppendUint64(dst, d.FirstSeenMicros)
+	return dst
+}
+
+// decodeFrom parses one report from src.
+func (d *TagReportData) decodeFrom(src []byte) error {
+	if len(src) < tagReportSize {
+		return ErrTruncated
+	}
+	copy(d.EPC[:], src[:12])
+	d.AntennaID = binary.BigEndian.Uint16(src[12:14])
+	d.ChannelIndex = binary.BigEndian.Uint16(src[14:16])
+	d.PeakRSSI = int16(binary.BigEndian.Uint16(src[16:18]))
+	d.PhaseWord = binary.BigEndian.Uint16(src[18:20])
+	d.FirstSeenMicros = binary.BigEndian.Uint64(src[20:28])
+	return nil
+}
+
+// ROAccessReport is a batch of tag reads.
+type ROAccessReport struct {
+	Reports []TagReportData
+}
+
+// MsgType implements Message.
+func (*ROAccessReport) MsgType() MessageType { return MsgROAccessReport }
+
+func (m *ROAccessReport) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Reports)))
+	for _, r := range m.Reports {
+		dst = r.appendTo(dst)
+	}
+	return dst
+}
+
+func (m *ROAccessReport) decodeBody(src []byte) error {
+	if len(src) < 4 {
+		return ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(src[:4])
+	src = src[4:]
+	if uint64(n)*tagReportSize != uint64(len(src)) {
+		return fmt.Errorf("%w: %d reports need %d bytes, have %d",
+			ErrTruncated, n, uint64(n)*tagReportSize, len(src))
+	}
+	m.Reports = make([]TagReportData, n)
+	for i := range m.Reports {
+		if err := m.Reports[i].decodeFrom(src[i*tagReportSize:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartROSpec asks the reader to begin inventorying for DurationMicros of
+// simulated reader time (0 means until StopROSpec).
+type StartROSpec struct {
+	// ROSpecID correlates responses and reports with the request.
+	ROSpecID uint32
+	// DurationMicros bounds the session in reader-clock microseconds.
+	DurationMicros uint64
+}
+
+// MsgType implements Message.
+func (*StartROSpec) MsgType() MessageType { return MsgStartROSpec }
+
+func (m *StartROSpec) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.ROSpecID)
+	dst = binary.BigEndian.AppendUint64(dst, m.DurationMicros)
+	return dst
+}
+
+func (m *StartROSpec) decodeBody(src []byte) error {
+	if len(src) < 12 {
+		return ErrTruncated
+	}
+	m.ROSpecID = binary.BigEndian.Uint32(src[:4])
+	m.DurationMicros = binary.BigEndian.Uint64(src[4:12])
+	return nil
+}
+
+// StatusCode reports the result of a request.
+type StatusCode uint8
+
+const (
+	// StatusOK means success.
+	StatusOK StatusCode = 0
+	// StatusError means the reader rejected or failed the request.
+	StatusError StatusCode = 1
+)
+
+// StartROSpecResponse acknowledges StartROSpec.
+type StartROSpecResponse struct {
+	ROSpecID uint32
+	Status   StatusCode
+}
+
+// MsgType implements Message.
+func (*StartROSpecResponse) MsgType() MessageType { return MsgStartROSpecResponse }
+
+func (m *StartROSpecResponse) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.ROSpecID)
+	return append(dst, byte(m.Status))
+}
+
+func (m *StartROSpecResponse) decodeBody(src []byte) error {
+	if len(src) < 5 {
+		return ErrTruncated
+	}
+	m.ROSpecID = binary.BigEndian.Uint32(src[:4])
+	m.Status = StatusCode(src[4])
+	return nil
+}
+
+// StopROSpec asks the reader to end the session.
+type StopROSpec struct {
+	ROSpecID uint32
+}
+
+// MsgType implements Message.
+func (*StopROSpec) MsgType() MessageType { return MsgStopROSpec }
+
+func (m *StopROSpec) appendBody(dst []byte) []byte {
+	return binary.BigEndian.AppendUint32(dst, m.ROSpecID)
+}
+
+func (m *StopROSpec) decodeBody(src []byte) error {
+	if len(src) < 4 {
+		return ErrTruncated
+	}
+	m.ROSpecID = binary.BigEndian.Uint32(src[:4])
+	return nil
+}
+
+// StopROSpecResponse acknowledges StopROSpec.
+type StopROSpecResponse struct {
+	ROSpecID uint32
+	Status   StatusCode
+}
+
+// MsgType implements Message.
+func (*StopROSpecResponse) MsgType() MessageType { return MsgStopROSpecResponse }
+
+func (m *StopROSpecResponse) appendBody(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, m.ROSpecID)
+	return append(dst, byte(m.Status))
+}
+
+func (m *StopROSpecResponse) decodeBody(src []byte) error {
+	if len(src) < 5 {
+		return ErrTruncated
+	}
+	m.ROSpecID = binary.BigEndian.Uint32(src[:4])
+	m.Status = StatusCode(src[4])
+	return nil
+}
+
+// EventCode enumerates reader lifecycle events.
+type EventCode uint8
+
+const (
+	// EventConnectionAttempt is sent when a client connects.
+	EventConnectionAttempt EventCode = iota + 1
+	// EventROSpecStarted is sent when an RO spec begins running.
+	EventROSpecStarted
+	// EventROSpecDone is sent when an RO spec completes.
+	EventROSpecDone
+)
+
+// ReaderEventNotification announces a reader lifecycle event.
+type ReaderEventNotification struct {
+	Event EventCode
+	// TimestampMicros is the reader-clock time of the event.
+	TimestampMicros uint64
+}
+
+// MsgType implements Message.
+func (*ReaderEventNotification) MsgType() MessageType { return MsgReaderEventNotification }
+
+func (m *ReaderEventNotification) appendBody(dst []byte) []byte {
+	dst = append(dst, byte(m.Event))
+	return binary.BigEndian.AppendUint64(dst, m.TimestampMicros)
+}
+
+func (m *ReaderEventNotification) decodeBody(src []byte) error {
+	if len(src) < 9 {
+		return ErrTruncated
+	}
+	m.Event = EventCode(src[0])
+	m.TimestampMicros = binary.BigEndian.Uint64(src[1:9])
+	return nil
+}
+
+// KeepAlive is the reader's liveness probe.
+type KeepAlive struct{}
+
+// MsgType implements Message.
+func (*KeepAlive) MsgType() MessageType { return MsgKeepAlive }
+
+func (*KeepAlive) appendBody(dst []byte) []byte { return dst }
+func (*KeepAlive) decodeBody([]byte) error      { return nil }
+
+// KeepAliveAck answers KeepAlive.
+type KeepAliveAck struct{}
+
+// MsgType implements Message.
+func (*KeepAliveAck) MsgType() MessageType { return MsgKeepAliveAck }
+
+func (*KeepAliveAck) appendBody(dst []byte) []byte { return dst }
+func (*KeepAliveAck) decodeBody([]byte) error      { return nil }
+
+// CloseConnection announces an orderly shutdown.
+type CloseConnection struct{}
+
+// MsgType implements Message.
+func (*CloseConnection) MsgType() MessageType { return MsgCloseConnection }
+
+func (*CloseConnection) appendBody(dst []byte) []byte { return dst }
+func (*CloseConnection) decodeBody([]byte) error      { return nil }
+
+// newMessage allocates an empty body struct for a wire type.
+func newMessage(t MessageType) (Message, error) {
+	switch t {
+	case MsgReaderEventNotification:
+		return &ReaderEventNotification{}, nil
+	case MsgStartROSpec:
+		return &StartROSpec{}, nil
+	case MsgStartROSpecResponse:
+		return &StartROSpecResponse{}, nil
+	case MsgStopROSpec:
+		return &StopROSpec{}, nil
+	case MsgStopROSpecResponse:
+		return &StopROSpecResponse{}, nil
+	case MsgROAccessReport:
+		return &ROAccessReport{}, nil
+	case MsgKeepAlive:
+		return &KeepAlive{}, nil
+	case MsgKeepAliveAck:
+		return &KeepAliveAck{}, nil
+	case MsgCloseConnection:
+		return &CloseConnection{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+}

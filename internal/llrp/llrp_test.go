@@ -1,0 +1,337 @@
+package llrp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhaseWordRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) || math.Abs(raw) > 1e9 {
+			return true
+		}
+		w := PhaseWordFromRadians(raw)
+		if w >= phaseWordMax {
+			return false
+		}
+		back := RadiansFromPhaseWord(w)
+		// Quantization error is at most half a step.
+		step := 2 * math.Pi / phaseWordMax
+		diff := math.Abs(math.Mod(raw-back, 2*math.Pi))
+		if diff > math.Pi {
+			diff = 2*math.Pi - diff
+		}
+		return diff <= step/2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseWordEdges(t *testing.T) {
+	if PhaseWordFromRadians(0) != 0 {
+		t.Error("0 rad should map to word 0")
+	}
+	// 2π wraps to 0, not 4096.
+	if w := PhaseWordFromRadians(2 * math.Pi); w != 0 {
+		t.Errorf("2π maps to %d", w)
+	}
+	if w := PhaseWordFromRadians(-0.001); w >= phaseWordMax {
+		t.Errorf("negative phase maps to %d", w)
+	}
+	if got := RadiansFromPhaseWord(2048); math.Abs(got-math.Pi) > 1e-9 {
+		t.Errorf("word 2048 = %v, want π", got)
+	}
+}
+
+func TestRSSIWordRoundTrip(t *testing.T) {
+	for _, dbm := range []float64{-62.5, -0.01, 0, -89.99, 30} {
+		w := RSSIWordFromDBm(dbm)
+		if math.Abs(DBmFromRSSIWord(w)-dbm) > 0.005 {
+			t.Errorf("RSSI %v → %d → %v", dbm, w, DBmFromRSSIWord(w))
+		}
+	}
+	if RSSIWordFromDBm(1e9) != math.MaxInt16 {
+		t.Error("overflow not clamped")
+	}
+	if RSSIWordFromDBm(-1e9) != math.MinInt16 {
+		t.Error("underflow not clamped")
+	}
+}
+
+func sampleMessages() []Message {
+	return []Message{
+		&ReaderEventNotification{Event: EventROSpecStarted, TimestampMicros: 12345},
+		&StartROSpec{ROSpecID: 7, DurationMicros: 4_000_000},
+		&StartROSpecResponse{ROSpecID: 7, Status: StatusOK},
+		&StopROSpec{ROSpecID: 7},
+		&StopROSpecResponse{ROSpecID: 7, Status: StatusError},
+		&ROAccessReport{Reports: []TagReportData{
+			{
+				EPC:             [12]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+				AntennaID:       3,
+				ChannelIndex:    9,
+				PeakRSSI:        -6250,
+				PhaseWord:       4095,
+				FirstSeenMicros: 999_999_999,
+			},
+			{PhaseWord: 1},
+		}},
+		&ROAccessReport{},
+		&KeepAlive{},
+		&KeepAliveAck{},
+		&CloseConnection{},
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		frame, err := Encode(42, msg)
+		if err != nil {
+			t.Fatalf("%v: %v", msg.MsgType(), err)
+		}
+		id, got, err := ReadMessage(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%v: %v", msg.MsgType(), err)
+		}
+		if id != 42 {
+			t.Errorf("%v: id = %d", msg.MsgType(), id)
+		}
+		if !reflect.DeepEqual(normalizeReport(got), normalizeReport(msg)) {
+			t.Errorf("%v: round trip mismatch:\n got %+v\nwant %+v", msg.MsgType(), got, msg)
+		}
+	}
+}
+
+// normalizeReport maps a nil and an empty report slice to the same value so
+// DeepEqual compares semantics rather than allocation details.
+func normalizeReport(m Message) Message {
+	if r, ok := m.(*ROAccessReport); ok && len(r.Reports) == 0 {
+		return &ROAccessReport{Reports: []TagReportData{}}
+	}
+	return m
+}
+
+func TestReadMessageErrors(t *testing.T) {
+	// Bad version.
+	frame, err := Encode(1, &KeepAlive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] = 99
+	if _, _, err := ReadMessage(bytes.NewReader(bad)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version err = %v", err)
+	}
+	// Unknown type.
+	bad = append([]byte(nil), frame...)
+	bad[1] = 200
+	if _, _, err := ReadMessage(bytes.NewReader(bad)); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("unknown type err = %v", err)
+	}
+	// Oversized declared body.
+	bad = append([]byte(nil), frame...)
+	bad[2], bad[3], bad[4], bad[5] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := ReadMessage(bytes.NewReader(bad)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize err = %v", err)
+	}
+	// Truncated stream mid-header.
+	if _, _, err := ReadMessage(bytes.NewReader(frame[:3])); err == nil {
+		t.Error("mid-header truncation accepted")
+	}
+	// Truncated stream mid-body.
+	full, err := Encode(1, &StartROSpec{ROSpecID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadMessage(bytes.NewReader(full[:len(full)-2])); err == nil {
+		t.Error("mid-body truncation accepted")
+	}
+}
+
+func TestROAccessReportBodyValidation(t *testing.T) {
+	// A report count inconsistent with the body length must be rejected.
+	frame, err := Encode(5, &ROAccessReport{Reports: make([]TagReportData, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bump the declared count without adding bytes.
+	frame[headerSize+3] = 3
+	if _, _, err := ReadMessage(bytes.NewReader(frame)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("count mismatch err = %v", err)
+	}
+}
+
+func TestStreamOfMessages(t *testing.T) {
+	// Several frames back-to-back decode in order from one stream.
+	var buf bytes.Buffer
+	msgs := sampleMessages()
+	for i, m := range msgs {
+		if err := WriteMessage(&buf, uint32(i), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range msgs {
+		id, m, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if id != uint32(i) {
+			t.Errorf("frame %d: id = %d", i, id)
+		}
+		if m.MsgType() != msgs[i].MsgType() {
+			t.Errorf("frame %d: type %v, want %v", i, m.MsgType(), msgs[i].MsgType())
+		}
+	}
+	if _, _, err := ReadMessage(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("end of stream err = %v", err)
+	}
+}
+
+func TestConnOverPipe(t *testing.T) {
+	client, server := net.Pipe()
+	cc, sc := NewConn(client), NewConn(server)
+	defer cc.Close()
+	defer sc.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		defer close(done)
+		id, msg, err := sc.Receive()
+		if err != nil {
+			done <- err
+			return
+		}
+		if _, ok := msg.(*StartROSpec); !ok {
+			done <- errors.New("server got wrong type")
+			return
+		}
+		done <- sc.Reply(id, &StartROSpecResponse{ROSpecID: 7, Status: StatusOK})
+	}()
+
+	sentID, err := cc.Send(&StartROSpec{ROSpecID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotID, resp, err := cc.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != sentID {
+		t.Errorf("response id %d, want %d", gotID, sentID)
+	}
+	r, ok := resp.(*StartROSpecResponse)
+	if !ok || r.Status != StatusOK || r.ROSpecID != 7 {
+		t.Errorf("response = %+v", resp)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnCorrelationIDsIncrease(t *testing.T) {
+	client, server := net.Pipe()
+	cc := NewConn(client)
+	defer cc.Close()
+	defer server.Close()
+	go func() {
+		// Drain whatever the client writes.
+		io.Copy(io.Discard, server) //nolint:errcheck // draining only
+	}()
+	var last uint32
+	for i := 0; i < 5; i++ {
+		id, err := cc.Send(&KeepAlive{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id <= last {
+			t.Errorf("id %d did not increase past %d", id, last)
+		}
+		last = id
+	}
+}
+
+func TestRandomTagReportRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		var r TagReportData
+		if _, err := rng.Read(r.EPC[:]); err != nil {
+			t.Fatal(err)
+		}
+		r.AntennaID = uint16(rng.Intn(4) + 1)
+		r.ChannelIndex = uint16(rng.Intn(16))
+		r.PeakRSSI = int16(rng.Intn(20000) - 10000)
+		r.PhaseWord = uint16(rng.Intn(phaseWordMax))
+		r.FirstSeenMicros = rng.Uint64()
+		rep := &ROAccessReport{Reports: []TagReportData{r}}
+		frame, err := Encode(uint32(i), rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, back, err := ReadMessage(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := back.(*ROAccessReport)
+		if !ok || len(got.Reports) != 1 || got.Reports[0] != r {
+			t.Fatalf("trial %d mismatch: %+v vs %+v", i, got, r)
+		}
+	}
+}
+
+func TestMessageTypeString(t *testing.T) {
+	for _, m := range sampleMessages() {
+		if m.MsgType().String() == "" {
+			t.Errorf("empty name for %d", m.MsgType())
+		}
+	}
+	if MessageType(250).String() == "" {
+		t.Error("unknown type should render")
+	}
+}
+
+// TestReadMessageNeverPanicsOnGarbage feeds random byte streams to the
+// decoder: every outcome must be a clean error or a valid message, never a
+// panic or a huge allocation.
+func TestReadMessageNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		if _, err := rng.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		// Half the trials get a valid version byte to reach deeper paths.
+		if n > 0 && trial%2 == 0 {
+			buf[0] = ProtocolVersion
+		}
+		_, _, err := ReadMessage(bytes.NewReader(buf))
+		_ = err // any error is fine; a panic would fail the test
+	}
+}
+
+// TestReadMessageTypeConfusion flips type bytes on valid frames: decoding a
+// body under the wrong type must error or produce a well-formed message.
+func TestReadMessageTypeConfusion(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		frame, err := Encode(7, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for wrongType := byte(1); wrongType <= 9; wrongType++ {
+			mutated := append([]byte(nil), frame...)
+			mutated[1] = wrongType
+			_, decoded, err := ReadMessage(bytes.NewReader(mutated))
+			if err == nil && decoded == nil {
+				t.Fatalf("type %d: nil message without error", wrongType)
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package locate implements §V of the paper: pinpointing the reader from the
+// angle spectra of multiple spinning tags. In 2D the bearing lines of two
+// (or more) disks are intersected (Eqn. 9, generalized to weighted least
+// squares for redundant disks). In 3D the horizontal position comes from the
+// azimuths and the height from the polar angles (Eqn. 14a/14b, "compared and
+// balanced" as a weighted mean), with the inherent ±z mirror ambiguity
+// resolved by a dead-space policy.
+package locate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/tagspin/tagspin/internal/geom"
+)
+
+// ErrTooFewBearings reports that fewer than two bearings were supplied.
+var ErrTooFewBearings = errors.New("locate: need at least two bearings")
+
+// Bearing2D is one disk's output in the plane: "the reader lies at this
+// azimuth from my center".
+type Bearing2D struct {
+	// Origin is the disk center.
+	Origin geom.Vec2
+	// Azimuth is the estimated direction φ toward the reader.
+	Azimuth float64
+	// Weight optionally scales this bearing's influence (e.g. by profile
+	// peak power). Zero means 1.
+	Weight float64
+}
+
+// Solve2D intersects the bearing lines. With exactly two bearings it is
+// Eqn. 9; with more it returns the weighted least-squares point.
+func Solve2D(bearings []Bearing2D) (geom.Vec2, error) {
+	if len(bearings) < 2 {
+		return geom.Vec2{}, ErrTooFewBearings
+	}
+	lines := make([]geom.Line2D, 0, len(bearings))
+	for _, b := range bearings {
+		lines = append(lines, geom.Line2D{Origin: b.Origin, Bearing: b.Azimuth, Weight: b.Weight})
+	}
+	p, err := geom.LeastSquaresPoint2D(lines)
+	if err != nil {
+		return geom.Vec2{}, fmt.Errorf("solve 2d: %w", err)
+	}
+	return p, nil
+}
+
+// Bearing3D is one disk's output in space: azimuth and polar angle toward
+// the reader. Because a horizontal disk cannot tell +z from -z (§V-B), only
+// |Polar| is meaningful; Solve3D treats the magnitude as the measurement.
+type Bearing3D struct {
+	// Origin is the disk center (the paper's disks sit at z = 0 of the
+	// local frame; any origin works).
+	Origin geom.Vec3
+	// Azimuth is the estimated horizontal direction φ.
+	Azimuth float64
+	// Polar is the estimated polar angle γ; its sign is ambiguous.
+	Polar float64
+	// Weight optionally scales this bearing's influence. Zero means 1.
+	Weight float64
+}
+
+// weight returns the effective weight.
+func (b Bearing3D) weight() float64 {
+	if b.Weight <= 0 {
+		return 1
+	}
+	return b.Weight
+}
+
+// ZPolicy selects how the ±z mirror ambiguity is resolved.
+type ZPolicy int
+
+const (
+	// ZPreferNonNegative keeps the z ≥ 0 candidate (the paper's
+	// dead-space argument: the mirror position is usually inside the
+	// floor or otherwise impossible). It is the default.
+	ZPreferNonNegative ZPolicy = iota + 1
+	// ZPreferNonPositive keeps the z ≤ 0 candidate.
+	ZPreferNonPositive
+	// ZKeepBoth returns both candidates, best first per policy order.
+	ZKeepBoth
+)
+
+// Options3D configures the 3D solver.
+type Options3D struct {
+	// Policy resolves the mirror ambiguity. Zero means ZPreferNonNegative.
+	Policy ZPolicy
+}
+
+// policy returns the effective policy.
+func (o Options3D) policy() ZPolicy {
+	if o.Policy == 0 {
+		return ZPreferNonNegative
+	}
+	return o.Policy
+}
+
+// Candidate is one 3D solution.
+type Candidate struct {
+	// Position is the estimated reader position.
+	Position geom.Vec3
+	// ZSpread is the standard deviation of the per-bearing height
+	// estimates the candidate was balanced from — a confidence signal
+	// (0 when the bearings agree perfectly).
+	ZSpread float64
+}
+
+// Solve3D estimates the reader position from two or more 3D bearings.
+//
+// The horizontal fix uses the azimuths exactly as in 2D. The height is then
+// estimated per bearing as dist_i·tan|γ_i| (Eqn. 14a/14b) and combined as a
+// weighted mean — the paper's "comparing and balancing" step. The returned
+// slice has one candidate under ZPreferNonNegative/ZPreferNonPositive and
+// two (preferred first) under ZKeepBoth.
+func Solve3D(bearings []Bearing3D, opts Options3D) ([]Candidate, error) {
+	if len(bearings) < 2 {
+		return nil, ErrTooFewBearings
+	}
+	flat := make([]Bearing2D, 0, len(bearings))
+	for _, b := range bearings {
+		flat = append(flat, Bearing2D{Origin: b.Origin.XY(), Azimuth: b.Azimuth, Weight: b.Weight})
+	}
+	xy, err := Solve2D(flat)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-bearing height above each disk plane, Eqn. 14.
+	var zs []float64
+	var weights []float64
+	for _, b := range bearings {
+		horiz := b.Origin.XY().DistanceTo(xy)
+		zs = append(zs, b.Origin.Z+horiz*math.Tan(math.Abs(b.Polar)))
+		weights = append(weights, b.weight())
+	}
+	var zSum, wSum float64
+	for i, z := range zs {
+		zSum += weights[i] * z
+		wSum += weights[i]
+	}
+	zMean := zSum / wSum
+	var spread float64
+	for i, z := range zs {
+		spread += weights[i] * (z - zMean) * (z - zMean)
+	}
+	spread = math.Sqrt(spread / wSum)
+
+	up := Candidate{Position: geom.V3(xy.X, xy.Y, zMean), ZSpread: spread}
+	down := Candidate{Position: geom.V3(xy.X, xy.Y, -zMean), ZSpread: spread}
+	switch opts.policy() {
+	case ZPreferNonPositive:
+		if zMean <= 0 {
+			return []Candidate{up}, nil
+		}
+		return []Candidate{down}, nil
+	case ZKeepBoth:
+		return []Candidate{up, down}, nil
+	default: // ZPreferNonNegative
+		if zMean >= 0 {
+			return []Candidate{up}, nil
+		}
+		return []Candidate{down}, nil
+	}
+}
+
+// SolveLines3D is the alternative full-3D solver used by the many-disk
+// ablation (A5): each bearing becomes a 3D ray (using the signed polar
+// angle) and the weighted least-squares closest point is returned. It
+// assumes the ±z ambiguity was already resolved upstream, e.g. by a
+// vertical disk.
+func SolveLines3D(bearings []Bearing3D) (geom.Vec3, error) {
+	if len(bearings) < 2 {
+		return geom.Vec3{}, ErrTooFewBearings
+	}
+	lines := make([]geom.Line3D, 0, len(bearings))
+	for _, b := range bearings {
+		lines = append(lines, geom.Line3D{
+			Origin: b.Origin,
+			Dir:    geom.DirectionFromAngles(b.Azimuth, b.Polar),
+			Weight: b.Weight,
+		})
+	}
+	p, err := geom.LeastSquaresPoint3D(lines)
+	if err != nil {
+		return geom.Vec3{}, fmt.Errorf("solve lines 3d: %w", err)
+	}
+	return p, nil
+}

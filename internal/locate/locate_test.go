@@ -1,0 +1,226 @@
+package locate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/geom"
+)
+
+func bearingTo2D(origin geom.Vec2, target geom.Vec2) Bearing2D {
+	return Bearing2D{Origin: origin, Azimuth: target.Sub(origin).Bearing()}
+}
+
+func bearingTo3D(origin, target geom.Vec3) Bearing3D {
+	rel := target.Sub(origin)
+	return Bearing3D{Origin: origin, Azimuth: rel.Azimuth(), Polar: rel.Polar()}
+}
+
+func TestSolve2DTwoBearings(t *testing.T) {
+	target := geom.V2(1.2, 2.4)
+	bs := []Bearing2D{
+		bearingTo2D(geom.V2(-0.25, 0), target),
+		bearingTo2D(geom.V2(0.25, 0), target),
+	}
+	got, err := Solve2D(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DistanceTo(target) > 1e-9 {
+		t.Errorf("Solve2D = %v, want %v", got, target)
+	}
+}
+
+func TestSolve2DPaperGeometry(t *testing.T) {
+	// The paper's default layout: disks at (±25 cm, 0), reader a few
+	// meters away at an arbitrary angle.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		az := rng.Float64() * 2 * math.Pi
+		d := 1.5 + 2.5*rng.Float64()
+		target := geom.V2(d*math.Cos(az), d*math.Sin(az))
+		bs := []Bearing2D{
+			bearingTo2D(geom.V2(-0.25, 0), target),
+			bearingTo2D(geom.V2(0.25, 0), target),
+		}
+		got, err := Solve2D(bs)
+		if err != nil {
+			continue // reader collinear with both disks
+		}
+		if got.DistanceTo(target) > 1e-6 {
+			t.Fatalf("trial %d: %v vs %v", i, got, target)
+		}
+	}
+}
+
+func TestSolve2DErrors(t *testing.T) {
+	if _, err := Solve2D(nil); !errors.Is(err, ErrTooFewBearings) {
+		t.Errorf("err = %v", err)
+	}
+	same := Bearing2D{Origin: geom.V2(0, 0), Azimuth: 1}
+	same2 := Bearing2D{Origin: geom.V2(1, 1), Azimuth: 1}
+	if _, err := Solve2D([]Bearing2D{same, same2}); err == nil {
+		t.Error("parallel bearings accepted")
+	}
+}
+
+func TestSolve2DRedundantBearings(t *testing.T) {
+	target := geom.V2(-1.8, 0.9)
+	bs := []Bearing2D{
+		bearingTo2D(geom.V2(-0.25, 0), target),
+		bearingTo2D(geom.V2(0.25, 0), target),
+		bearingTo2D(geom.V2(0, -0.5), target),
+	}
+	got, err := Solve2D(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DistanceTo(target) > 1e-9 {
+		t.Errorf("3-bearing fix = %v, want %v", got, target)
+	}
+}
+
+func TestSolve3DRecoversElevatedReader(t *testing.T) {
+	target := geom.V3(-2.0, 1.0, 1.2)
+	bs := []Bearing3D{
+		bearingTo3D(geom.V3(-0.25, 0, 0), target),
+		bearingTo3D(geom.V3(0.25, 0, 0), target),
+	}
+	cands, err := Solve3D(bs, Options3D{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(cands))
+	}
+	if cands[0].Position.DistanceTo(target) > 1e-6 {
+		t.Errorf("Solve3D = %v, want %v", cands[0].Position, target)
+	}
+	if cands[0].ZSpread > 1e-9 {
+		t.Errorf("perfect bearings should have zero spread, got %v", cands[0].ZSpread)
+	}
+}
+
+func TestSolve3DMirrorAmbiguity(t *testing.T) {
+	target := geom.V3(-2.0, 0.5, 0.9)
+	bs := []Bearing3D{
+		bearingTo3D(geom.V3(-0.25, 0, 0), target),
+		bearingTo3D(geom.V3(0.25, 0, 0), target),
+	}
+	// Flipping the polar sign of the measurements must not change the
+	// solution: only |γ| is used.
+	flipped := append([]Bearing3D(nil), bs...)
+	for i := range flipped {
+		flipped[i].Polar = -flipped[i].Polar
+	}
+	a, err := Solve3D(bs, Options3D{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve3D(flipped, Options3D{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Position.DistanceTo(b[0].Position) > 1e-9 {
+		t.Errorf("sign of polar leaked into the solution: %v vs %v", a[0].Position, b[0].Position)
+	}
+}
+
+func TestSolve3DPolicies(t *testing.T) {
+	target := geom.V3(-1.5, 0.8, 1.0)
+	bs := []Bearing3D{
+		bearingTo3D(geom.V3(-0.25, 0, 0), target),
+		bearingTo3D(geom.V3(0.25, 0, 0), target),
+	}
+	both, err := Solve3D(bs, Options3D{Policy: ZKeepBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) != 2 {
+		t.Fatalf("ZKeepBoth returned %d candidates", len(both))
+	}
+	if math.Abs(both[0].Position.Z-1.0) > 1e-6 || math.Abs(both[1].Position.Z+1.0) > 1e-6 {
+		t.Errorf("candidates = %v, %v", both[0].Position, both[1].Position)
+	}
+	neg, err := Solve3D(bs, Options3D{Policy: ZPreferNonPositive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg[0].Position.Z > 0 {
+		t.Errorf("ZPreferNonPositive returned z = %v", neg[0].Position.Z)
+	}
+}
+
+func TestSolve3DSpreadSignalsDisagreement(t *testing.T) {
+	target := geom.V3(-2.0, 0.8, 1.0)
+	b1 := bearingTo3D(geom.V3(-0.25, 0, 0), target)
+	b2 := bearingTo3D(geom.V3(0.25, 0, 0), target)
+	b2.Polar += 0.1 // corrupt one polar estimate
+	cands, err := Solve3D([]Bearing3D{b1, b2}, Options3D{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0].ZSpread < 0.01 {
+		t.Errorf("spread = %v, want > 0 for disagreeing bearings", cands[0].ZSpread)
+	}
+}
+
+func TestSolve3DElevatedDiskOrigins(t *testing.T) {
+	// Disks mounted at z = 9.5 cm, as in the paper's 3D experiments.
+	target := geom.V3(-2.2, 0.4, 1.1)
+	bs := []Bearing3D{
+		bearingTo3D(geom.V3(-0.25, 0, 0.095), target),
+		bearingTo3D(geom.V3(0.25, 0, 0.095), target),
+	}
+	cands, err := Solve3D(bs, Options3D{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0].Position.DistanceTo(target) > 1e-6 {
+		t.Errorf("elevated-disk fix = %v, want %v", cands[0].Position, target)
+	}
+}
+
+func TestSolve3DErrors(t *testing.T) {
+	if _, err := Solve3D(nil, Options3D{}); !errors.Is(err, ErrTooFewBearings) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSolveLines3D(t *testing.T) {
+	target := geom.V3(-1.1, 2.2, 0.7)
+	bs := []Bearing3D{
+		bearingTo3D(geom.V3(-0.25, 0, 0), target),
+		bearingTo3D(geom.V3(0.25, 0, 0), target),
+		bearingTo3D(geom.V3(0, 0.5, 0.2), target),
+	}
+	got, err := SolveLines3D(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DistanceTo(target) > 1e-6 {
+		t.Errorf("SolveLines3D = %v, want %v", got, target)
+	}
+	if _, err := SolveLines3D(bs[:1]); !errors.Is(err, ErrTooFewBearings) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSolve3DWeighting(t *testing.T) {
+	target := geom.V3(-2.0, 0, 1.0)
+	good1 := bearingTo3D(geom.V3(-0.25, 0, 0), target)
+	good2 := bearingTo3D(geom.V3(0.25, 0, 0), target)
+	bad := bearingTo3D(geom.V3(0, -0.5, 0), target)
+	bad.Polar += 0.3
+	bad.Weight = 1e-9
+	good1.Weight, good2.Weight = 1, 1
+	cands, err := Solve3D([]Bearing3D{good1, good2, bad}, Options3D{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cands[0].Position.Z-1.0) > 1e-3 {
+		t.Errorf("down-weighted bad polar still moved z: %v", cands[0].Position.Z)
+	}
+}

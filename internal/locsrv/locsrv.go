@@ -1,0 +1,347 @@
+// Package locsrv is the central localization server of the Tagspin
+// deployment (§II): it owns the spinning-tag registry, collects phase
+// snapshots from readers over the wire protocol, runs the localization
+// pipeline, and exposes an HTTP/JSON control API.
+package locsrv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/client"
+	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/registry"
+)
+
+// CollectFunc gathers snapshots from a reader; it exists so tests can
+// substitute a canned collector for the real network client.
+type CollectFunc func(addr string, cfg client.Config) (core.Observations, error)
+
+// Config configures the server.
+type Config struct {
+	// Registry is the spinning-tag store. Required.
+	Registry *registry.Registry
+	// Locator runs the pipeline; nil means a default core.Locator.
+	Locator *core.Locator
+	// Collect gathers snapshots; nil means client.Collect.
+	Collect CollectFunc
+	// Client tunes collection sessions.
+	Client client.Config
+	// Logf, when non-nil, receives request log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server implements the HTTP API.
+type Server struct {
+	cfg     Config
+	locator *core.Locator
+	collect CollectFunc
+	mux     *http.ServeMux
+}
+
+// New builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("locsrv: nil registry")
+	}
+	s := &Server{
+		cfg:     cfg,
+		locator: cfg.Locator,
+		collect: cfg.Collect,
+	}
+	if s.locator == nil {
+		s.locator = core.NewLocator(core.Config{})
+	}
+	if s.collect == nil {
+		s.collect = client.Collect
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/tags", s.handleListTags)
+	mux.HandleFunc("POST /v1/tags", s.handleAddTag)
+	mux.HandleFunc("DELETE /v1/tags/{epc}", s.handleRemoveTag)
+	mux.HandleFunc("POST /v1/locate", s.handleLocate)
+	mux.HandleFunc("POST /v1/locate-batch", s.handleLocateBatch)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// logf logs through the configured sink.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("locsrv: encode response: %v", err)
+	}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError writes a JSON error.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleListTags(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Registry.List())
+}
+
+func (s *Server) handleAddTag(w http.ResponseWriter, r *http.Request) {
+	var e registry.Entry
+	if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode entry: %w", err))
+		return
+	}
+	if err := s.cfg.Registry.Add(e); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, registry.ErrDuplicate) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.logf("locsrv: registered tag %s", e.EPC)
+	writeJSON(w, http.StatusCreated, e)
+}
+
+func (s *Server) handleRemoveTag(w http.ResponseWriter, r *http.Request) {
+	epc := r.PathValue("epc")
+	if err := s.cfg.Registry.Remove(epc); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, registry.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": epc})
+}
+
+// LocateRequest asks the server to localize one reader.
+type LocateRequest struct {
+	// ReaderAddr is the reader's protocol endpoint (host:port).
+	ReaderAddr string `json:"readerAddr"`
+	// Mode is "2d" or "3d"; empty means "2d".
+	Mode string `json:"mode,omitempty"`
+	// DurationMillis overrides the session length in simulated
+	// milliseconds.
+	DurationMillis int `json:"durationMillis,omitempty"`
+}
+
+// BearingResult is the per-tag part of a localization response.
+type BearingResult struct {
+	EPC        string  `json:"epc"`
+	AzimuthRad float64 `json:"azimuthRad"`
+	PolarRad   float64 `json:"polarRad,omitempty"`
+	Power      float64 `json:"power"`
+	Snapshots  int     `json:"snapshots"`
+}
+
+// LocateResponse carries a localization result.
+type LocateResponse struct {
+	Mode     string          `json:"mode"`
+	Position [3]float64      `json:"positionM"`
+	Mirror   *[3]float64     `json:"mirrorM,omitempty"`
+	ZSpread  float64         `json:"zSpreadM,omitempty"`
+	Bearings []BearingResult `json:"bearings"`
+}
+
+func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	var req LocateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.ReaderAddr == "" {
+		writeError(w, http.StatusBadRequest, errors.New("readerAddr required"))
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "2d"
+	}
+	if mode != "2d" && mode != "3d" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", mode))
+		return
+	}
+	ccfg := s.cfg.Client
+	if req.DurationMillis > 0 {
+		ccfg.Duration = time.Duration(req.DurationMillis) * time.Millisecond
+	}
+	obs, err := s.collect(req.ReaderAddr, ccfg)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("collect from %s: %w", req.ReaderAddr, err))
+		return
+	}
+	spinning, err := s.cfg.Registry.SpinningTags()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := LocateResponse{Mode: mode}
+	switch mode {
+	case "2d":
+		res, err := s.locator.Locate2D(spinning, obs)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		resp.Position = [3]float64{res.Position.X, res.Position.Y, 0}
+		resp.Bearings = bearingResults(res.Bearings)
+	case "3d":
+		res, err := s.locator.Locate3D(spinning, obs)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		resp.Position = [3]float64{res.Position.X, res.Position.Y, res.Position.Z}
+		mirror := [3]float64{res.Mirror.X, res.Mirror.Y, res.Mirror.Z}
+		resp.Mirror = &mirror
+		resp.ZSpread = res.ZSpread
+		resp.Bearings = bearingResults(res.Bearings)
+	}
+	s.logf("locsrv: located reader %s (%s) at %v", req.ReaderAddr, mode, resp.Position)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// bearingResults converts pipeline bearings for the wire.
+func bearingResults(in []core.TagEstimate) []BearingResult {
+	out := make([]BearingResult, 0, len(in))
+	for _, b := range in {
+		out = append(out, BearingResult{
+			EPC:        b.EPC.String(),
+			AzimuthRad: b.Azimuth,
+			PolarRad:   b.Polar,
+			Power:      b.Power,
+			Snapshots:  b.Snapshots,
+		})
+	}
+	return out
+}
+
+// BatchRequest asks the server to localize several readers concurrently —
+// the paper's motivating deployment calibrates all of a portal's antennas
+// at once.
+type BatchRequest struct {
+	Requests []LocateRequest `json:"requests"`
+}
+
+// BatchItem is one reader's outcome within a batch.
+type BatchItem struct {
+	ReaderAddr string          `json:"readerAddr"`
+	Error      string          `json:"error,omitempty"`
+	Result     *LocateResponse `json:"result,omitempty"`
+}
+
+// BatchResponse carries all outcomes, in request order.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+}
+
+// maxBatch bounds a single batch request.
+const maxBatch = 64
+
+func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Requests) > maxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(req.Requests), maxBatch))
+		return
+	}
+	spinning, err := s.cfg.Registry.SpinningTags()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	items := make([]BatchItem, len(req.Requests))
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			items[i] = s.locateOne(req.Requests[i], spinning)
+		}(i)
+	}
+	wg.Wait()
+	s.logf("locsrv: batch of %d located", len(items))
+	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
+}
+
+// locateOne runs a single localization for the batch path.
+func (s *Server) locateOne(req LocateRequest, spinning []core.SpinningTag) BatchItem {
+	item := BatchItem{ReaderAddr: req.ReaderAddr}
+	if req.ReaderAddr == "" {
+		item.Error = "readerAddr required"
+		return item
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "2d"
+	}
+	if mode != "2d" && mode != "3d" {
+		item.Error = fmt.Sprintf("unknown mode %q", mode)
+		return item
+	}
+	ccfg := s.cfg.Client
+	if req.DurationMillis > 0 {
+		ccfg.Duration = time.Duration(req.DurationMillis) * time.Millisecond
+	}
+	obs, err := s.collect(req.ReaderAddr, ccfg)
+	if err != nil {
+		item.Error = fmt.Sprintf("collect: %v", err)
+		return item
+	}
+	resp := LocateResponse{Mode: mode}
+	switch mode {
+	case "2d":
+		res, err := s.locator.Locate2D(spinning, obs)
+		if err != nil {
+			item.Error = err.Error()
+			return item
+		}
+		resp.Position = [3]float64{res.Position.X, res.Position.Y, 0}
+		resp.Bearings = bearingResults(res.Bearings)
+	case "3d":
+		res, err := s.locator.Locate3D(spinning, obs)
+		if err != nil {
+			item.Error = err.Error()
+			return item
+		}
+		resp.Position = [3]float64{res.Position.X, res.Position.Y, res.Position.Z}
+		mirror := [3]float64{res.Mirror.X, res.Mirror.Y, res.Mirror.Z}
+		resp.Mirror = &mirror
+		resp.ZSpread = res.ZSpread
+		resp.Bearings = bearingResults(res.Bearings)
+	}
+	item.Result = &resp
+	return item
+}

@@ -1,0 +1,84 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// FourierSeries is a truncated real Fourier series
+//
+//	f(x) = A0 + Σ_{k=1..K} (A[k-1]·cos(kx) + B[k-1]·sin(kx))
+//
+// over a 2π-periodic variable. Tagspin fits one to the phase-vs-orientation
+// samples collected with the tag at the disk center (Observation 3.1) and
+// subtracts it from operational phase measurements.
+type FourierSeries struct {
+	A0 float64
+	A  []float64
+	B  []float64
+}
+
+// Order returns the number of harmonics K of the series.
+func (f FourierSeries) Order() int { return len(f.A) }
+
+// Eval evaluates the series at x.
+func (f FourierSeries) Eval(x float64) float64 {
+	v := f.A0
+	for k := range f.A {
+		kx := float64(k+1) * x
+		v += f.A[k]*math.Cos(kx) + f.B[k]*math.Sin(kx)
+	}
+	return v
+}
+
+// PeakToPeak estimates the peak-to-peak amplitude of the series by dense
+// sampling over one period.
+func (f FourierSeries) PeakToPeak() float64 {
+	const samples = 720
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < samples; i++ {
+		v := f.Eval(TwoPi * float64(i) / samples)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}
+
+// FitFourier fits a Fourier series of the given order to samples (x[i],
+// y[i]) by linear least squares. It needs at least 2·order+1 samples.
+func FitFourier(x, y []float64, order int) (FourierSeries, error) {
+	if order < 1 {
+		return FourierSeries{}, fmt.Errorf("mathx: fourier order %d < 1", order)
+	}
+	if len(x) != len(y) {
+		return FourierSeries{}, fmt.Errorf("mathx: %d x-samples vs %d y-samples", len(x), len(y))
+	}
+	cols := 2*order + 1
+	if len(x) < cols {
+		return FourierSeries{}, fmt.Errorf("mathx: need ≥%d samples for order %d, have %d", cols, order, len(x))
+	}
+	design := make([][]float64, len(x))
+	for i, xi := range x {
+		row := make([]float64, cols)
+		row[0] = 1
+		for k := 1; k <= order; k++ {
+			row[2*k-1] = math.Cos(float64(k) * xi)
+			row[2*k] = math.Sin(float64(k) * xi)
+		}
+		design[i] = row
+	}
+	coef, err := LeastSquares(design, y)
+	if err != nil {
+		return FourierSeries{}, fmt.Errorf("fit fourier: %w", err)
+	}
+	fs := FourierSeries{
+		A0: coef[0],
+		A:  make([]float64, order),
+		B:  make([]float64, order),
+	}
+	for k := 1; k <= order; k++ {
+		fs.A[k-1] = coef[2*k-1]
+		fs.B[k-1] = coef[2*k]
+	}
+	return fs, nil
+}

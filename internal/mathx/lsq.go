@@ -1,0 +1,98 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports that a linear system has no unique solution.
+var ErrSingular = errors.New("mathx: singular system")
+
+// SolveLinear solves the square system a·x = b in place by Gaussian
+// elimination with partial pivoting. a and b are consumed (overwritten).
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("mathx: bad system shape %dx? rhs %d", n, len(b))
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("mathx: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for row := col + 1; row < n; row++ {
+			if math.Abs(a[row][col]) > math.Abs(a[pivot][col]) {
+				pivot = row
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for row := col + 1; row < n; row++ {
+			f := a[row][col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[row][k] -= f * a[col][k]
+			}
+			b[row] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for row := n - 1; row >= 0; row-- {
+		sum := b[row]
+		for k := row + 1; k < n; k++ {
+			sum -= a[row][k] * x[k]
+		}
+		x[row] = sum / a[row][row]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖design·x − y‖² via the normal equations
+// designᵀ·design·x = designᵀ·y. design has one row per observation and one
+// column per coefficient. It requires at least as many observations as
+// coefficients.
+func LeastSquares(design [][]float64, y []float64) ([]float64, error) {
+	m := len(design)
+	if m == 0 || len(y) != m {
+		return nil, fmt.Errorf("mathx: design has %d rows, rhs has %d", m, len(y))
+	}
+	n := len(design[0])
+	if m < n {
+		return nil, fmt.Errorf("mathx: underdetermined: %d observations for %d coefficients", m, n)
+	}
+	ata := make([][]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	atb := make([]float64, n)
+	for r := 0; r < m; r++ {
+		row := design[r]
+		if len(row) != n {
+			return nil, fmt.Errorf("mathx: design row %d has %d columns, want %d", r, len(row), n)
+		}
+		for i := 0; i < n; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := i; j < n; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			atb[i] += row[i] * y[r]
+		}
+	}
+	for i := 0; i < n; i++ { // mirror the upper triangle
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	return SolveLinear(ata, atb)
+}

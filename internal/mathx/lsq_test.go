@@ -1,0 +1,216 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-9) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := SolveLinear(a, b); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Error("empty system should error")
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("rhs length mismatch should error")
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged matrix should error")
+	}
+}
+
+func TestSolveLinearProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := make([][]float64, n)
+		orig := make([][]float64, n)
+		b := make([]float64, n)
+		origB := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = make([]float64, n)
+			orig[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				a[i][j] = rng.NormFloat64()
+				orig[i][j] = a[i][j]
+			}
+			a[i][i] += float64(n) + 2 // keep well-conditioned
+			orig[i][i] = a[i][i]
+			b[i] = rng.NormFloat64()
+			origB[i] = b[i]
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var got float64
+			for j := 0; j < n; j++ {
+				got += orig[i][j] * x[j]
+			}
+			if !almostEqual(got, origB[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// y = 3 + 2x fits exactly; LS must recover the coefficients.
+	design := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{3, 5, 7, 9}
+	coef, err := LeastSquares(design, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(coef[0], 3, 1e-9) || !almostEqual(coef[1], 2, 1e-9) {
+		t.Errorf("coef = %v, want [3 2]", coef)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Noisy line; the fit should land near the generating coefficients.
+	rng := rand.New(rand.NewSource(2))
+	var design [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 10
+		design = append(design, []float64{1, x})
+		y = append(y, -1.5+0.75*x+rng.NormFloat64()*0.01)
+	}
+	coef, err := LeastSquares(design, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]+1.5) > 0.01 || math.Abs(coef[1]-0.75) > 0.01 {
+		t.Errorf("coef = %v, want ≈[-1.5 0.75]", coef)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty design should error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2, 3}}, []float64{1}); err == nil {
+		t.Error("underdetermined should error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged design should error")
+	}
+	// Collinear columns make the normal equations singular.
+	design := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	if _, err := LeastSquares(design, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Errorf("collinear err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFitFourierRecoversSeries(t *testing.T) {
+	truth := FourierSeries{A0: 0.4, A: []float64{0.3, -0.1}, B: []float64{-0.2, 0.05}}
+	var xs, ys []float64
+	for i := 0; i < 100; i++ {
+		x := TwoPi * float64(i) / 100
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x))
+	}
+	got, err := FitFourier(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got.A0, truth.A0, 1e-9) {
+		t.Errorf("A0 = %v, want %v", got.A0, truth.A0)
+	}
+	for k := 0; k < 2; k++ {
+		if !almostEqual(got.A[k], truth.A[k], 1e-9) || !almostEqual(got.B[k], truth.B[k], 1e-9) {
+			t.Errorf("harmonic %d = (%v, %v), want (%v, %v)", k+1, got.A[k], got.B[k], truth.A[k], truth.B[k])
+		}
+	}
+}
+
+func TestFitFourierHigherOrderCapturesLower(t *testing.T) {
+	// Fitting order 4 to an order-2 signal must leave harmonics 3,4 ≈ 0.
+	truth := FourierSeries{A0: 0, A: []float64{0.3, 0.1}, B: []float64{0, 0}}
+	var xs, ys []float64
+	for i := 0; i < 180; i++ {
+		x := TwoPi * float64(i) / 180
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x))
+	}
+	got, err := FitFourier(xs, ys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k < 4; k++ {
+		if math.Abs(got.A[k]) > 1e-9 || math.Abs(got.B[k]) > 1e-9 {
+			t.Errorf("spurious harmonic %d: (%v, %v)", k+1, got.A[k], got.B[k])
+		}
+	}
+}
+
+func TestFitFourierNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	truth := FourierSeries{A0: 0.1, A: []float64{0.35}, B: []float64{-0.2}}
+	var xs, ys []float64
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * TwoPi
+		xs = append(xs, x)
+		ys = append(ys, truth.Eval(x)+rng.NormFloat64()*0.05)
+	}
+	got, err := FitFourier(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.A[0]-0.35) > 0.01 || math.Abs(got.B[0]+0.2) > 0.01 {
+		t.Errorf("noisy fit = %+v", got)
+	}
+}
+
+func TestFitFourierErrors(t *testing.T) {
+	if _, err := FitFourier([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("order 0 should error")
+	}
+	if _, err := FitFourier([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FitFourier([]float64{1, 2}, []float64{1, 2}, 1); err == nil {
+		t.Error("too few samples should error")
+	}
+}
+
+func TestFourierPeakToPeak(t *testing.T) {
+	fs := FourierSeries{A0: 5, A: []float64{0.35}, B: []float64{0}}
+	if got := fs.PeakToPeak(); math.Abs(got-0.7) > 1e-3 {
+		t.Errorf("PeakToPeak = %v, want 0.7", got)
+	}
+}

@@ -1,0 +1,109 @@
+// Package mathx provides the numerical building blocks Tagspin needs on top
+// of the standard library: phase wrapping and unwrapping, circular
+// statistics, Gaussian densities, dense linear least squares, Fourier-series
+// fitting, and summary statistics / empirical CDFs.
+package mathx
+
+import "math"
+
+// TwoPi is 2π, the period of RFID phase reports.
+const TwoPi = 2 * math.Pi
+
+// WrapPhase maps a phase to the reader-report range [0, 2π).
+func WrapPhase(p float64) float64 {
+	p = math.Mod(p, TwoPi)
+	if p < 0 {
+		p += TwoPi
+	}
+	return p
+}
+
+// WrapToPi maps a phase difference to (-π, π].
+func WrapToPi(p float64) float64 {
+	p = math.Mod(p+math.Pi, TwoPi)
+	if p <= 0 {
+		p += TwoPi
+	}
+	return p - math.Pi
+}
+
+// Unwrap removes the mod-2π discontinuities of a wrapped phase sequence,
+// implementing the smoothing rule of §III-B: whenever a step between
+// consecutive samples exceeds π in magnitude, a ±2π correction is applied to
+// the remainder of the sequence. The input is not modified.
+func Unwrap(phases []float64) []float64 {
+	out := make([]float64, len(phases))
+	if len(phases) == 0 {
+		return out
+	}
+	out[0] = phases[0]
+	offset := 0.0
+	for i := 1; i < len(phases); i++ {
+		d := phases[i] - phases[i-1]
+		switch {
+		case d > math.Pi:
+			offset -= TwoPi
+		case d < -math.Pi:
+			offset += TwoPi
+		}
+		out[i] = phases[i] + offset
+	}
+	return out
+}
+
+// CircularMean returns the mean direction of a set of angles, in [0, 2π),
+// and the resultant length R in [0, 1]. R near 1 means the angles are
+// tightly concentrated; R near 0 means they are spread out (the mean is then
+// meaningless).
+func CircularMean(angles []float64) (mean, resultant float64) {
+	if len(angles) == 0 {
+		return 0, 0
+	}
+	var s, c float64
+	for _, a := range angles {
+		s += math.Sin(a)
+		c += math.Cos(a)
+	}
+	n := float64(len(angles))
+	mean = math.Atan2(s/n, c/n)
+	if mean < 0 {
+		mean += TwoPi
+	}
+	return mean, math.Hypot(s/n, c/n)
+}
+
+// CircularStd returns the circular standard deviation sqrt(-2 ln R) of a set
+// of angles. It is ≈ the linear standard deviation for tightly concentrated
+// angles and grows without bound as the angles spread.
+func CircularStd(angles []float64) float64 {
+	_, r := CircularMean(angles)
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(-2 * math.Log(r))
+}
+
+// PhaseRMSD returns the root-mean-square wrapped difference between two
+// equal-length phase sequences. It is the residual metric used by the
+// calibration experiments (F4).
+func PhaseRMSD(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := range a {
+		d := WrapToPi(a[i] - b[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(a)))
+}
+
+// GaussPDF evaluates the probability density of N(mu, sigma²) at x. It is
+// the weight kernel of the enhanced power profile R(φ) (Definition 4.1).
+func GaussPDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		return math.NaN()
+	}
+	d := (x - mu) / sigma
+	return math.Exp(-d*d/2) / (sigma * math.Sqrt(TwoPi))
+}

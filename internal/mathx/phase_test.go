@@ -1,0 +1,168 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWrapPhase(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{TwoPi, 0},
+		{-0.5, TwoPi - 0.5},
+		{7, 7 - TwoPi},
+		{-TwoPi - 1, TwoPi - 1},
+	}
+	for _, tt := range tests {
+		if got := WrapPhase(tt.in); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("WrapPhase(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWrapPhaseRange(t *testing.T) {
+	f := func(p float64) bool {
+		if math.IsNaN(p) || math.IsInf(p, 0) || math.Abs(p) > 1e12 {
+			return true
+		}
+		w := WrapPhase(p)
+		return w >= 0 && w < TwoPi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnwrapReversesWrapping(t *testing.T) {
+	// Build a smooth ramp, wrap it, unwrap it, and compare up to a constant.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 200
+		truth := make([]float64, n)
+		wrapped := make([]float64, n)
+		truth[0] = rng.Float64() * TwoPi
+		wrapped[0] = WrapPhase(truth[0])
+		for i := 1; i < n; i++ {
+			// Steps strictly below π so unwrapping is well-posed.
+			truth[i] = truth[i-1] + (rng.Float64()-0.5)*2.5
+			wrapped[i] = WrapPhase(truth[i])
+		}
+		un := Unwrap(wrapped)
+		offset := un[0] - truth[0]
+		for i := range truth {
+			if !almostEqual(un[i]-truth[i], offset, 1e-9) {
+				t.Fatalf("trial %d sample %d: unwrapped %v, truth %v, offset %v",
+					trial, i, un[i], truth[i], offset)
+			}
+		}
+	}
+}
+
+func TestUnwrapEdgeCases(t *testing.T) {
+	if got := Unwrap(nil); len(got) != 0 {
+		t.Errorf("Unwrap(nil) = %v, want empty", got)
+	}
+	if got := Unwrap([]float64{1.5}); len(got) != 1 || got[0] != 1.5 {
+		t.Errorf("Unwrap single = %v", got)
+	}
+	// Exactly the paper's rule: a drop of more than π adds 2π onward.
+	in := []float64{6.0, 0.2, 0.4}
+	got := Unwrap(in)
+	want := []float64{6.0, 0.2 + TwoPi, 0.4 + TwoPi}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("Unwrap[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnwrapDoesNotModifyInput(t *testing.T) {
+	in := []float64{6.0, 0.2, 0.4}
+	Unwrap(in)
+	if in[1] != 0.2 {
+		t.Errorf("input modified: %v", in)
+	}
+}
+
+func TestCircularMean(t *testing.T) {
+	mean, r := CircularMean([]float64{0.1, TwoPi - 0.1})
+	if !almostEqual(mean, 0, 1e-9) && !almostEqual(mean, TwoPi, 1e-9) {
+		t.Errorf("mean across wrap = %v, want ≈0", mean)
+	}
+	if r < 0.99 {
+		t.Errorf("resultant = %v, want ≈1", r)
+	}
+	// Antipodal angles cancel.
+	_, r = CircularMean([]float64{0, math.Pi})
+	if r > 1e-9 {
+		t.Errorf("antipodal resultant = %v, want 0", r)
+	}
+	if _, r := CircularMean(nil); r != 0 {
+		t.Errorf("empty resultant = %v, want 0", r)
+	}
+}
+
+func TestCircularStdMatchesLinearForSmallSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const sigma = 0.1
+	angles := make([]float64, 20000)
+	for i := range angles {
+		angles[i] = WrapPhase(1 + rng.NormFloat64()*sigma)
+	}
+	got := CircularStd(angles)
+	if math.Abs(got-sigma) > 0.01 {
+		t.Errorf("CircularStd = %v, want ≈%v", got, sigma)
+	}
+}
+
+func TestPhaseRMSD(t *testing.T) {
+	a := []float64{0.1, 1.0, 6.2}
+	b := []float64{0.1, 1.0, 6.2}
+	if got := PhaseRMSD(a, b); got != 0 {
+		t.Errorf("identical RMSD = %v, want 0", got)
+	}
+	// Differences evaluated on the circle: 6.2 vs 0.1 differs by ≈0.18, not 6.1.
+	c := []float64{6.2, 1.0, 0.1}
+	got := PhaseRMSD([]float64{0.1, 1.0, 6.2}, c)
+	if got > 0.2 {
+		t.Errorf("wrapped RMSD = %v, want small", got)
+	}
+	if !math.IsNaN(PhaseRMSD(a, []float64{1})) {
+		t.Error("mismatched lengths should give NaN")
+	}
+	if !math.IsNaN(PhaseRMSD(nil, nil)) {
+		t.Error("empty should give NaN")
+	}
+}
+
+func TestGaussPDF(t *testing.T) {
+	peak := GaussPDF(0, 0, 1)
+	if !almostEqual(peak, 1/math.Sqrt(TwoPi), 1e-12) {
+		t.Errorf("standard normal peak = %v", peak)
+	}
+	if GaussPDF(1, 0, 1) >= peak {
+		t.Error("density at 1σ should be below the peak")
+	}
+	if !almostEqual(GaussPDF(3, 3, 0.5), 1/(0.5*math.Sqrt(TwoPi)), 1e-12) {
+		t.Error("shifted/scaled peak wrong")
+	}
+	if !math.IsNaN(GaussPDF(0, 0, 0)) {
+		t.Error("sigma=0 should give NaN")
+	}
+}
+
+func TestGaussPDFSymmetry(t *testing.T) {
+	f := func(x, mu float64) bool {
+		if math.Abs(x) > 1e6 || math.Abs(mu) > 1e6 {
+			return true
+		}
+		return almostEqual(GaussPDF(mu+x, mu, 1.3), GaussPDF(mu-x, mu, 1.3), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

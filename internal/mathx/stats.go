@@ -1,0 +1,150 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation, or NaN for an empty slice.
+func Std(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// RMS returns the root mean square, or NaN for an empty slice.
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x * x
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) using linear
+// interpolation between closest ranks. It returns NaN for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary bundles the descriptive statistics the evaluation section reports
+// for an error-distance sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+}
+
+// Summarize computes a Summary of the samples.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Summary{Mean: nan, Std: nan, Min: nan, Max: nan, Median: nan, P90: nan}
+	}
+	s := Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Std:    Std(xs),
+		Min:    xs[0],
+		Max:    xs[0],
+		Median: Percentile(xs, 50),
+		P90:    Percentile(xs, 90),
+	}
+	for _, x := range xs {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	return s
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value float64
+	Prob  float64
+}
+
+// EmpiricalCDF returns the empirical CDF of the samples as a step-function
+// sample: P(X ≤ Value) = Prob. The input is not modified.
+func EmpiricalCDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, Prob: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF at value v.
+func CDFAt(cdf []CDFPoint, v float64) float64 {
+	// Find the last point with Value <= v.
+	idx := sort.Search(len(cdf), func(i int) bool { return cdf[i].Value > v })
+	if idx == 0 {
+		return 0
+	}
+	return cdf[idx-1].Prob
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// n must be at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}

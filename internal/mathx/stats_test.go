@@ -1,0 +1,132 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdRMS(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Std(xs); !almostEqual(got, math.Sqrt(1.25), 1e-12) {
+		t.Errorf("Std = %v", got)
+	}
+	if got := RMS([]float64{3, 4}); !almostEqual(got, math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMS = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Std(nil)) || !math.IsNaN(RMS(nil)) {
+		t.Error("empty slices should give NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	tests := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {110, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestPercentileDoesNotSortInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input reordered: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || !almostEqual(s.Std, 2, 1e-12) {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Errorf("empty Summary = %+v", empty)
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	cdf := EmpiricalCDF([]float64{3, 1, 2})
+	if len(cdf) != 3 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	if cdf[0].Value != 1 || !almostEqual(cdf[0].Prob, 1.0/3, 1e-12) {
+		t.Errorf("first point = %+v", cdf[0])
+	}
+	if cdf[2].Value != 3 || cdf[2].Prob != 1 {
+		t.Errorf("last point = %+v", cdf[2])
+	}
+	if EmpiricalCDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	cdf := EmpiricalCDF([]float64{1, 2, 3, 4})
+	tests := []struct{ v, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, tt := range tests {
+		if got := CDFAt(cdf, tt.v); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("CDFAt(%v) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		cdf := EmpiricalCDF(xs)
+		// Monotone in both coordinates, ends at probability 1.
+		if !sort.SliceIsSorted(cdf, func(i, j int) bool { return cdf[i].Value < cdf[j].Value }) &&
+			!sort.SliceIsSorted(cdf, func(i, j int) bool { return cdf[i].Value <= cdf[j].Value }) {
+			return false
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Prob < cdf[i-1].Prob {
+				return false
+			}
+		}
+		return cdf[len(cdf)-1].Prob == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("Linspace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := Linspace(2, 9, 1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("n=1 Linspace = %v", got)
+	}
+}

@@ -1,0 +1,242 @@
+// Package phase implements §III of the paper: the phase model of a spinning
+// tag (Eqn. 1–4 and the 3D Eqn. 10), the smoothing rule that removes mod-2π
+// discontinuities, and the two calibration steps — hardware diversity and
+// tag orientation (Observation 3.1).
+package phase
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/mathx"
+)
+
+// Snapshot is one phase report for a spinning tag, as collected from the
+// reader. Time is the reader-side timestamp (the paper uses reader clocks to
+// dodge network latency), measured from the start of the collection session.
+type Snapshot struct {
+	// Time is the reader timestamp of the read.
+	Time time.Duration
+	// Phase is the reported backscatter phase, wrapped to [0, 2π).
+	Phase float64
+	// RSSIdBm is the reported signal strength.
+	RSSIdBm float64
+	// FrequencyHz is the carrier the read happened on.
+	FrequencyHz float64
+	// AntennaID is the reader port that saw the tag.
+	AntennaID int
+}
+
+// Wavelength returns the snapshot's carrier wavelength in meters.
+func (s Snapshot) Wavelength() float64 {
+	return 299_792_458.0 / s.FrequencyHz
+}
+
+// SortByTime sorts snapshots by timestamp in place.
+func SortByTime(snaps []Snapshot) {
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Time < snaps[j].Time })
+}
+
+// Phases extracts the wrapped phase sequence of a snapshot series.
+func Phases(snaps []Snapshot) []float64 {
+	out := make([]float64, len(snaps))
+	for i, s := range snaps {
+		out[i] = s.Phase
+	}
+	return out
+}
+
+// Smooth returns the unwrapped ("smoothed", §III-B) phase sequence of a
+// time-ordered snapshot series, applying the ±2π correction rule whenever
+// consecutive samples jump by more than π.
+func Smooth(snaps []Snapshot) []float64 {
+	return mathx.Unwrap(Phases(snaps))
+}
+
+// Model2D evaluates Eqn. 4: the theoretical wrapped phase of the i-th
+// snapshot of an edge-mounted spinning tag when the signal direction is phi.
+//
+//	ϑ(φ) = (4π/λ)·(D − r·cos(a − φ)) mod 2π
+//
+// where a is the tag's disk angle at the snapshot time and D the distance
+// from disk center to reader.
+func Model2D(lambda, bigD, radius, diskAngle, phi float64) float64 {
+	return mathx.WrapPhase(4 * math.Pi / lambda * (bigD - radius*math.Cos(diskAngle-phi)))
+}
+
+// Model3D evaluates Eqn. 10, the 3D extension with polar angle gamma:
+//
+//	ϑ(φ, γ) = (4π/λ)·(D − r·cos(a − φ)·cos γ) mod 2π
+func Model3D(lambda, bigD, radius, diskAngle, phi, gamma float64) float64 {
+	return mathx.WrapPhase(4 * math.Pi / lambda *
+		(bigD - radius*math.Cos(diskAngle-phi)*math.Cos(gamma)))
+}
+
+// EstimateDiversity estimates the constant misalignment between a measured
+// phase sequence and its theoretical counterpart (Fig. 4(b)): the circular
+// mean of the wrapped per-sample differences. The resultant length of that
+// mean is returned as confidence in [0, 1].
+func EstimateDiversity(measured, theoretical []float64) (offset, confidence float64, err error) {
+	if len(measured) != len(theoretical) || len(measured) == 0 {
+		return 0, 0, fmt.Errorf("phase: mismatched sequences (%d vs %d)", len(measured), len(theoretical))
+	}
+	diffs := make([]float64, len(measured))
+	for i := range measured {
+		diffs[i] = measured[i] - theoretical[i]
+	}
+	offset, confidence = mathx.CircularMean(diffs)
+	return offset, confidence, nil
+}
+
+// OrientationSample is one calibration observation from the center-mounted
+// prelude run: the tag's orientation ρ toward the reader and the phase the
+// reader reported.
+type OrientationSample struct {
+	// Rho is the angle between tag plane and tag→reader sight line.
+	Rho float64
+	// Phase is the reported wrapped phase.
+	Phase float64
+}
+
+// OrientationCalibration is the fitted phase-vs-orientation function of
+// §III-B. Offset(ρ) is defined relative to the reference orientation
+// ρ = π/2 (tag plane perpendicular to the incident signal), which the paper
+// designates as the zero point.
+type OrientationCalibration struct {
+	series mathx.FourierSeries
+	ref    float64
+}
+
+// DefaultOrientationOrder is the Fourier order used to fit the orientation
+// response. Order 4 captures the 2ρ and 4ρ harmonics a roughly symmetric
+// tag antenna exhibits.
+const DefaultOrientationOrder = 4
+
+// FitOrientation runs Step 1 of the §III-B workflow: fit a Fourier series
+// of the given order to center-spin samples. Samples need not be sorted.
+//
+// The reported phases are wrapped while the underlying response is smooth,
+// and real phase reports occasionally contain garbage (decode glitches).
+// Sequential unwrapping would let a single such outlier inject a spurious
+// ±2π step that corrupts everything after it, so the fit works directly in
+// wrapped space: starting from the circular mean, it iteratively re-fits the
+// series to currentModel + wrap(measured − currentModel), trimming samples
+// whose wrapped residual is far outside the noise in the later rounds.
+func FitOrientation(samples []OrientationSample, order int) (OrientationCalibration, error) {
+	if order <= 0 {
+		order = DefaultOrientationOrder
+	}
+	if len(samples) < 2*order+1 {
+		return OrientationCalibration{}, fmt.Errorf(
+			"phase: %d orientation samples, need ≥%d for order %d",
+			len(samples), 2*order+1, order)
+	}
+	xs := make([]float64, len(samples))
+	raw := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = s.Rho
+		raw[i] = s.Phase
+	}
+	mean, _ := mathx.CircularMean(raw)
+	series := mathx.FourierSeries{A0: mean, A: make([]float64, order), B: make([]float64, order)}
+
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		var fitX, fitY []float64
+		var residuals []float64
+		for i := range xs {
+			model := series.Eval(xs[i])
+			res := mathx.WrapToPi(raw[i] - model)
+			residuals = append(residuals, math.Abs(res))
+			fitX = append(fitX, xs[i])
+			fitY = append(fitY, model+res)
+		}
+		if round > 0 {
+			// Trim gross outliers: beyond 4× the median absolute residual
+			// (floored at 0.3 rad so tight fits don't reject honest noise).
+			cut := math.Max(4*mathx.Percentile(residuals, 50), 0.3)
+			trimX := fitX[:0]
+			trimY := fitY[:0]
+			for i := range fitX {
+				if residuals[i] <= cut {
+					trimX = append(trimX, fitX[i])
+					trimY = append(trimY, fitY[i])
+				}
+			}
+			fitX, fitY = trimX, trimY
+			if len(fitX) < 2*order+1 {
+				return OrientationCalibration{}, fmt.Errorf(
+					"phase: only %d orientation samples survive outlier trimming", len(fitX))
+			}
+		}
+		next, err := mathx.FitFourier(fitX, fitY, order)
+		if err != nil {
+			return OrientationCalibration{}, fmt.Errorf("orientation fit: %w", err)
+		}
+		series = next
+	}
+	return OrientationCalibration{series: series, ref: series.Eval(math.Pi / 2)}, nil
+}
+
+// Offset returns the phase shift attributable to orientation ρ, relative to
+// the reference orientation π/2. Subtract it from a measured phase to erase
+// the orientation effect (Step 2 of the workflow).
+func (c OrientationCalibration) Offset(rho float64) float64 {
+	return c.series.Eval(rho) - c.ref
+}
+
+// PeakToPeak reports the fitted response's peak-to-peak amplitude (the
+// paper's ≈0.7 rad).
+func (c OrientationCalibration) PeakToPeak() float64 {
+	return c.series.PeakToPeak()
+}
+
+// orientationCalibrationJSON is the persisted form of a calibration.
+type orientationCalibrationJSON struct {
+	A0        float64   `json:"a0"`
+	Cos       []float64 `json:"cos"`
+	Sin       []float64 `json:"sin"`
+	Reference float64   `json:"reference"`
+}
+
+// MarshalJSON implements json.Marshaler so calibrations can live in the
+// spinning-tag registry.
+func (c OrientationCalibration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(orientationCalibrationJSON{
+		A0:        c.series.A0,
+		Cos:       c.series.A,
+		Sin:       c.series.B,
+		Reference: c.ref,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *OrientationCalibration) UnmarshalJSON(data []byte) error {
+	var j orientationCalibrationJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("orientation calibration: %w", err)
+	}
+	if len(j.Cos) != len(j.Sin) {
+		return fmt.Errorf("orientation calibration: %d cos vs %d sin coefficients", len(j.Cos), len(j.Sin))
+	}
+	c.series = mathx.FourierSeries{A0: j.A0, A: j.Cos, B: j.Sin}
+	c.ref = j.Reference
+	return nil
+}
+
+// Apply returns a copy of snaps with the orientation offset removed.
+// rhoAt must return the tag's orientation toward the (estimated) reader
+// direction for snapshot i. Because ρ depends on the unknown reader
+// direction, the pipeline applies this after a first, uncalibrated
+// direction estimate (see internal/core).
+func (c OrientationCalibration) Apply(snaps []Snapshot, rhoAt func(i int) float64) []Snapshot {
+	out := make([]Snapshot, len(snaps))
+	for i, s := range snaps {
+		s.Phase = mathx.WrapPhase(s.Phase - c.Offset(rhoAt(i)))
+		out[i] = s
+	}
+	return out
+}

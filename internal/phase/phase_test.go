@@ -1,0 +1,226 @@
+package phase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/mathx"
+)
+
+const lambda = 0.325
+
+func TestSnapshotWavelength(t *testing.T) {
+	s := Snapshot{FrequencyHz: 922.5e6}
+	if math.Abs(s.Wavelength()-0.32498) > 1e-4 {
+		t.Errorf("Wavelength = %v", s.Wavelength())
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	snaps := []Snapshot{{Time: 3 * time.Second}, {Time: time.Second}, {Time: 2 * time.Second}}
+	SortByTime(snaps)
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Time < snaps[i-1].Time {
+			t.Fatalf("not sorted: %v", snaps)
+		}
+	}
+}
+
+func TestModel2DBasics(t *testing.T) {
+	// With the tag at disk angle = φ the tag is nearest the reader:
+	// distance D − r.
+	got := Model2D(lambda, 2.0, 0.1, 1.2, 1.2)
+	want := mathx.WrapPhase(4 * math.Pi / lambda * 1.9)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Model2D nearest = %v, want %v", got, want)
+	}
+	// Half a turn later it is farthest: D + r.
+	got = Model2D(lambda, 2.0, 0.1, 1.2+math.Pi, 1.2)
+	want = mathx.WrapPhase(4 * math.Pi / lambda * 2.1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Model2D farthest = %v, want %v", got, want)
+	}
+}
+
+func TestModel3DReducesTo2D(t *testing.T) {
+	for _, a := range []float64{0, 0.7, 2.1, 4.4} {
+		d2 := Model2D(lambda, 2.5, 0.1, a, 0.3)
+		d3 := Model3D(lambda, 2.5, 0.1, a, 0.3, 0)
+		if math.Abs(d2-d3) > 1e-12 {
+			t.Errorf("γ=0 mismatch at a=%v: %v vs %v", a, d2, d3)
+		}
+	}
+	// At γ = ±π/2 the aperture term vanishes entirely.
+	up := Model3D(lambda, 2.5, 0.1, 1.0, 0.3, math.Pi/2)
+	want := mathx.WrapPhase(4 * math.Pi / lambda * 2.5)
+	if math.Abs(up-want) > 1e-9 {
+		t.Errorf("γ=π/2 = %v, want %v", up, want)
+	}
+}
+
+func TestModelPhaseApproximationAccuracy(t *testing.T) {
+	// Eqn. 2's far-field approximation d(t) ≈ D − r·cos(a−φ) should agree
+	// with exact geometry to well under a centimeter at D = 2 m, r = 0.1 m.
+	bigD, r := 2.0, 0.1
+	phi := 0.8
+	for i := 0; i < 36; i++ {
+		a := 2 * math.Pi * float64(i) / 36
+		tagX := r * math.Cos(a)
+		tagY := r * math.Sin(a)
+		rx, ry := bigD*math.Cos(phi), bigD*math.Sin(phi)
+		exact := math.Hypot(tagX-rx, tagY-ry)
+		approx := bigD - r*math.Cos(a-phi)
+		if math.Abs(exact-approx) > 0.005 {
+			t.Errorf("approximation error %v m at a=%v", math.Abs(exact-approx), a)
+		}
+	}
+}
+
+func TestSmoothRemovesWrapJumps(t *testing.T) {
+	// Synthesize Eqn. 3 phases over a rotation and check the smoothed
+	// sequence has no jumps larger than π.
+	var snaps []Snapshot
+	for i := 0; i < 200; i++ {
+		tm := time.Duration(i) * 10 * time.Millisecond
+		a := math.Pi * tm.Seconds()
+		snaps = append(snaps, Snapshot{
+			Time:  tm,
+			Phase: Model2D(lambda, 2.0, 0.1, a, 0),
+		})
+	}
+	smooth := Smooth(snaps)
+	for i := 1; i < len(smooth); i++ {
+		if math.Abs(smooth[i]-smooth[i-1]) > math.Pi {
+			t.Fatalf("jump of %v at %d", smooth[i]-smooth[i-1], i)
+		}
+	}
+}
+
+func TestEstimateDiversity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const trueDiv = 1.7
+	var measured, theory []float64
+	for i := 0; i < 500; i++ {
+		th := rng.Float64() * 2 * math.Pi
+		theory = append(theory, th)
+		measured = append(measured, mathx.WrapPhase(th+trueDiv+rng.NormFloat64()*0.1))
+	}
+	offset, conf, err := EstimateDiversity(measured, theory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mathx.WrapToPi(offset-trueDiv)) > 0.02 {
+		t.Errorf("offset = %v, want ≈%v", offset, trueDiv)
+	}
+	if conf < 0.9 {
+		t.Errorf("confidence = %v, want ≈1", conf)
+	}
+	if _, _, err := EstimateDiversity(nil, nil); err == nil {
+		t.Error("empty sequences should error")
+	}
+	if _, _, err := EstimateDiversity([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+// synthOrientation builds center-spin calibration samples from a known
+// ground-truth response.
+func synthOrientation(truth func(float64) float64, n int, noise float64, rng *rand.Rand) []OrientationSample {
+	samples := make([]OrientationSample, 0, n)
+	for i := 0; i < n; i++ {
+		rho := 2 * math.Pi * float64(i) / float64(n)
+		ph := 2.5 + truth(rho) // 2.5 plays the constant distance+diversity term
+		if noise > 0 {
+			ph += rng.NormFloat64() * noise
+		}
+		samples = append(samples, OrientationSample{Rho: rho, Phase: mathx.WrapPhase(ph)})
+	}
+	return samples
+}
+
+func TestFitOrientationRecoversGroundTruth(t *testing.T) {
+	truth := func(rho float64) float64 { return 0.33*math.Sin(2*rho+0.4) + 0.07*math.Sin(4*rho-0.2) }
+	samples := synthOrientation(truth, 120, 0, nil)
+	cal, err := FitOrientation(samples, DefaultOrientationOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 72; i++ {
+		rho := 2 * math.Pi * float64(i) / 72
+		want := truth(rho) - truth(math.Pi/2)
+		if got := cal.Offset(rho); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("Offset(%v) = %v, want %v", rho, got, want)
+		}
+	}
+	if pp := cal.PeakToPeak(); math.Abs(pp-0.735) > 0.1 {
+		t.Errorf("PeakToPeak = %v", pp)
+	}
+}
+
+func TestFitOrientationNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := func(rho float64) float64 { return 0.3 * math.Sin(2*rho) }
+	samples := synthOrientation(truth, 720, 0.1, rng)
+	cal, err := FitOrientation(samples, DefaultOrientationOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := 0; i < 72; i++ {
+		rho := 2 * math.Pi * float64(i) / 72
+		want := truth(rho) - truth(math.Pi/2)
+		worst = math.Max(worst, math.Abs(cal.Offset(rho)-want))
+	}
+	if worst > 0.05 {
+		t.Errorf("noisy fit worst-case error %v rad", worst)
+	}
+}
+
+func TestFitOrientationReferenceIsPiOver2(t *testing.T) {
+	truth := func(rho float64) float64 { return 0.2 * math.Cos(2*rho) }
+	cal, err := FitOrientation(synthOrientation(truth, 90, 0, nil), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cal.Offset(math.Pi / 2); math.Abs(got) > 1e-9 {
+		t.Errorf("Offset(π/2) = %v, want 0 (reference orientation)", got)
+	}
+}
+
+func TestFitOrientationErrors(t *testing.T) {
+	if _, err := FitOrientation(nil, 4); err == nil {
+		t.Error("no samples should error")
+	}
+	few := synthOrientation(func(float64) float64 { return 0 }, 5, 0, nil)
+	if _, err := FitOrientation(few, 4); err == nil {
+		t.Error("too few samples should error")
+	}
+}
+
+func TestOrientationApply(t *testing.T) {
+	truth := func(rho float64) float64 { return 0.33 * math.Sin(2*rho) }
+	cal, err := FitOrientation(synthOrientation(truth, 120, 0, nil), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshots whose phase carries the orientation effect at known ρ.
+	rhos := []float64{0.3, 1.2, 2.5, 4.0, 5.5}
+	var snaps []Snapshot
+	for _, rho := range rhos {
+		snaps = append(snaps, Snapshot{Phase: mathx.WrapPhase(1 + truth(rho) - truth(math.Pi/2))})
+	}
+	fixed := cal.Apply(snaps, func(i int) float64 { return rhos[i] })
+	for i, s := range fixed {
+		if math.Abs(mathx.WrapToPi(s.Phase-1)) > 1e-6 {
+			t.Errorf("snapshot %d: phase %v, want 1", i, s.Phase)
+		}
+	}
+	// Input snapshots are untouched.
+	if snaps[0].Phase == fixed[0].Phase && rhos[0] != math.Pi/2 {
+		if math.Abs(cal.Offset(rhos[0])) > 1e-9 {
+			t.Error("Apply modified input slice")
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package spectrum
+
+import (
+	"math"
+
+	"github.com/tagspin/tagspin/internal/geom"
+)
+
+// Normalized returns a copy of the profile scaled so its maximum is 1.
+// An all-zero profile is returned unchanged.
+func (p Profile) Normalized() Profile {
+	_, peak := p.Peak()
+	out := Profile{
+		Angles: append([]float64(nil), p.Angles...),
+		Power:  make([]float64, len(p.Power)),
+	}
+	if peak == 0 {
+		copy(out.Power, p.Power)
+		return out
+	}
+	for i, v := range p.Power {
+		out.Power[i] = v / peak
+	}
+	return out
+}
+
+// Sharpness returns peak power divided by mean power. Higher means the
+// profile concentrates energy at the peak — the property Fig. 6 illustrates
+// for R versus Q.
+func (p Profile) Sharpness() float64 {
+	_, peak := p.Peak()
+	if len(p.Power) == 0 || peak == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range p.Power {
+		sum += v
+	}
+	return peak / (sum / float64(len(p.Power)))
+}
+
+// HalfPowerBeamwidth returns the angular width (radians) of the contiguous
+// region around the peak where power stays at or above half the peak.
+func (p Profile) HalfPowerBeamwidth() float64 {
+	n := len(p.Power)
+	if n == 0 {
+		return math.NaN()
+	}
+	peakIdx := 0
+	for i, v := range p.Power {
+		if v > p.Power[peakIdx] {
+			peakIdx = i
+		}
+	}
+	half := p.Power[peakIdx] / 2
+	// Walk left and right on the circular grid until power drops below half.
+	left, right := 0, 0
+	for step := 1; step < n; step++ {
+		if p.Power[(peakIdx-step+n)%n] < half {
+			break
+		}
+		left = step
+	}
+	for step := 1; step < n; step++ {
+		if p.Power[(peakIdx+step)%n] < half {
+			break
+		}
+		right = step
+	}
+	if left+right >= n-1 {
+		return 2 * math.Pi // never drops below half power
+	}
+	// Convert bin counts to radians using the local grid spacing.
+	spacing := 2 * math.Pi / float64(n)
+	if n > 1 {
+		spacing = geom.AngleDistance(p.Angles[1], p.Angles[0])
+	}
+	return float64(left+right+1) * spacing
+}
+
+// PeakToSidelobe returns the ratio of the main peak to the highest local
+// maximum outside the main lobe (the main lobe being the contiguous
+// above-half-power region). It returns +Inf when no sidelobe exists.
+func (p Profile) PeakToSidelobe() float64 {
+	n := len(p.Power)
+	if n < 3 {
+		return math.NaN()
+	}
+	peakIdx := 0
+	for i, v := range p.Power {
+		if v > p.Power[peakIdx] {
+			peakIdx = i
+		}
+	}
+	peak := p.Power[peakIdx]
+	if peak == 0 {
+		return math.NaN()
+	}
+	half := peak / 2
+	inMain := make([]bool, n)
+	inMain[peakIdx] = true
+	for step := 1; step < n; step++ {
+		i := (peakIdx + step) % n
+		if p.Power[i] < half {
+			break
+		}
+		inMain[i] = true
+	}
+	for step := 1; step < n; step++ {
+		i := (peakIdx - step + n) % n
+		if p.Power[i] < half {
+			break
+		}
+		inMain[i] = true
+	}
+	best := 0.0
+	for i := 0; i < n; i++ {
+		if inMain[i] {
+			continue
+		}
+		prev := p.Power[(i-1+n)%n]
+		next := p.Power[(i+1)%n]
+		if p.Power[i] >= prev && p.Power[i] >= next && p.Power[i] > best {
+			best = p.Power[i]
+		}
+	}
+	if best == 0 {
+		return math.Inf(1)
+	}
+	return peak / best
+}
+
+// Normalized returns a copy of the 3D profile scaled so its maximum is 1.
+func (p Profile3D) Normalized() Profile3D {
+	_, _, peak := p.Peak()
+	out := Profile3D{
+		Azimuths: append([]float64(nil), p.Azimuths...),
+		Polars:   append([]float64(nil), p.Polars...),
+		Power:    make([][]float64, len(p.Power)),
+	}
+	for i, row := range p.Power {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			if peak == 0 {
+				r[j] = v
+			} else {
+				r[j] = v / peak
+			}
+		}
+		out.Power[i] = r
+	}
+	return out
+}
+
+// Sharpness returns peak power over mean power for the 3D profile.
+func (p Profile3D) Sharpness() float64 {
+	_, _, peak := p.Peak()
+	var sum float64
+	var count int
+	for _, row := range p.Power {
+		for _, v := range row {
+			sum += v
+			count++
+		}
+	}
+	if count == 0 || peak == 0 {
+		return math.NaN()
+	}
+	return peak / (sum / float64(count))
+}
+
+// ValueAt returns the profile value at the grid point nearest to
+// (azimuth, polar).
+func (p Profile3D) ValueAt(azimuth, polar float64) float64 {
+	if len(p.Power) == 0 || len(p.Azimuths) == 0 {
+		return math.NaN()
+	}
+	bi, bj := 0, 0
+	bestPol := math.Inf(1)
+	for i, g := range p.Polars {
+		if d := math.Abs(g - polar); d < bestPol {
+			bestPol, bi = d, i
+		}
+	}
+	bestAz := math.Inf(1)
+	for j, a := range p.Azimuths {
+		if d := geom.AngleDistance(a, azimuth); d < bestAz {
+			bestAz, bj = d, j
+		}
+	}
+	return p.Power[bi][bj]
+}
+
+// LocalMaxima returns all strict interior local maxima of the 3D profile at
+// or above threshold·peak, sorted by descending power. It is how the Fig. 8
+// experiment demonstrates the two z-mirror peaks.
+func (p Profile3D) LocalMaxima(threshold float64) []Peak3D {
+	_, _, peak := p.Peak()
+	var out []Peak3D
+	rows := len(p.Power)
+	if rows == 0 {
+		return nil
+	}
+	cols := len(p.Power[0])
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := p.Power[i][j]
+			if v < threshold*peak {
+				continue
+			}
+			isMax := true
+			for di := -1; di <= 1 && isMax; di++ {
+				for dj := -1; dj <= 1; dj++ {
+					if di == 0 && dj == 0 {
+						continue
+					}
+					ni := i + di
+					nj := (j + dj + cols) % cols // azimuth wraps
+					if ni < 0 || ni >= rows {
+						continue
+					}
+					if p.Power[ni][nj] > v {
+						isMax = false
+						break
+					}
+				}
+			}
+			if isMax {
+				out = append(out, Peak3D{Azimuth: p.Azimuths[j], Polar: p.Polars[i], Power: v})
+			}
+		}
+	}
+	// Insertion sort by descending power; the list is short.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Power > out[j-1].Power; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

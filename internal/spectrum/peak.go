@@ -1,0 +1,184 @@
+package spectrum
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/phase"
+)
+
+// SearchOptions tunes the coarse-to-fine peak search.
+type SearchOptions struct {
+	// CoarseStep is the initial azimuth grid spacing. Zero means 0.5°.
+	CoarseStep float64
+	// CoarsePolarStep is the initial polar grid spacing (3D only). Zero
+	// means 2°.
+	CoarsePolarStep float64
+	// Refinements is the number of local-grid refinement rounds; each
+	// shrinks the step by 5×. Zero means 4 (≈0.0008° final resolution
+	// from a 0.5° start).
+	Refinements int
+}
+
+func (o SearchOptions) coarseStep() float64 {
+	if o.CoarseStep <= 0 {
+		return geom.Radians(0.5)
+	}
+	return o.CoarseStep
+}
+
+func (o SearchOptions) coarsePolarStep() float64 {
+	if o.CoarsePolarStep <= 0 {
+		return geom.Radians(2)
+	}
+	return o.CoarsePolarStep
+}
+
+func (o SearchOptions) refinements() int {
+	if o.Refinements <= 0 {
+		return 4
+	}
+	return o.Refinements
+}
+
+// FindPeak2D locates the azimuth maximizing the selected profile using a
+// coarse global grid followed by local refinement (ablation A2 validates it
+// against exhaustive search). It returns the refined azimuth and the profile
+// power there.
+func FindPeak2D(snaps []phase.Snapshot, p Params, kind Kind, opts SearchOptions) (float64, float64, error) {
+	terms, err := prepare(snaps, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	sigma := p.sigma()
+	eval := func(phi float64) float64 { return evalAt(terms, kind, sigma, p.LiteralReference, phi, 0) }
+
+	// Coarse pass on a strided snapshot subset (≤64), as in FindPeak3D;
+	// the refinement rounds use the full set.
+	coarse := strideTerms(terms, 64)
+	step := opts.coarseStep()
+	best, bestPow := 0.0, math.Inf(-1)
+	for phi := 0.0; phi < 2*math.Pi; phi += step {
+		if v := evalAt(coarse, kind, sigma, p.LiteralReference, phi, 0); v > bestPow {
+			best, bestPow = phi, v
+		}
+	}
+	bestPow = eval(best)
+	for r := 0; r < opts.refinements(); r++ {
+		fine := step / 5
+		lo := best - step
+		for k := 0; k <= 10; k++ {
+			phi := lo + float64(k)*fine
+			if v := eval(phi); v > bestPow {
+				best, bestPow = phi, v
+			}
+		}
+		step = fine
+	}
+	return geom.NormalizeAngle(best), bestPow, nil
+}
+
+// ExhaustivePeak2D locates the peak on a single dense grid with the given
+// step. It exists as the ground-truth comparator for the coarse-to-fine
+// search (ablation A2); it is O(n/step) and much slower at fine steps.
+func ExhaustivePeak2D(snaps []phase.Snapshot, p Params, kind Kind, step float64) (float64, float64, error) {
+	if step <= 0 {
+		return 0, 0, fmt.Errorf("spectrum: non-positive step %v", step)
+	}
+	terms, err := prepare(snaps, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	sigma := p.sigma()
+	best, bestPow := 0.0, math.Inf(-1)
+	for phi := 0.0; phi < 2*math.Pi; phi += step {
+		if v := evalAt(terms, kind, sigma, p.LiteralReference, phi, 0); v > bestPow {
+			best, bestPow = phi, v
+		}
+	}
+	return best, bestPow, nil
+}
+
+// Peak3D is one located maximum of a 3D profile.
+type Peak3D struct {
+	Azimuth float64
+	Polar   float64
+	Power   float64
+}
+
+// FindPeak3D locates the (azimuth, polar) pair maximizing the selected 3D
+// profile, coarse-to-fine. Because the z-mirror of the true direction scores
+// identically (§V-B), callers usually restrict interpretation to γ ≥ 0 or
+// use dead-space rules; this function simply returns the global maximum it
+// finds.
+func FindPeak3D(snaps []phase.Snapshot, p Params, kind Kind, opts SearchOptions) (Peak3D, error) {
+	terms, err := prepare(snaps, p)
+	if err != nil {
+		return Peak3D{}, err
+	}
+	sigma := p.sigma()
+	eval := func(phi, gamma float64) float64 { return evalAt(terms, kind, sigma, p.LiteralReference, phi, gamma) }
+
+	// The global coarse scan costs |grid|·|snapshots|; a strided snapshot
+	// subset (≤64) is plenty to find the right cell, and the refinement
+	// rounds below use the full set.
+	coarseTerms := strideTerms(terms, 64)
+	coarseEval := func(phi, gamma float64) float64 {
+		return evalAt(coarseTerms, kind, sigma, p.LiteralReference, phi, gamma)
+	}
+
+	azStep := opts.coarseStep() * 4 // 3D coarse pass can be coarser; refined below
+	polStep := opts.coarsePolarStep()
+	best := Peak3D{Power: math.Inf(-1)}
+	for gamma := -math.Pi / 2; gamma <= math.Pi/2; gamma += polStep {
+		for phi := 0.0; phi < 2*math.Pi; phi += azStep {
+			if v := coarseEval(phi, gamma); v > best.Power {
+				best = Peak3D{Azimuth: phi, Polar: gamma, Power: v}
+			}
+		}
+	}
+	// Re-score the coarse winner with the full snapshot set so the
+	// refinement comparisons are apples-to-apples.
+	best.Power = eval(best.Azimuth, best.Polar)
+	for r := 0; r < opts.refinements(); r++ {
+		fineAz, finePol := azStep/5, polStep/5
+		azLo, polLo := best.Azimuth-azStep, best.Polar-polStep
+		for i := 0; i <= 10; i++ {
+			gamma := clampPolar(polLo + float64(i)*finePol)
+			for k := 0; k <= 10; k++ {
+				phi := azLo + float64(k)*fineAz
+				if v := eval(phi, gamma); v > best.Power {
+					best = Peak3D{Azimuth: phi, Polar: gamma, Power: v}
+				}
+			}
+		}
+		azStep, polStep = fineAz, finePol
+	}
+	best.Azimuth = geom.NormalizeAngle(best.Azimuth)
+	return best, nil
+}
+
+// clampPolar keeps a polar candidate inside [-π/2, π/2].
+func clampPolar(g float64) float64 {
+	if g < -math.Pi/2 {
+		return -math.Pi / 2
+	}
+	if g > math.Pi/2 {
+		return math.Pi / 2
+	}
+	return g
+}
+
+// strideTerms subsamples terms down to at most limit entries.
+func strideTerms(terms []snapshotTerm, limit int) []snapshotTerm {
+	if len(terms) <= limit {
+		return terms
+	}
+	stride := (len(terms) + limit - 1) / limit
+	out := make([]snapshotTerm, 0, limit)
+	for i := 0; i < len(terms); i += stride {
+		out = append(out, terms[i])
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package spectrum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/mathx"
+	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/spindisk"
+)
+
+func verticalParams() VerticalParams {
+	return VerticalParams{Disk: spindisk.VerticalDisk{
+		Center:       geom.V3(0, -0.35, 0.3),
+		Radius:       0.10,
+		Omega:        math.Pi,
+		PlaneAzimuth: 0,
+	}}
+}
+
+// synthVertical generates snapshots of a vertically spinning tag using
+// exact geometry.
+func synthVertical(p VerticalParams, reader geom.Vec3, n int, sigma float64, rng *rand.Rand) []phase.Snapshot {
+	period := time.Duration(2 * math.Pi / math.Abs(p.Disk.Omega) * float64(time.Second))
+	snaps := make([]phase.Snapshot, 0, n)
+	for i := 0; i < n; i++ {
+		tm := time.Duration(float64(period) * float64(i) / float64(n))
+		tagPos := p.Disk.TagPositionAt(p.Disk.Angle(tm))
+		ph := 4*math.Pi*tagPos.DistanceTo(reader)/testWave + 0.9
+		if sigma > 0 {
+			ph += rng.NormFloat64() * sigma
+		}
+		snaps = append(snaps, phase.Snapshot{
+			Time:        tm,
+			Phase:       mathx.WrapPhase(ph),
+			FrequencyHz: testFreq,
+		})
+	}
+	return snaps
+}
+
+func TestFindPeakVerticalSignedPolar(t *testing.T) {
+	p := verticalParams()
+	for _, zSign := range []float64{+1, -1} {
+		reader := geom.V3(-2.0, 0.5, 0.3+zSign*0.9)
+		rel := reader.Sub(p.Disk.Center)
+		snaps := synthVertical(p, reader, 90, 0, nil)
+		pk, err := FindPeakVertical(snaps, p, KindR, SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if geom.AngleDistance(pk.Azimuth, rel.Azimuth()) > geom.Radians(3) {
+			t.Errorf("zSign %v: azimuth %.1f°, want %.1f°",
+				zSign, geom.Degrees(pk.Azimuth), geom.Degrees(rel.Azimuth()))
+		}
+		// The signed polar must come out with the right sign — that is the
+		// whole point of the vertical disk.
+		if pk.Polar*rel.Polar() <= 0 {
+			t.Errorf("zSign %v: polar %.1f° has wrong sign (want like %.1f°)",
+				zSign, geom.Degrees(pk.Polar), geom.Degrees(rel.Polar()))
+		}
+		if math.Abs(pk.Polar-rel.Polar()) > geom.Radians(5) {
+			t.Errorf("zSign %v: polar %.1f°, want %.1f°",
+				zSign, geom.Degrees(pk.Polar), geom.Degrees(rel.Polar()))
+		}
+	}
+}
+
+func TestResolveMirror(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := verticalParams()
+	for _, zSign := range []float64{+1, -1} {
+		reader := geom.V3(-1.8, 0.8, 0.3+zSign*1.0)
+		rel := reader.Sub(p.Disk.Center)
+		snaps := synthVertical(p, reader, 90, 0.1, rng)
+		got, err := ResolveMirror(snaps, p, KindR, rel.Azimuth(), math.Abs(rel.Polar()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got*rel.Polar() <= 0 {
+			t.Errorf("zSign %v: resolved polar %.1f°, truth %.1f°",
+				zSign, geom.Degrees(got), geom.Degrees(rel.Polar()))
+		}
+	}
+}
+
+func TestVerticalValidation(t *testing.T) {
+	p := verticalParams()
+	good := synthVertical(p, geom.V3(-2, 0, 1), 20, 0, nil)
+	bad := p
+	bad.Disk.Radius = 0
+	if _, err := FindPeakVertical(good, bad, KindR, SearchOptions{}); err == nil {
+		t.Error("zero radius accepted")
+	}
+	bad = p
+	bad.Disk.Omega = 0
+	if _, err := FindPeakVertical(good, bad, KindR, SearchOptions{}); err == nil {
+		t.Error("zero omega accepted")
+	}
+	if _, err := FindPeakVertical(good[:1], p, KindR, SearchOptions{}); err == nil {
+		t.Error("single snapshot accepted")
+	}
+	noFreq := append([]phase.Snapshot(nil), good...)
+	noFreq[2].FrequencyHz = 0
+	if _, err := FindPeakVertical(noFreq, p, KindR, SearchOptions{}); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := ResolveMirror(good[:1], p, KindR, 0, 0.3); err == nil {
+		t.Error("ResolveMirror single snapshot accepted")
+	}
+}
+
+func TestVerticalQAlsoPeaks(t *testing.T) {
+	p := verticalParams()
+	reader := geom.V3(-2.2, 0.4, 1.2)
+	rel := reader.Sub(p.Disk.Center)
+	snaps := synthVertical(p, reader, 90, 0, nil)
+	pk, err := FindPeakVertical(snaps, p, KindQ, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geom.AngleDistance(pk.Azimuth, rel.Azimuth()) > geom.Radians(3) ||
+		pk.Polar*rel.Polar() <= 0 {
+		t.Errorf("Q vertical peak (%.1f°, %.1f°), want (%.1f°, %.1f°)",
+			geom.Degrees(pk.Azimuth), geom.Degrees(pk.Polar),
+			geom.Degrees(rel.Azimuth()), geom.Degrees(rel.Polar()))
+	}
+}

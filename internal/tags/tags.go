@@ -1,0 +1,182 @@
+// Package tags models the passive UHF tag population of the paper's testbed:
+// the five Alien Technology tag models of Table I, each with a physical
+// orientation-response signature, plus per-tag-instance hardware diversity.
+//
+// The orientation response is the heart of Observation 3.1: because a real
+// tag antenna is never perfectly symmetric, the phase a reader measures
+// shifts with the angle ρ between the tag plane and the tag→reader sight
+// line, by roughly 0.7 rad peak-to-peak. The channel simulator injects each
+// tag's ground-truth response; the calibration pipeline must recover it from
+// data, never by peeking at these parameters.
+package tags
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/tagspin/tagspin/internal/mathx"
+)
+
+// EPC is the 96-bit electronic product code identifying a tag on air.
+type EPC [12]byte
+
+// String renders the EPC as lowercase hex.
+func (e EPC) String() string { return hex.EncodeToString(e[:]) }
+
+// ParseEPC parses a 24-character hex string into an EPC.
+func ParseEPC(s string) (EPC, error) {
+	var e EPC
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return e, fmt.Errorf("parse epc: %w", err)
+	}
+	if len(b) != len(e) {
+		return e, fmt.Errorf("parse epc: got %d bytes, want %d", len(b), len(e))
+	}
+	copy(e[:], b)
+	return e, nil
+}
+
+// Model describes one catalogue entry of Table I.
+type Model struct {
+	// Name is the marketing name ("Squig", "Square", ...).
+	Name string
+	// SKU is the Alien part number.
+	SKU string
+	// Company is the manufacturer.
+	Company string
+	// Chip is the tag IC.
+	Chip string
+	// SizeMM is the antenna footprint in millimeters (width × height).
+	SizeMM [2]float64
+	// Quantity is how many tags of the model the evaluation used.
+	Quantity int
+	// SensitivityDBm is the minimum forward power that wakes the chip.
+	SensitivityDBm float64
+	// Orientation-signature parameters: amplitude (rad) and phase of the
+	// 1ρ…4ρ harmonics of the model's typical phase-vs-orientation
+	// response. The even harmonics dominate (a dipole-like antenna looks
+	// similar from front and back); the smaller odd harmonics come from
+	// feed-point and chip-placement asymmetry, and they are what couples
+	// the orientation effect into the ω aperture term — i.e. what makes
+	// the calibration of §III-B matter.
+	Orient1Amp, Orient1Phase float64
+	Orient2Amp, Orient2Phase float64
+	Orient3Amp, Orient3Phase float64
+	Orient4Amp, Orient4Phase float64
+}
+
+// String implements fmt.Stringer.
+func (m Model) String() string { return fmt.Sprintf("%s %s (%s)", m.Company, m.SKU, m.Name) }
+
+// Catalog returns the Table I tag catalogue. The OCR of the paper lost the
+// exact part numbers and sizes; the entries below are reconstructed from
+// Alien Technology's product line of the era and flagged as such in
+// EXPERIMENTS.md. Amplitudes are chosen so every model's orientation
+// response is ≈0.5–0.8 rad peak-to-peak, matching §III-B's ≈0.7 rad figure.
+func Catalog() []Model {
+	return []Model{
+		{
+			Name: "Squig", SKU: "AZ-9540", Company: "Alien", Chip: "Higgs-3",
+			SizeMM: [2]float64{94.8, 8.1}, Quantity: 10, SensitivityDBm: -18,
+			Orient1Amp: 0.13, Orient1Phase: 0.7, Orient2Amp: 0.33, Orient2Phase: 0.4,
+			Orient3Amp: 0.05, Orient3Phase: -0.4, Orient4Amp: 0.06, Orient4Phase: 1.1,
+		},
+		{
+			Name: "Square", SKU: "AZ-9629", Company: "Alien", Chip: "Higgs-3",
+			SizeMM: [2]float64{22.5, 22.5}, Quantity: 10, SensitivityDBm: -17,
+			Orient1Amp: 0.10, Orient1Phase: -1.1, Orient2Amp: 0.26, Orient2Phase: -0.6,
+			Orient3Amp: 0.04, Orient3Phase: 0.9, Orient4Amp: 0.05, Orient4Phase: 0.3,
+		},
+		{
+			Name: "Squiglette", SKU: "AZ-9610", Company: "Alien", Chip: "Higgs-3",
+			SizeMM: [2]float64{38.1, 7.9}, Quantity: 10, SensitivityDBm: -16,
+			Orient1Amp: 0.15, Orient1Phase: 0.2, Orient2Amp: 0.37, Orient2Phase: 1.2,
+			Orient3Amp: 0.06, Orient3Phase: 1.4, Orient4Amp: 0.08, Orient4Phase: -0.7,
+		},
+		{
+			Name: "X", SKU: "AZ-9634", Company: "Alien", Chip: "Higgs-3",
+			SizeMM: [2]float64{44.5, 44.5}, Quantity: 10, SensitivityDBm: -18,
+			Orient1Amp: 0.12, Orient1Phase: 1.6, Orient2Amp: 0.30, Orient2Phase: 0.0,
+			Orient3Amp: 0.05, Orient3Phase: -0.8, Orient4Amp: 0.07, Orient4Phase: 0.5,
+		},
+		{
+			Name: "Short", SKU: "AZ-9662", Company: "Alien", Chip: "Higgs-3",
+			SizeMM: [2]float64{70.0, 17.0}, Quantity: 10, SensitivityDBm: -17,
+			Orient1Amp: 0.11, Orient1Phase: -0.3, Orient2Amp: 0.35, Orient2Phase: -1.0,
+			Orient3Amp: 0.04, Orient3Phase: 0.5, Orient4Amp: 0.06, Orient4Phase: 0.9,
+		},
+	}
+}
+
+// DefaultModel returns the model used by most of the paper's experiments
+// (the "X" / AZ-9634, chosen for its form factor and signal stability).
+func DefaultModel() Model { return Catalog()[3] }
+
+// ModelByName looks up a catalogue entry by Name or SKU.
+func ModelByName(name string) (Model, error) {
+	for _, m := range Catalog() {
+		if m.Name == name || m.SKU == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("tags: unknown model %q", name)
+}
+
+// Tag is one physical tag instance: a catalogue model plus per-instance
+// hardware diversity.
+type Tag struct {
+	// EPC identifies the tag on air.
+	EPC EPC
+	// Model is the catalogue entry the tag was built from.
+	Model Model
+	// Diversity is this tag's contribution to the θ_div term of Eqn. 1:
+	// a constant phase offset from chip and matching-network variation.
+	Diversity float64
+
+	orient mathx.FourierSeries
+}
+
+// New mints a tag of the given model. The per-instance diversity term and
+// small perturbations of the model's orientation signature are drawn from
+// rng, so two tags of the same model behave similarly but not identically
+// (the paper's Fig. 12(c) finding).
+func New(model Model, rng *rand.Rand) *Tag {
+	var epc EPC
+	if _, err := rng.Read(epc[:]); err != nil {
+		// rand.Rand.Read never fails; keep the EPC zero in the impossible case.
+		epc = EPC{}
+	}
+	perturb := func(v float64) float64 { return v * (1 + 0.08*rng.NormFloat64()) }
+	amps := []float64{model.Orient1Amp, model.Orient2Amp, model.Orient3Amp, model.Orient4Amp}
+	phases := []float64{model.Orient1Phase, model.Orient2Phase, model.Orient3Phase, model.Orient4Phase}
+	// Represent A·sin(kρ+ψ) as A·sin ψ·cos(kρ) + A·cos ψ·sin(kρ).
+	orient := mathx.FourierSeries{A: make([]float64, 4), B: make([]float64, 4)}
+	for k := range amps {
+		a := perturb(amps[k])
+		p := phases[k] + 0.05*rng.NormFloat64()
+		orient.A[k] = a * math.Sin(p)
+		orient.B[k] = a * math.Cos(p)
+	}
+	return &Tag{
+		EPC:       epc,
+		Model:     model,
+		Diversity: rng.Float64() * 2 * math.Pi,
+		orient:    orient,
+	}
+}
+
+// OrientationOffset returns the ground-truth phase offset (radians) the tag
+// adds when observed at orientation ρ. This is physical state of the
+// simulated world: calibration code must estimate it from measurements.
+func (t *Tag) OrientationOffset(rho float64) float64 {
+	return t.orient.Eval(rho)
+}
+
+// OrientationPeakToPeak reports the peak-to-peak amplitude of the tag's
+// ground-truth orientation response, for experiment verification.
+func (t *Tag) OrientationPeakToPeak() float64 {
+	return t.orient.PeakToPeak()
+}

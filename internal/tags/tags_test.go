@@ -1,0 +1,151 @@
+package tags
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/mathx"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 5 {
+		t.Fatalf("catalogue has %d models, want 5 (Table I)", len(cat))
+	}
+	seen := make(map[string]bool, len(cat))
+	for _, m := range cat {
+		if m.Name == "" || m.SKU == "" || m.Chip == "" {
+			t.Errorf("incomplete model %+v", m)
+		}
+		if seen[m.SKU] {
+			t.Errorf("duplicate SKU %s", m.SKU)
+		}
+		seen[m.SKU] = true
+		if m.SizeMM[0] <= 0 || m.SizeMM[1] <= 0 {
+			t.Errorf("%s: bad size %v", m.SKU, m.SizeMM)
+		}
+		if m.SensitivityDBm >= 0 {
+			t.Errorf("%s: implausible sensitivity %v dBm", m.SKU, m.SensitivityDBm)
+		}
+		if m.Quantity <= 0 {
+			t.Errorf("%s: quantity %d", m.SKU, m.Quantity)
+		}
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	m, err := ModelByName("Squig")
+	if err != nil || m.SKU != "AZ-9540" {
+		t.Errorf("by name = %v, %v", m, err)
+	}
+	m, err = ModelByName("AZ-9662")
+	if err != nil || m.Name != "Short" {
+		t.Errorf("by SKU = %v, %v", m, err)
+	}
+	if _, err := ModelByName("nope"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestDefaultModel(t *testing.T) {
+	if DefaultModel().SKU != "AZ-9634" {
+		t.Errorf("default model = %v", DefaultModel())
+	}
+}
+
+func TestEPCRoundTrip(t *testing.T) {
+	e := EPC{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8}
+	parsed, err := ParseEPC(e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != e {
+		t.Errorf("round trip = %v, want %v", parsed, e)
+	}
+	if _, err := ParseEPC("zz"); err == nil {
+		t.Error("bad hex should error")
+	}
+	if _, err := ParseEPC("abcd"); err == nil {
+		t.Error("short EPC should error")
+	}
+}
+
+func TestNewTagDistinctness(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := New(DefaultModel(), rng)
+	b := New(DefaultModel(), rng)
+	if a.EPC == b.EPC {
+		t.Error("two tags share an EPC")
+	}
+	if a.Diversity == b.Diversity {
+		t.Error("two tags share a diversity term")
+	}
+	if a.Diversity < 0 || a.Diversity >= 2*math.Pi {
+		t.Errorf("diversity out of range: %v", a.Diversity)
+	}
+}
+
+func TestOrientationOffsetShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range Catalog() {
+		tag := New(m, rng)
+		pp := tag.OrientationPeakToPeak()
+		if pp < 0.3 || pp > 1.2 {
+			t.Errorf("%s: orientation peak-to-peak %v outside the ≈0.7 rad regime", m.SKU, pp)
+		}
+		// The even harmonics dominate: the response is *approximately*
+		// π-periodic, with the odd (asymmetry) part well below half the
+		// even part.
+		var oddMax float64
+		for _, rho := range []float64{0, 0.5, 1.1, 2.2, 3.0} {
+			d := tag.OrientationOffset(rho) - tag.OrientationOffset(rho+math.Pi)
+			oddMax = math.Max(oddMax, math.Abs(d)/2)
+		}
+		if oddMax > 0.5*pp/2 {
+			t.Errorf("%s: odd harmonic part %v rad too large vs p-p %v", m.SKU, oddMax, pp)
+		}
+		if oddMax == 0 {
+			t.Errorf("%s: odd harmonics missing entirely", m.SKU)
+		}
+	}
+}
+
+func TestOrientationOffsetIsFittable(t *testing.T) {
+	// The calibration pipeline fits a Fourier series to the response; make
+	// sure a 4th-order fit can represent the ground truth exactly.
+	rng := rand.New(rand.NewSource(6))
+	tag := New(DefaultModel(), rng)
+	var xs, ys []float64
+	for i := 0; i < 90; i++ {
+		x := 2 * math.Pi * float64(i) / 90
+		xs = append(xs, x)
+		ys = append(ys, tag.OrientationOffset(x))
+	}
+	fit, err := mathx.FitFourier(xs, ys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs {
+		if math.Abs(fit.Eval(x)-tag.OrientationOffset(x)) > 1e-9 {
+			t.Fatalf("order-4 fit cannot represent ground truth at %v", x)
+		}
+	}
+}
+
+func TestSameModelTagsSimilarButNotIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := New(DefaultModel(), rng)
+	b := New(DefaultModel(), rng)
+	var maxDiff float64
+	for i := 0; i < 360; i++ {
+		rho := 2 * math.Pi * float64(i) / 360
+		maxDiff = math.Max(maxDiff, math.Abs(a.OrientationOffset(rho)-b.OrientationOffset(rho)))
+	}
+	if maxDiff == 0 {
+		t.Error("per-instance perturbation missing")
+	}
+	if maxDiff > 0.3 {
+		t.Errorf("same-model tags too different: max Δ = %v rad", maxDiff)
+	}
+}

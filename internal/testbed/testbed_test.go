@@ -1,0 +1,214 @@
+package testbed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/gen2"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/mathx"
+	"github.com/tagspin/tagspin/internal/spindisk"
+)
+
+func TestDefaultScenarioShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sc := DefaultScenario(0.095, rng)
+	if len(sc.Installs) != 2 {
+		t.Fatalf("installs = %d", len(sc.Installs))
+	}
+	dist := sc.Installs[0].Disk.Center.DistanceTo(sc.Installs[1].Disk.Center)
+	if math.Abs(dist-0.5) > 1e-9 {
+		t.Errorf("disk centers %.2f m apart, want 0.50", dist)
+	}
+	for i, in := range sc.Installs {
+		if in.Disk.Center.Z != 0.095 {
+			t.Errorf("install %d at z = %v", i, in.Disk.Center.Z)
+		}
+		if err := in.Disk.Validate(); err != nil {
+			t.Errorf("install %d: %v", i, err)
+		}
+		if in.Tag == nil {
+			t.Fatalf("install %d has no tag", i)
+		}
+	}
+	if sc.Installs[0].Tag.EPC == sc.Installs[1].Tag.EPC {
+		t.Error("both installs share an EPC")
+	}
+}
+
+func TestPlaceReaderPointsAtDisks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sc := DefaultScenario(0, rng)
+	pos := geom.V3(2, 2, 0)
+	sc.PlaceReader(pos)
+	if sc.Antenna.Position != pos {
+		t.Errorf("antenna at %v", sc.Antenna.Position)
+	}
+	// Boresight faces the disk centroid (the origin).
+	want := geom.V3(0, 0, 0).Sub(pos).Azimuth()
+	if geom.AngleDistance(sc.Antenna.Boresight, want) > 1e-9 {
+		t.Errorf("boresight %v, want %v", sc.Antenna.Boresight, want)
+	}
+}
+
+func TestCollectProducesPlausibleSessions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sc := DefaultScenario(0, rng)
+	sc.PlaceReader(geom.V3(-1.5, 1.5, 0))
+	col, err := sc.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Obs) != 2 || len(col.Registered) != 2 {
+		t.Fatalf("obs=%d registered=%d", len(col.Obs), len(col.Registered))
+	}
+	duration := time.Duration(2 * float64(sc.Installs[0].Disk.Period()))
+	for epc, snaps := range col.Obs {
+		// 80 Hz nominal over two rotations (4 s) with read-probability
+		// gating: expect a few hundred reads but not the full 320.
+		if len(snaps) < 100 || len(snaps) > 320 {
+			t.Errorf("tag %s: %d snapshots", epc, len(snaps))
+		}
+		for i, s := range snaps {
+			if s.Time < 0 || s.Time >= duration {
+				t.Fatalf("tag %s snap %d at %v outside session", epc, i, s.Time)
+			}
+			if s.Phase < 0 || s.Phase >= 2*math.Pi {
+				t.Fatalf("tag %s snap %d phase %v", epc, i, s.Phase)
+			}
+			if s.AntennaID != sc.Antenna.ID {
+				t.Fatalf("tag %s snap %d antenna %d", epc, i, s.AntennaID)
+			}
+		}
+	}
+}
+
+func TestCollectEmptyScenario(t *testing.T) {
+	sc := &Scenario{}
+	if _, err := sc.Collect(rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty scenario accepted")
+	}
+}
+
+func TestHoppingProducesMultipleChannels(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sc := DefaultScenario(0, rng)
+	sc.HopChannel = -1
+	sc.PlaceReader(geom.V3(-1.5, 1.5, 0))
+	col, err := sc.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs := make(map[float64]bool)
+	for _, snaps := range col.Obs {
+		for _, s := range snaps {
+			freqs[s.FrequencyHz] = true
+		}
+	}
+	if len(freqs) < 4 {
+		t.Errorf("hopping produced only %d distinct carriers", len(freqs))
+	}
+}
+
+func TestCalibrateOrientationRecoversTagResponse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sc := DefaultScenario(0, rng)
+	sc.PlaceReader(geom.V3(0, 2.5, 0))
+	in := sc.Installs[0]
+	cal, err := sc.CalibrateOrientation(in, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted offset must track the tag's ground-truth response
+	// (relative to ρ = π/2) to within the noise floor.
+	var worst float64
+	for i := 0; i < 72; i++ {
+		rho := 2 * math.Pi * float64(i) / 72
+		want := in.Tag.OrientationOffset(rho) - in.Tag.OrientationOffset(math.Pi/2)
+		worst = math.Max(worst, math.Abs(cal.Offset(rho)-want))
+	}
+	if worst > 0.08 {
+		t.Errorf("fitted orientation offset deviates %v rad worst-case", worst)
+	}
+}
+
+func TestCalibratedSpinningTags(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sc := DefaultScenario(0, rng)
+	sc.PlaceReader(geom.V3(0, 2.5, 0))
+	st, err := sc.CalibratedSpinningTags(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 2 {
+		t.Fatalf("len = %d", len(st))
+	}
+	for _, s := range st {
+		if s.Orientation == nil {
+			t.Errorf("tag %s missing calibration", s.EPC)
+		}
+	}
+}
+
+func TestActuatorImperfectionsFlowThrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sc := DefaultScenario(0, rng)
+	sc.Actuator = spindisk.ActuatorConfig{JitterStd: 0.02, SurveyStd: 0.01}
+	sc.PlaceReader(geom.V3(-1.5, 1.5, 0))
+	col, err := sc.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With jitter and survey error the phase residual against the ideal
+	// model must exceed the pure-noise floor.
+	var snaps = col.Obs[sc.Installs[0].Tag.EPC]
+	if len(snaps) < 50 {
+		t.Fatalf("only %d snapshots", len(snaps))
+	}
+	var phases []float64
+	for _, s := range snaps {
+		phases = append(phases, s.Phase)
+	}
+	if sd := mathx.CircularStd(phases); sd < 0.1 {
+		t.Errorf("implausibly concentrated phases (std %v) with jitter on", sd)
+	}
+}
+
+func TestCollectWithGen2MAC(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sc := DefaultScenario(0, rng)
+	sc.Gen2 = &gen2.Config{AdaptiveQ: true}
+	sc.PlaceReader(geom.V3(-1.5, 1.5, 0))
+	col, err := sc.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Obs) != 2 {
+		t.Fatalf("tags = %d", len(col.Obs))
+	}
+	duration := time.Duration(2 * float64(sc.Installs[0].Disk.Period()))
+	var gaps []float64
+	for epc, snaps := range col.Obs {
+		if len(snaps) < 50 {
+			t.Errorf("tag %s: only %d MAC-scheduled reads", epc, len(snaps))
+		}
+		for i, s := range snaps {
+			if s.Time <= 0 || s.Time > duration+5*time.Millisecond {
+				t.Fatalf("tag %s read %d at %v", epc, i, s.Time)
+			}
+			if i > 0 {
+				if s.Time < snaps[i-1].Time {
+					t.Fatalf("tag %s reads out of order", epc)
+				}
+				gaps = append(gaps, (s.Time - snaps[i-1].Time).Seconds())
+			}
+		}
+	}
+	// MAC timing is bursty, not uniform: inter-read gaps must vary far
+	// more than a fixed-rate schedule's would.
+	if cv := mathx.Std(gaps) / mathx.Mean(gaps); cv < 0.3 {
+		t.Errorf("gen2 gaps look uniform (cv = %.2f)", cv)
+	}
+}

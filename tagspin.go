@@ -1,0 +1,113 @@
+// Package tagspin is a library reproduction of "Accurate Spatial Calibration
+// of RFID Antennas via Spinning Tags" (Duan, Yang, Liu — ICDCS 2016): a
+// system that localizes a fixed RFID reader antenna to centimeter accuracy
+// using a few reference tags spinning on rotating disks.
+//
+// A tag on the rim of a uniformly rotating disk emulates a circular
+// synthetic-aperture antenna array. From the reader's phase reports for that
+// tag, the library computes an enhanced angle spectrum R(φ) (or R(φ,γ) in
+// 3D) whose peak points from the disk center toward the reader; bearings
+// from two or more disks intersect at the reader's position. Hardware
+// diversity is cancelled with relative phasors, and the tag's
+// orientation-dependent phase response — the paper's Observation 3.1 — is
+// fitted with a Fourier series during an installation-time prelude and
+// subtracted online.
+//
+// # Quick start
+//
+//	loc := tagspin.NewLocator(tagspin.Config{})
+//	res, err := loc.Locate2D(registeredTags, observations)
+//	// res.Position is the reader's estimated position.
+//
+// The library ships a full simulated testbed (internal/testbed and friends)
+// standing in for the paper's hardware; see examples/quickstart for an
+// end-to-end run and DESIGN.md for the system inventory.
+package tagspin
+
+import (
+	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/locate"
+	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/spectrum"
+	"github.com/tagspin/tagspin/internal/spindisk"
+	"github.com/tagspin/tagspin/internal/tags"
+)
+
+// Core pipeline types, re-exported for the public API surface.
+type (
+	// Locator runs the Tagspin pipeline; build one with NewLocator.
+	Locator = core.Locator
+	// Config tunes the pipeline (profile kind, noise model, peak search,
+	// orientation handling, 3D ambiguity policy).
+	Config = core.Config
+	// SpinningTag is one registered infrastructure tag: EPC, disk
+	// geometry, optional orientation calibration.
+	SpinningTag = core.SpinningTag
+	// Observations maps tag EPCs to their snapshot series for a session.
+	Observations = core.Observations
+	// Result2D is a planar localization result.
+	Result2D = core.Result2D
+	// Result3D is a spatial localization result, including the z-mirror
+	// candidate.
+	Result3D = core.Result3D
+	// TagEstimate is a per-tag angle-spectrum peak.
+	TagEstimate = core.TagEstimate
+	// Diagnosis reports how well a tag's snapshots fit its registered
+	// disk geometry (see Locator.ValidateRegistration).
+	Diagnosis = core.Diagnosis
+)
+
+// Measurement and geometry types.
+type (
+	// Snapshot is one phase report from the reader.
+	Snapshot = phase.Snapshot
+	// OrientationSample is one prelude observation for orientation
+	// calibration.
+	OrientationSample = phase.OrientationSample
+	// OrientationCalibration is the fitted phase-orientation function.
+	OrientationCalibration = phase.OrientationCalibration
+	// Disk describes a spinning-tag installation.
+	Disk = spindisk.Disk
+	// EPC is a 96-bit tag identity.
+	EPC = tags.EPC
+	// ProfileKind selects the classic Q or enhanced R power profile.
+	ProfileKind = spectrum.Kind
+	// ZPolicy resolves the 3D mirror ambiguity.
+	ZPolicy = locate.ZPolicy
+)
+
+// Re-exported enum values.
+const (
+	// ProfileQ is the traditional AoA power profile (Eqn. 7/11).
+	ProfileQ = spectrum.KindQ
+	// ProfileR is the paper's enhanced profile (Definitions 4.1/5.1).
+	ProfileR = spectrum.KindR
+	// ZPreferNonNegative keeps the z ≥ 0 candidate (default).
+	ZPreferNonNegative = locate.ZPreferNonNegative
+	// ZPreferNonPositive keeps the z ≤ 0 candidate.
+	ZPreferNonPositive = locate.ZPreferNonPositive
+	// ZKeepBoth returns both mirror candidates.
+	ZKeepBoth = locate.ZKeepBoth
+)
+
+// Pipeline errors.
+var (
+	// ErrTooFewTags reports fewer than two usable spinning tags.
+	ErrTooFewTags = core.ErrTooFewTags
+	// ErrTooFewSnapshots reports a tag with too few reads.
+	ErrTooFewSnapshots = core.ErrTooFewSnapshots
+)
+
+// NewLocator builds a Locator with the given configuration.
+func NewLocator(cfg Config) *Locator { return core.NewLocator(cfg) }
+
+// FitOrientation runs the §III-B calibration prelude fit: given samples of
+// (orientation, phase) collected with the tag spinning at the disk center,
+// it fits the phase-orientation Fourier series. order ≤ 0 selects the
+// default (4).
+func FitOrientation(samples []OrientationSample, order int) (OrientationCalibration, error) {
+	return phase.FitOrientation(samples, order)
+}
+
+// ParseEPC parses a 24-character hex string into an EPC.
+func ParseEPC(s string) (EPC, error) { return tags.ParseEPC(s) }

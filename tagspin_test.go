@@ -1,0 +1,87 @@
+package tagspin_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tagspin/tagspin"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/testbed"
+)
+
+// TestPublicAPIQuickstart drives the whole library through the exported
+// facade only (plus the testbed to generate data), mirroring the README
+// quick start.
+func TestPublicAPIQuickstart(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	world := testbed.DefaultScenario(0, rng)
+	truth := geom.V3(-1.7, 1.5, 0)
+	world.PlaceReader(truth)
+	registered, err := world.CalibratedSpinningTags(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := world.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loc := tagspin.NewLocator(tagspin.Config{Kind: tagspin.ProfileR})
+	res, err := loc.Locate2D(registered, col.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res.Position.DistanceTo(truth.XY()); e > 0.15 {
+		t.Errorf("public-API 2D error %.1f cm", e*100)
+	}
+
+	res3, err := loc.Locate3D(registered, col.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Mirror.Z > res3.Position.Z {
+		t.Error("default ZPolicy should prefer the non-negative candidate")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	loc := tagspin.NewLocator(tagspin.Config{})
+	if _, err := loc.Locate2D(nil, nil); err == nil {
+		t.Error("empty locate should fail")
+	}
+}
+
+func TestPublicFitOrientation(t *testing.T) {
+	var samples []tagspin.OrientationSample
+	for i := 0; i < 90; i++ {
+		rho := 2 * math.Pi * float64(i) / 90
+		samples = append(samples, tagspin.OrientationSample{
+			Rho:   rho,
+			Phase: 1 + 0.3*math.Sin(2*rho),
+		})
+	}
+	cal, err := tagspin.FitOrientation(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cal.Offset(math.Pi / 2); math.Abs(got) > 1e-9 {
+		t.Errorf("reference offset = %v, want 0", got)
+	}
+	if pp := cal.PeakToPeak(); math.Abs(pp-0.6) > 0.05 {
+		t.Errorf("peak-to-peak = %v, want ≈0.6", pp)
+	}
+}
+
+func TestPublicParseEPC(t *testing.T) {
+	epc, err := tagspin.ParseEPC("00112233445566778899aabb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epc.String() != "00112233445566778899aabb" {
+		t.Errorf("round trip = %s", epc)
+	}
+	if _, err := tagspin.ParseEPC("nope"); err == nil {
+		t.Error("bad EPC accepted")
+	}
+}
