@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race is the pre-merge gate for the parallel spectrum/locator paths:
+# vet plus the full test suite under the race detector.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/spectrum/
+
+# bench-json regenerates the machine-readable perf snapshot consumed by
+# trajectory tooling (see cmd/tagspin-bench).
+bench-json:
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_1.json

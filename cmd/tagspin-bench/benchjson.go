@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/mathx"
+	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/spectrum"
+	"github.com/tagspin/tagspin/internal/testbed"
+)
+
+// benchResult is one benchmark row of the machine-readable report.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// benchReport is the BENCH_1.json envelope. The schema string is versioned
+// so future PRs can extend the format without breaking trajectory tooling.
+type benchReport struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"goVersion"`
+	GoMaxProcs int           `json:"goMaxProcs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// writeBenchJSON measures the spectrum hot paths with testing.Benchmark and
+// writes the results (ns/op, allocs/op) as JSON, giving future PRs a
+// machine-readable perf trajectory for the evaluation engine.
+func writeBenchJSON(path string) error {
+	rng := rand.New(rand.NewSource(9))
+	sc := testbed.DefaultScenario(0, rng)
+	sc.Installs = sc.Installs[:1]
+	sc.PlaceReader(geom.V3(-2.2, 1.3, 0))
+	col, err := sc.Collect(rng)
+	if err != nil {
+		return err
+	}
+	snaps := col.Obs[sc.Installs[0].Tag.EPC]
+	phase.SortByTime(snaps)
+	params := spectrum.Params{Disk: sc.Installs[0].Disk}
+
+	evQ, err := spectrum.NewEvaluator(snaps, params, spectrum.KindQ)
+	if err != nil {
+		return err
+	}
+	evR, err := spectrum.NewEvaluator(snaps, params, spectrum.KindR)
+	if err != nil {
+		return err
+	}
+	angles := spectrum.UniformAngles(720)
+	coarseAz := spectrum.UniformAngles(180)
+	coarsePol := mathx.Linspace(-math.Pi/2, math.Pi/2, 91)
+
+	var sink float64
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"EvalAtQ", func(b *testing.B) {
+			sc := evQ.NewScratch()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink = evQ.EvalAt(sc, float64(i)*0.001, 0.1)
+			}
+		}},
+		{"EvalAtR", func(b *testing.B) {
+			sc := evR.NewScratch()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink = evR.EvalAt(sc, float64(i)*0.001, 0.1)
+			}
+		}},
+		{"Profile2DR", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				evR.Profile2D(angles)
+			}
+		}},
+		{"Profile3DCoarseSerial", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				evR.Profile3DSerial(coarseAz, coarsePol)
+			}
+		}},
+		{"Profile3DCoarseParallel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				evR.Profile3D(coarseAz, coarsePol)
+			}
+		}},
+		{"FindPeak2DR", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := spectrum.FindPeak2D(snaps, params, spectrum.KindR, spectrum.SearchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	report := benchReport{
+		Schema:     "tagspin-bench/1",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, bench := range benches {
+		res := testing.Benchmark(bench.fn)
+		report.Benchmarks = append(report.Benchmarks, benchResult{
+			Name:        bench.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "tagspin-bench: %-24s %12.0f ns/op %6d allocs/op\n",
+			bench.name, float64(res.T.Nanoseconds())/float64(res.N), res.AllocsPerOp())
+	}
+	_ = sink
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

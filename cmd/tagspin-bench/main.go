@@ -7,6 +7,7 @@
 //	tagspin-bench -run F10a,T2    # run selected experiments
 //	tagspin-bench -list           # list experiment ids
 //	tagspin-bench -trials 100     # override per-experiment trial counts
+//	tagspin-bench -benchjson BENCH_1.json  # machine-readable spectrum perf
 package main
 
 import (
@@ -29,13 +30,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tagspin-bench", flag.ContinueOnError)
 	var (
-		runIDs = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
-		list   = fs.Bool("list", false, "list experiment ids and exit")
-		seed   = fs.Int64("seed", 0, "random seed")
-		trials = fs.Int("trials", 0, "override per-experiment trial counts (0 = defaults)")
+		runIDs    = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list      = fs.Bool("list", false, "list experiment ids and exit")
+		seed      = fs.Int64("seed", 0, "random seed")
+		trials    = fs.Int("trials", 0, "override per-experiment trial counts (0 = defaults)")
+		benchJSON = fs.String("benchjson", "", "write spectrum micro-benchmark results (ns/op, allocs/op) as JSON to this file and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchJSON != "" {
+		return writeBenchJSON(*benchJSON)
 	}
 	if *list {
 		for _, r := range experiment.All() {

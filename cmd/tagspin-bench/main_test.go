@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestListAndSelect(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -15,5 +20,48 @@ func TestListAndSelect(t *testing.T) {
 func TestUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-run", "F99"}); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestBenchJSON exercises the machine-readable perf report end to end: the
+// file must parse, carry every expected benchmark, and show the zero-alloc
+// steady state of the evaluation engine.
+func TestBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks take seconds")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	if err := run([]string{"-benchjson", path}); err != nil {
+		t.Fatalf("-benchjson: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	if report.Schema != "tagspin-bench/1" {
+		t.Errorf("schema = %q", report.Schema)
+	}
+	rows := map[string]benchResult{}
+	for _, b := range report.Benchmarks {
+		rows[b.Name] = b
+		if b.Iterations <= 0 || b.NsPerOp <= 0 {
+			t.Errorf("benchmark %s has empty measurements: %+v", b.Name, b)
+		}
+	}
+	for _, name := range []string{"EvalAtQ", "EvalAtR", "Profile2DR", "Profile3DCoarseSerial", "Profile3DCoarseParallel", "FindPeak2DR"} {
+		if _, ok := rows[name]; !ok {
+			t.Errorf("missing benchmark %q", name)
+		}
+	}
+	// The acceptance property of the evaluation engine: steady-state
+	// candidate evaluations allocate nothing.
+	for _, name := range []string{"EvalAtQ", "EvalAtR"} {
+		if b, ok := rows[name]; ok && b.AllocsPerOp != 0 {
+			t.Errorf("%s allocates %d per op, want 0", name, b.AllocsPerOp)
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/tagspin/tagspin/internal/geom"
 	"github.com/tagspin/tagspin/internal/locate"
@@ -230,21 +231,47 @@ func orderTags(registered []SpinningTag, obs Observations) []SpinningTag {
 	return present
 }
 
+// estimateAll runs fn — a per-tag spectrum estimate — for every present tag
+// concurrently. The per-tag peak searches are independent and dominate a
+// pass's cost, so one goroutine per tag keeps all cores busy even for a
+// single localization request. Results land in tag-index slots and the first
+// error *in tag order* is returned, so the output is deterministic
+// regardless of goroutine scheduling.
+func estimateAll(present []SpinningTag, fn func(tag SpinningTag) (TagEstimate, error)) ([]TagEstimate, error) {
+	ests := make([]TagEstimate, len(present))
+	errs := make([]error, len(present))
+	var wg sync.WaitGroup
+	wg.Add(len(present))
+	for i, tag := range present {
+		go func(i int, tag SpinningTag) {
+			defer wg.Done()
+			ests[i], errs[i] = fn(tag)
+		}(i, tag)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ests, nil
+}
+
 // solvePass2D runs one estimate-and-intersect pass.
 func (l *Locator) solvePass2D(present []SpinningTag, selected map[string][]phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec2) ([]TagEstimate, geom.Vec2, error) {
-	var ests []TagEstimate
-	var bearings []locate.Bearing2D
-	for _, tag := range present {
-		est, err := l.estimate2D(tag, selected[tag.EPC.String()], kind, correctAgainst)
-		if err != nil {
-			return nil, geom.Vec2{}, err
-		}
-		ests = append(ests, est)
-		bearings = append(bearings, locate.Bearing2D{
+	ests, err := estimateAll(present, func(tag SpinningTag) (TagEstimate, error) {
+		return l.estimate2D(tag, selected[tag.EPC.String()], kind, correctAgainst)
+	})
+	if err != nil {
+		return nil, geom.Vec2{}, err
+	}
+	bearings := make([]locate.Bearing2D, len(present))
+	for i, tag := range present {
+		bearings[i] = locate.Bearing2D{
 			Origin:  tag.Disk.Center.XY(),
-			Azimuth: est.Azimuth,
-			Weight:  est.Power,
-		})
+			Azimuth: ests[i].Azimuth,
+			Weight:  ests[i].Power,
+		}
 	}
 	pos, err := locate.Solve2D(bearings)
 	if err != nil {
@@ -327,20 +354,20 @@ func (l *Locator) wantsOrientation(present []SpinningTag) bool {
 
 // solvePass3D runs one estimate-and-triangulate pass.
 func (l *Locator) solvePass3D(present []SpinningTag, selected map[string][]phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec3) ([]TagEstimate, []locate.Candidate, error) {
-	var ests []TagEstimate
-	var bearings []locate.Bearing3D
-	for _, tag := range present {
-		est, err := l.estimate3D(tag, selected[tag.EPC.String()], kind, correctAgainst)
-		if err != nil {
-			return nil, nil, err
-		}
-		ests = append(ests, est)
-		bearings = append(bearings, locate.Bearing3D{
+	ests, err := estimateAll(present, func(tag SpinningTag) (TagEstimate, error) {
+		return l.estimate3D(tag, selected[tag.EPC.String()], kind, correctAgainst)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	bearings := make([]locate.Bearing3D, len(present))
+	for i, tag := range present {
+		bearings[i] = locate.Bearing3D{
 			Origin:  tag.Disk.Center,
-			Azimuth: est.Azimuth,
-			Polar:   est.Polar,
-			Weight:  est.Power,
-		})
+			Azimuth: ests[i].Azimuth,
+			Polar:   ests[i].Polar,
+			Weight:  ests[i].Power,
+		}
 	}
 	cands, err := locate.Solve3D(bearings, locate.Options3D{Policy: locate.ZKeepBoth})
 	if err != nil {

@@ -348,3 +348,43 @@ func TestValidateRegistration(t *testing.T) {
 		t.Error("starved validation accepted")
 	}
 }
+
+// TestLocateParallelDeterministic pins the concurrency contract of the
+// per-tag bearing fan-out: repeated runs over identical snapshots must give
+// bit-identical results (positions, bearings, powers), regardless of
+// goroutine scheduling. Run with -race to also check memory safety.
+func TestLocateParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sc := testbed.DefaultScenario(0, rng)
+	sc.PlaceReader(geom.V3(-1.7, 1.5, 0))
+	registered, err := sc.CalibratedSpinningTags(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := sc.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := core.NewLocator(core.Config{})
+	ref, err := loc.Locate2D(registered, col.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		res, err := loc.Locate2D(registered, col.Obs)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if res.Position != ref.Position {
+			t.Fatalf("run %d: position %v != %v", run, res.Position, ref.Position)
+		}
+		if len(res.Bearings) != len(ref.Bearings) {
+			t.Fatalf("run %d: %d bearings != %d", run, len(res.Bearings), len(ref.Bearings))
+		}
+		for i, b := range res.Bearings {
+			if b != ref.Bearings[i] {
+				t.Fatalf("run %d bearing %d: %+v != %+v", run, i, b, ref.Bearings[i])
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
@@ -32,6 +33,11 @@ type Config struct {
 	Collect CollectFunc
 	// Client tunes collection sessions.
 	Client client.Config
+	// BatchConcurrency bounds how many batch items run at once; zero means
+	// GOMAXPROCS. Each item drives a full collect + localization pipeline
+	// (which itself parallelizes across tags and grid points), so an
+	// unbounded fan-out would multiply that work by the batch size.
+	BatchConcurrency int
 	// Logf, when non-nil, receives request log lines.
 	Logf func(format string, args ...any)
 }
@@ -174,55 +180,17 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 		return
 	}
-	if req.ReaderAddr == "" {
-		writeError(w, http.StatusBadRequest, errors.New("readerAddr required"))
-		return
-	}
-	mode := req.Mode
-	if mode == "" {
-		mode = "2d"
-	}
-	if mode != "2d" && mode != "3d" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", mode))
-		return
-	}
-	ccfg := s.cfg.Client
-	if req.DurationMillis > 0 {
-		ccfg.Duration = time.Duration(req.DurationMillis) * time.Millisecond
-	}
-	obs, err := s.collect(req.ReaderAddr, ccfg)
-	if err != nil {
-		writeError(w, http.StatusBadGateway, fmt.Errorf("collect from %s: %w", req.ReaderAddr, err))
-		return
-	}
 	spinning, err := s.cfg.Registry.SpinningTags()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp := LocateResponse{Mode: mode}
-	switch mode {
-	case "2d":
-		res, err := s.locator.Locate2D(spinning, obs)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-		resp.Position = [3]float64{res.Position.X, res.Position.Y, 0}
-		resp.Bearings = bearingResults(res.Bearings)
-	case "3d":
-		res, err := s.locator.Locate3D(spinning, obs)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-		resp.Position = [3]float64{res.Position.X, res.Position.Y, res.Position.Z}
-		mirror := [3]float64{res.Mirror.X, res.Mirror.Y, res.Mirror.Z}
-		resp.Mirror = &mirror
-		resp.ZSpread = res.ZSpread
-		resp.Bearings = bearingResults(res.Bearings)
+	resp, serr := s.locateOne(req, spinning)
+	if serr != nil {
+		writeError(w, serr.status, serr)
+		return
 	}
-	s.logf("locsrv: located reader %s (%s) at %v", req.ReaderAddr, mode, resp.Position)
+	s.logf("locsrv: located reader %s (%s) at %v", req.ReaderAddr, resp.Mode, resp.Position)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -263,6 +231,14 @@ type BatchResponse struct {
 // maxBatch bounds a single batch request.
 const maxBatch = 64
 
+// batchConcurrency returns the bound on concurrently running batch items.
+func (s *Server) batchConcurrency() int {
+	if s.cfg.BatchConcurrency > 0 {
+		return s.cfg.BatchConcurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -282,13 +258,26 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	// A semaphore bounds how many items are in flight: each item runs a
+	// full collect + localization pipeline, so goroutine-per-request with
+	// no bound would thrash the CPU (and the readers) on large batches.
 	items := make([]BatchItem, len(req.Requests))
+	sem := make(chan struct{}, s.batchConcurrency())
 	var wg sync.WaitGroup
+	wg.Add(len(req.Requests))
 	for i := range req.Requests {
-		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			items[i] = s.locateOne(req.Requests[i], spinning)
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			item := BatchItem{ReaderAddr: req.Requests[i].ReaderAddr}
+			resp, serr := s.locateOne(req.Requests[i], spinning)
+			if serr != nil {
+				item.Error = serr.Error()
+			} else {
+				item.Result = resp
+			}
+			items[i] = item
 		}(i)
 	}
 	wg.Wait()
@@ -296,20 +285,30 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
 }
 
-// locateOne runs a single localization for the batch path.
-func (s *Server) locateOne(req LocateRequest, spinning []core.SpinningTag) BatchItem {
-	item := BatchItem{ReaderAddr: req.ReaderAddr}
+// statusError pairs the HTTP status the single-locate endpoint sends with
+// the underlying error; the batch endpoint flattens it to a string.
+type statusError struct {
+	status int
+	err    error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// locateOne validates one request, collects snapshots from the reader, and
+// runs the localization pipeline. Both the single-locate handler and every
+// batch item share this path, so validation, error mapping, and response
+// construction cannot drift between the two.
+func (s *Server) locateOne(req LocateRequest, spinning []core.SpinningTag) (*LocateResponse, *statusError) {
 	if req.ReaderAddr == "" {
-		item.Error = "readerAddr required"
-		return item
+		return nil, &statusError{http.StatusBadRequest, errors.New("readerAddr required")}
 	}
 	mode := req.Mode
 	if mode == "" {
 		mode = "2d"
 	}
 	if mode != "2d" && mode != "3d" {
-		item.Error = fmt.Sprintf("unknown mode %q", mode)
-		return item
+		return nil, &statusError{http.StatusBadRequest, fmt.Errorf("unknown mode %q", mode)}
 	}
 	ccfg := s.cfg.Client
 	if req.DurationMillis > 0 {
@@ -317,24 +316,21 @@ func (s *Server) locateOne(req LocateRequest, spinning []core.SpinningTag) Batch
 	}
 	obs, err := s.collect(req.ReaderAddr, ccfg)
 	if err != nil {
-		item.Error = fmt.Sprintf("collect: %v", err)
-		return item
+		return nil, &statusError{http.StatusBadGateway, fmt.Errorf("collect from %s: %w", req.ReaderAddr, err)}
 	}
-	resp := LocateResponse{Mode: mode}
+	resp := &LocateResponse{Mode: mode}
 	switch mode {
 	case "2d":
 		res, err := s.locator.Locate2D(spinning, obs)
 		if err != nil {
-			item.Error = err.Error()
-			return item
+			return nil, &statusError{http.StatusUnprocessableEntity, err}
 		}
 		resp.Position = [3]float64{res.Position.X, res.Position.Y, 0}
 		resp.Bearings = bearingResults(res.Bearings)
 	case "3d":
 		res, err := s.locator.Locate3D(spinning, obs)
 		if err != nil {
-			item.Error = err.Error()
-			return item
+			return nil, &statusError{http.StatusUnprocessableEntity, err}
 		}
 		resp.Position = [3]float64{res.Position.X, res.Position.Y, res.Position.Z}
 		mirror := [3]float64{res.Mirror.X, res.Mirror.Y, res.Mirror.Z}
@@ -342,6 +338,5 @@ func (s *Server) locateOne(req LocateRequest, spinning []core.SpinningTag) Batch
 		resp.ZSpread = res.ZSpread
 		resp.Bearings = bearingResults(res.Bearings)
 	}
-	item.Result = &resp
-	return item
+	return resp, nil
 }

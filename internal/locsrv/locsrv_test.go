@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/tagspin/tagspin/internal/client"
 	"github.com/tagspin/tagspin/internal/core"
@@ -314,6 +317,117 @@ func TestLocateBatch(t *testing.T) {
 	}
 	if out.Items[2].Result == nil || out.Items[2].Result.Mirror == nil {
 		t.Errorf("item 2 should be a 3D result: %+v", out.Items[2])
+	}
+}
+
+// TestLocateBatchBounded drives a full-size batch of 64 through a canned
+// collector that records its own concurrency, and asserts the semaphore
+// keeps the in-flight count at the configured bound. Run under -race it is
+// also the data-race test for the batch fan-out.
+func TestLocateBatchBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sc := testbed.DefaultScenario(0, rng)
+	sc.PlaceReader(geom.V3(-1.7, 1.3, 0))
+	registered, err := sc.CalibratedSpinningTags(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := sc.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	for _, st := range registered {
+		if err := reg.Add(registry.EntryFromSpinningTag(st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const bound = 4
+	var inflight, peak, calls atomic.Int64
+	srv, err := locsrv.New(locsrv.Config{
+		Registry:         reg,
+		BatchConcurrency: bound,
+		Collect: func(string, client.Config) (core.Observations, error) {
+			calls.Add(1)
+			n := inflight.Add(1)
+			defer inflight.Add(-1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond) // widen the overlap window
+			return col.Obs, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	batch := locsrv.BatchRequest{Requests: make([]locsrv.LocateRequest, 64)}
+	for i := range batch.Requests {
+		batch.Requests[i].ReaderAddr = "reader:5084"
+	}
+	resp := postJSON(t, ts.URL+"/v1/locate-batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out locsrv.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 64 {
+		t.Fatalf("items = %d", len(out.Items))
+	}
+	for i, item := range out.Items {
+		if item.Error != "" || item.Result == nil {
+			t.Fatalf("item %d failed: %+v", i, item)
+		}
+	}
+	if got := calls.Load(); got != 64 {
+		t.Errorf("collector called %d times, want 64", got)
+	}
+	if p := peak.Load(); p > bound {
+		t.Errorf("peak concurrency %d exceeds bound %d", p, bound)
+	}
+}
+
+// TestLocateSingleMatchesBatchErrors pins the de-duplicated locate path:
+// the single endpoint's error body and a batch item's error string must be
+// the same text for the same invalid request — the drift this guards
+// against is exactly what having two copies of the handler caused.
+func TestLocateSingleMatchesBatchErrors(t *testing.T) {
+	ts, _ := fixture(t)
+	for _, req := range []locsrv.LocateRequest{
+		{},                            // missing readerAddr
+		{ReaderAddr: "x", Mode: "9d"}, // unknown mode
+		{ReaderAddr: "fail"},          // collector failure
+	} {
+		resp := postJSON(t, ts.URL+"/v1/locate", req)
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var single struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &single); err != nil {
+			t.Fatalf("single response %q: %v", body, err)
+		}
+		bresp := postJSON(t, ts.URL+"/v1/locate-batch", locsrv.BatchRequest{
+			Requests: []locsrv.LocateRequest{req},
+		})
+		var batch locsrv.BatchResponse
+		if err := json.NewDecoder(bresp.Body).Decode(&batch); err != nil {
+			t.Fatal(err)
+		}
+		if single.Error == "" || batch.Items[0].Error != single.Error {
+			t.Errorf("request %+v: single error %q != batch error %q",
+				req, single.Error, batch.Items[0].Error)
+		}
 	}
 }
 

@@ -1,0 +1,327 @@
+package spectrum
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tagspin/tagspin/internal/mathx"
+	"github.com/tagspin/tagspin/internal/phase"
+)
+
+// coarseTermLimit is the snapshot-subset size global coarse scans use: a
+// strided subset of at most this many snapshots is plenty to find the right
+// grid cell, and the refinement rounds use the full set.
+const coarseTermLimit = 64
+
+// chunkTarget is the number of candidate evaluations a worker grabs at a
+// time during a parallel grid scan. It keeps the coordination cost (one
+// atomic add per chunk) negligible while giving each worker contiguous,
+// cache-local runs of the output slice.
+const chunkTarget = 64
+
+// Evaluator is the reusable spectrum evaluation engine behind Compute2D/3D
+// and the peak searches (§IV / §V-B, Eqn. 7/11, Definitions 4.1/5.1). It is
+// constructed once per collection session from the prepared snapshot terms
+// and holds the per-snapshot trig tables — sin/cos of the disk angles and
+// the aperture scales 4πr/λ — so that each candidate direction costs a
+// handful of multiply-adds per snapshot instead of a cosine, and no heap
+// allocation at all: the residual/aperture buffers the R profile needs live
+// in a caller-owned Scratch.
+//
+// An Evaluator is immutable after construction and safe for concurrent use.
+// All mutable per-evaluation state lives in a Scratch, which must be owned
+// by exactly one goroutine at a time.
+type Evaluator struct {
+	terms       []snapshotTerm
+	coarse      []snapshotTerm // strided subset (≤coarseTermLimit) for coarse scans
+	kind        Kind
+	literalRef  bool
+	weightSigma float64 // Gaussian kernel width for the R weights
+}
+
+// NewEvaluator prepares the snapshot terms and trig tables for repeated
+// evaluation of the selected profile kind.
+func NewEvaluator(snaps []phase.Snapshot, p Params, kind Kind) (*Evaluator, error) {
+	terms, err := prepare(snaps, p)
+	if err != nil {
+		return nil, err
+	}
+	e := &Evaluator{
+		terms:      terms,
+		coarse:     strideTerms(terms, coarseTermLimit),
+		kind:       kind,
+		literalRef: p.LiteralReference,
+	}
+	if p.LiteralReference {
+		// Definition 4.1 verbatim: residuals are N(0, 2σ²) because they
+		// carry both ε_i and the reference's ε₁.
+		e.weightSigma = p.sigma() * math.Sqrt2
+	} else {
+		// Robust variant: the kernel covers the structured residuals real
+		// sessions carry beyond thermal noise (see evalTerms).
+		e.weightSigma = math.Hypot(p.sigma(), modelResidualSigma)
+	}
+	return e, nil
+}
+
+// Scratch holds the per-evaluation buffers EvalAt writes into, so the hot
+// path never allocates. Create one per worker goroutine with NewScratch; a
+// Scratch must not be shared between concurrently running evaluations.
+type Scratch struct {
+	residuals []float64
+	apertures []float64
+}
+
+// NewScratch returns a Scratch sized for this Evaluator's snapshot set.
+func (e *Evaluator) NewScratch() *Scratch {
+	return &Scratch{
+		residuals: make([]float64, len(e.terms)),
+		apertures: make([]float64, len(e.terms)),
+	}
+}
+
+// EvalAt computes the configured power formula at candidate direction
+// (phi, gamma) over the full snapshot set; gamma = 0 reduces Eqn. 11/12 to
+// Eqn. 7/8. sc must come from NewScratch on this Evaluator.
+func (e *Evaluator) EvalAt(sc *Scratch, phi, gamma float64) float64 {
+	return e.evalTerms(e.terms, sc, phi, gamma)
+}
+
+// EvalCoarse is EvalAt restricted to the strided coarse snapshot subset.
+func (e *Evaluator) EvalCoarse(sc *Scratch, phi, gamma float64) float64 {
+	return e.evalTerms(e.coarse, sc, phi, gamma)
+}
+
+// evalTerms is the engine core. Per candidate it spends two trig calls on
+// (sin φ, cos φ) and one on cos γ; the per-snapshot factor cos(a_i−φ) then
+// falls out of the tables as cos a_i·cos φ + sin a_i·sin φ.
+func (e *Evaluator) evalTerms(terms []snapshotTerm, sc *Scratch, phi, gamma float64) float64 {
+	sinPhi, cosPhi := math.Sincos(phi)
+	cg := math.Cos(gamma)
+	// c_i(φ,γ) = scale·(cos(a_1−φ) − cos(a_i−φ))·cos γ with the reference
+	// term folded in per snapshot below.
+	t0 := terms[0]
+	refAperture := t0.scale * (t0.cosA*cosPhi + t0.sinA*sinPhi) * cg
+	var sumRe, sumIm float64
+	if e.kind != KindR {
+		for _, t := range terms {
+			aperture := t.scale * (t.cosA*cosPhi + t.sinA*sinPhi) * cg
+			s, c := math.Sincos(t.relPhase + aperture)
+			sumRe += c
+			sumIm += s
+		}
+		return math.Hypot(sumRe, sumIm) / float64(len(terms))
+	}
+
+	// R profile: residual of each snapshot's relative phase against the
+	// candidate direction's prediction.
+	residuals := sc.residuals[:len(terms)]
+	apertures := sc.apertures[:len(terms)]
+	var rs, rc float64
+	for i, t := range terms {
+		aperture := t.scale * (t.cosA*cosPhi + t.sinA*sinPhi) * cg
+		apertures[i] = aperture
+		ci := refAperture - aperture // ϑ_i − ϑ_1 under candidate (φ,γ)
+		res := mathx.WrapToPi(t.relPhase - ci)
+		residuals[i] = res
+		s, c := math.Sincos(res)
+		rs += s
+		rc += c
+	}
+	var mu float64
+	if !e.literalRef {
+		// Cancel the shared ε₁ (and any common model offset) via the
+		// circular mean of the residuals; the widened kernel in weightSigma
+		// covers the structured residuals — far-field approximation error,
+		// orientation-calibration residue, mild multipath — that a kernel at
+		// exactly the thermal σ would over-trust (ablation A1 sweeps this).
+		mu = math.Atan2(rs, rc)
+	}
+	for i, res := range residuals {
+		w := mathx.GaussPDF(mathx.WrapToPi(res-mu), 0, e.weightSigma)
+		s, c := math.Sincos(terms[i].relPhase + apertures[i])
+		sumRe += w * c
+		sumIm += w * s
+	}
+	// The paper normalizes by 1/n (Eqn. 7, Definition 4.1): the Q profile
+	// then peaks at 1 for a perfectly coherent stack, while the R profile
+	// peaks near the Gaussian kernel's mode. Normalizing by Σw instead
+	// would let a single accidentally-agreeing snapshot dominate at wrong
+	// angles.
+	return math.Hypot(sumRe, sumIm) / float64(len(terms))
+}
+
+// parallelChunks runs fn over contiguous index chunks of [0, n) on up to
+// GOMAXPROCS workers, each with its own Scratch. Chunks are handed out by an
+// atomic counter (work stealing), so a straggler worker never serializes the
+// scan; every index is processed by exactly one worker, so output writes
+// never race and results are bit-identical to a serial loop regardless of
+// scheduling.
+func (e *Evaluator) parallelChunks(n, chunk int, fn func(sc *Scratch, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = chunkTarget
+	}
+	nChunks := (n + chunk - 1) / chunk
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		fn(e.NewScratch(), 0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			sc := e.NewScratch()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(sc, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// maxEntry records one chunk's best candidate during a parallel argmax.
+type maxEntry struct {
+	idx int
+	val float64
+}
+
+// argmax evaluates eval for every index in [0, n) — in parallel — and
+// returns the index and value of the maximum. Per-chunk winners are reduced
+// in chunk order with a strict > comparison, so ties resolve to the lowest
+// index exactly like a serial left-to-right scan.
+func (e *Evaluator) argmax(n, chunk int, eval func(sc *Scratch, i int) float64) (int, float64) {
+	if n <= 0 {
+		return 0, math.Inf(-1)
+	}
+	if chunk <= 0 {
+		chunk = chunkTarget
+	}
+	nChunks := (n + chunk - 1) / chunk
+	bests := make([]maxEntry, nChunks)
+	for i := range bests {
+		bests[i] = maxEntry{idx: -1, val: math.Inf(-1)}
+	}
+	e.parallelChunks(n, chunk, func(sc *Scratch, lo, hi int) {
+		best := maxEntry{idx: -1, val: math.Inf(-1)}
+		for i := lo; i < hi; i++ {
+			if v := eval(sc, i); v > best.val {
+				best = maxEntry{idx: i, val: v}
+			}
+		}
+		bests[lo/chunk] = best
+	})
+	best := maxEntry{idx: 0, val: math.Inf(-1)}
+	for _, b := range bests {
+		if b.idx >= 0 && b.val > best.val {
+			best = b
+		}
+	}
+	return best.idx, best.val
+}
+
+// Profile2D evaluates the 2D profile over the angle grid, parallelized
+// across the grid. The result is bit-identical to Profile2DSerial: each
+// power value is written by exactly one worker into its own index, and
+// evaluation order never enters the arithmetic.
+func (e *Evaluator) Profile2D(angles []float64) Profile {
+	prof := Profile{
+		Angles: append([]float64(nil), angles...),
+		Power:  make([]float64, len(angles)),
+	}
+	e.parallelChunks(len(prof.Angles), chunkTarget, func(sc *Scratch, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			prof.Power[i] = e.EvalAt(sc, prof.Angles[i], 0)
+		}
+	})
+	return prof
+}
+
+// Profile2DSerial is the single-threaded reference implementation of
+// Profile2D, kept for equivalence tests and speedup baselines.
+func (e *Evaluator) Profile2DSerial(angles []float64) Profile {
+	prof := Profile{
+		Angles: append([]float64(nil), angles...),
+		Power:  make([]float64, len(angles)),
+	}
+	sc := e.NewScratch()
+	for i, phi := range prof.Angles {
+		prof.Power[i] = e.EvalAt(sc, phi, 0)
+	}
+	return prof
+}
+
+// newProfile3D allocates a 3D profile with all rows carved from one backing
+// array, so parallel row writers share nothing but still fill contiguous
+// memory.
+func newProfile3D(azimuths, polars []float64) Profile3D {
+	prof := Profile3D{
+		Azimuths: append([]float64(nil), azimuths...),
+		Polars:   append([]float64(nil), polars...),
+		Power:    make([][]float64, len(polars)),
+	}
+	backing := make([]float64, len(polars)*len(azimuths))
+	for i := range prof.Power {
+		prof.Power[i] = backing[i*len(azimuths) : (i+1)*len(azimuths) : (i+1)*len(azimuths)]
+	}
+	return prof
+}
+
+// rowChunk sizes a row-granular chunk so each grabbed chunk holds at least
+// chunkTarget evaluations even for narrow azimuth grids.
+func rowChunk(cols int) int {
+	if cols >= chunkTarget || cols <= 0 {
+		return 1
+	}
+	return (chunkTarget + cols - 1) / cols
+}
+
+// Profile3D evaluates the 3D profile over the az × polar grid, parallelized
+// across whole grid rows to keep each worker's writes cache-local. The
+// result is bit-identical to Profile3DSerial.
+func (e *Evaluator) Profile3D(azimuths, polars []float64) Profile3D {
+	prof := newProfile3D(azimuths, polars)
+	e.parallelChunks(len(prof.Polars), rowChunk(len(prof.Azimuths)), func(sc *Scratch, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := prof.Power[i]
+			gamma := prof.Polars[i]
+			for j, phi := range prof.Azimuths {
+				row[j] = e.EvalAt(sc, phi, gamma)
+			}
+		}
+	})
+	return prof
+}
+
+// Profile3DSerial is the single-threaded reference implementation of
+// Profile3D, kept for equivalence tests and speedup baselines.
+func (e *Evaluator) Profile3DSerial(azimuths, polars []float64) Profile3D {
+	prof := newProfile3D(azimuths, polars)
+	sc := e.NewScratch()
+	for i, gamma := range prof.Polars {
+		row := prof.Power[i]
+		for j, phi := range prof.Azimuths {
+			row[j] = e.EvalAt(sc, phi, gamma)
+		}
+	}
+	return prof
+}

@@ -41,9 +41,15 @@ func (p Profile) Sharpness() float64 {
 
 // HalfPowerBeamwidth returns the angular width (radians) of the contiguous
 // region around the peak where power stays at or above half the peak.
+//
+// The bin-to-radian conversion derives the grid spacing from the first two
+// entries of Angles, so the profile must be sampled on a *uniform* angular
+// grid (as produced by UniformAngles); on an irregular grid the reported
+// width has the wrong scale. A profile with fewer than two samples has no
+// measurable width and reports NaN.
 func (p Profile) HalfPowerBeamwidth() float64 {
 	n := len(p.Power)
-	if n == 0 {
+	if n < 2 {
 		return math.NaN()
 	}
 	peakIdx := 0
@@ -70,11 +76,8 @@ func (p Profile) HalfPowerBeamwidth() float64 {
 	if left+right >= n-1 {
 		return 2 * math.Pi // never drops below half power
 	}
-	// Convert bin counts to radians using the local grid spacing.
-	spacing := 2 * math.Pi / float64(n)
-	if n > 1 {
-		spacing = geom.AngleDistance(p.Angles[1], p.Angles[0])
-	}
+	// Convert bin counts to radians using the (uniform) grid spacing.
+	spacing := geom.AngleDistance(p.Angles[1], p.Angles[0])
 	return float64(left+right+1) * spacing
 }
 

@@ -42,35 +42,41 @@ func (o SearchOptions) refinements() int {
 	return o.Refinements
 }
 
+// gridSteps returns how many grid points of the given spacing cover the
+// half-open span [0, span).
+func gridSteps(span, step float64) int {
+	n := int(math.Ceil(span / step))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // FindPeak2D locates the azimuth maximizing the selected profile using a
 // coarse global grid followed by local refinement (ablation A2 validates it
 // against exhaustive search). It returns the refined azimuth and the profile
 // power there.
 func FindPeak2D(snaps []phase.Snapshot, p Params, kind Kind, opts SearchOptions) (float64, float64, error) {
-	terms, err := prepare(snaps, p)
+	ev, err := NewEvaluator(snaps, p, kind)
 	if err != nil {
 		return 0, 0, err
 	}
-	sigma := p.sigma()
-	eval := func(phi float64) float64 { return evalAt(terms, kind, sigma, p.LiteralReference, phi, 0) }
 
-	// Coarse pass on a strided snapshot subset (≤64), as in FindPeak3D;
-	// the refinement rounds use the full set.
-	coarse := strideTerms(terms, 64)
+	// Coarse pass on the strided snapshot subset (≤64), parallel across the
+	// angle grid; the refinement rounds use the full set.
 	step := opts.coarseStep()
-	best, bestPow := 0.0, math.Inf(-1)
-	for phi := 0.0; phi < 2*math.Pi; phi += step {
-		if v := evalAt(coarse, kind, sigma, p.LiteralReference, phi, 0); v > bestPow {
-			best, bestPow = phi, v
-		}
-	}
-	bestPow = eval(best)
+	idx, _ := ev.argmax(gridSteps(2*math.Pi, step), chunkTarget, func(sc *Scratch, i int) float64 {
+		return ev.EvalCoarse(sc, float64(i)*step, 0)
+	})
+	best := float64(idx) * step
+	sc := ev.NewScratch()
+	bestPow := ev.EvalAt(sc, best, 0)
 	for r := 0; r < opts.refinements(); r++ {
 		fine := step / 5
 		lo := best - step
 		for k := 0; k <= 10; k++ {
 			phi := lo + float64(k)*fine
-			if v := eval(phi); v > bestPow {
+			if v := ev.EvalAt(sc, phi, 0); v > bestPow {
 				best, bestPow = phi, v
 			}
 		}
@@ -80,24 +86,21 @@ func FindPeak2D(snaps []phase.Snapshot, p Params, kind Kind, opts SearchOptions)
 }
 
 // ExhaustivePeak2D locates the peak on a single dense grid with the given
-// step. It exists as the ground-truth comparator for the coarse-to-fine
-// search (ablation A2); it is O(n/step) and much slower at fine steps.
+// step, evaluated in parallel across the grid. It exists as the ground-truth
+// comparator for the coarse-to-fine search (ablation A2); it is O(n/step)
+// and much slower at fine steps.
 func ExhaustivePeak2D(snaps []phase.Snapshot, p Params, kind Kind, step float64) (float64, float64, error) {
 	if step <= 0 {
 		return 0, 0, fmt.Errorf("spectrum: non-positive step %v", step)
 	}
-	terms, err := prepare(snaps, p)
+	ev, err := NewEvaluator(snaps, p, kind)
 	if err != nil {
 		return 0, 0, err
 	}
-	sigma := p.sigma()
-	best, bestPow := 0.0, math.Inf(-1)
-	for phi := 0.0; phi < 2*math.Pi; phi += step {
-		if v := evalAt(terms, kind, sigma, p.LiteralReference, phi, 0); v > bestPow {
-			best, bestPow = phi, v
-		}
-	}
-	return best, bestPow, nil
+	idx, pow := ev.argmax(gridSteps(2*math.Pi, step), chunkTarget, func(sc *Scratch, i int) float64 {
+		return ev.EvalAt(sc, float64(i)*step, 0)
+	})
+	return float64(idx) * step, pow, nil
 }
 
 // Peak3D is one located maximum of a 3D profile.
@@ -113,34 +116,31 @@ type Peak3D struct {
 // use dead-space rules; this function simply returns the global maximum it
 // finds.
 func FindPeak3D(snaps []phase.Snapshot, p Params, kind Kind, opts SearchOptions) (Peak3D, error) {
-	terms, err := prepare(snaps, p)
+	ev, err := NewEvaluator(snaps, p, kind)
 	if err != nil {
 		return Peak3D{}, err
 	}
-	sigma := p.sigma()
-	eval := func(phi, gamma float64) float64 { return evalAt(terms, kind, sigma, p.LiteralReference, phi, gamma) }
 
-	// The global coarse scan costs |grid|·|snapshots|; a strided snapshot
-	// subset (≤64) is plenty to find the right cell, and the refinement
-	// rounds below use the full set.
-	coarseTerms := strideTerms(terms, 64)
-	coarseEval := func(phi, gamma float64) float64 {
-		return evalAt(coarseTerms, kind, sigma, p.LiteralReference, phi, gamma)
-	}
-
+	// The global coarse scan costs |grid|·|snapshots|; it runs on the
+	// strided snapshot subset (≤64), parallel across grid rows, and the
+	// refinement rounds below use the full set.
 	azStep := opts.coarseStep() * 4 // 3D coarse pass can be coarser; refined below
 	polStep := opts.coarsePolarStep()
-	best := Peak3D{Power: math.Inf(-1)}
-	for gamma := -math.Pi / 2; gamma <= math.Pi/2; gamma += polStep {
-		for phi := 0.0; phi < 2*math.Pi; phi += azStep {
-			if v := coarseEval(phi, gamma); v > best.Power {
-				best = Peak3D{Azimuth: phi, Polar: gamma, Power: v}
-			}
-		}
+	nAz := gridSteps(2*math.Pi, azStep)
+	nPol := int(math.Floor(math.Pi/polStep+1e-9)) + 1 // [-π/2, π/2] inclusive
+	idx, _ := ev.argmax(nAz*nPol, nAz, func(sc *Scratch, i int) float64 {
+		gamma := -math.Pi/2 + float64(i/nAz)*polStep
+		phi := float64(i%nAz) * azStep
+		return ev.EvalCoarse(sc, phi, gamma)
+	})
+	best := Peak3D{
+		Azimuth: float64(idx%nAz) * azStep,
+		Polar:   -math.Pi/2 + float64(idx/nAz)*polStep,
 	}
 	// Re-score the coarse winner with the full snapshot set so the
 	// refinement comparisons are apples-to-apples.
-	best.Power = eval(best.Azimuth, best.Polar)
+	sc := ev.NewScratch()
+	best.Power = ev.EvalAt(sc, best.Azimuth, best.Polar)
 	for r := 0; r < opts.refinements(); r++ {
 		fineAz, finePol := azStep/5, polStep/5
 		azLo, polLo := best.Azimuth-azStep, best.Polar-polStep
@@ -148,7 +148,7 @@ func FindPeak3D(snaps []phase.Snapshot, p Params, kind Kind, opts SearchOptions)
 			gamma := clampPolar(polLo + float64(i)*finePol)
 			for k := 0; k <= 10; k++ {
 				phi := azLo + float64(k)*fineAz
-				if v := eval(phi, gamma); v > best.Power {
+				if v := ev.EvalAt(sc, phi, gamma); v > best.Power {
 					best = Peak3D{Azimuth: phi, Polar: gamma, Power: v}
 				}
 			}

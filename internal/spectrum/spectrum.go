@@ -16,7 +16,6 @@ package spectrum
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
 
 	"github.com/tagspin/tagspin/internal/mathx"
 	"github.com/tagspin/tagspin/internal/phase"
@@ -113,11 +112,13 @@ type Profile3D struct {
 }
 
 // snapshotTerm caches the per-snapshot quantities every candidate angle
-// reuses: the measured relative phasor and the aperture scale 4πr/λ.
+// reuses: the measured relative phasor, the sin/cos trig table of the disk
+// angle, and the aperture scale 4πr/λ.
 type snapshotTerm struct {
-	relPhase  float64 // θ_i − θ_1, wrapped to (-π, π]
-	diskAngle float64 // a_i = ω t_i + θ0
-	scale     float64 // 4π r / λ_i
+	relPhase float64 // θ_i − θ_1, wrapped to (-π, π]
+	cosA     float64 // cos a_i, a_i = ω t_i + θ0
+	sinA     float64 // sin a_i
+	scale    float64 // 4π r / λ_i
 }
 
 // prepare converts snapshots into cached terms. It requires at least two
@@ -135,111 +136,35 @@ func prepare(snaps []phase.Snapshot, p Params) ([]snapshotTerm, error) {
 		if s.FrequencyHz <= 0 {
 			return nil, fmt.Errorf("spectrum: snapshot %d has no carrier frequency", i)
 		}
+		sinA, cosA := math.Sincos(p.Disk.Angle(s.Time))
 		terms[i] = snapshotTerm{
-			relPhase:  mathx.WrapToPi(s.Phase - ref.Phase),
-			diskAngle: p.Disk.Angle(s.Time),
-			scale:     4 * math.Pi * p.Disk.Radius / s.Wavelength(),
+			relPhase: mathx.WrapToPi(s.Phase - ref.Phase),
+			cosA:     cosA,
+			sinA:     sinA,
+			scale:    4 * math.Pi * p.Disk.Radius / s.Wavelength(),
 		}
 	}
 	return terms, nil
 }
 
-// evalAt computes the selected power formula at candidate direction
-// (phi, gamma); gamma = 0 reduces Eqn. 11/12 to Eqn. 7/8.
-func evalAt(terms []snapshotTerm, kind Kind, sigma float64, literalRef bool, phi, gamma float64) float64 {
-	cg := math.Cos(gamma)
-	// c_i(φ,γ) = scale·(cos(a_1−φ) − cos(a_i−φ))·cos γ with the reference
-	// term folded in per snapshot below.
-	refAperture := terms[0].scale * math.Cos(terms[0].diskAngle-phi) * cg
-	var sum complex128
-	if kind != KindR {
-		for _, t := range terms {
-			aperture := t.scale * math.Cos(t.diskAngle-phi) * cg
-			sum += cmplx.Rect(1, t.relPhase+aperture)
-		}
-		return cmplx.Abs(sum) / float64(len(terms))
-	}
-
-	// R profile: residual of each snapshot's relative phase against the
-	// candidate direction's prediction.
-	residuals := make([]float64, len(terms))
-	apertures := make([]float64, len(terms))
-	var rs, rc float64
-	for i, t := range terms {
-		aperture := t.scale * math.Cos(t.diskAngle-phi) * cg
-		apertures[i] = aperture
-		ci := refAperture - aperture // ϑ_i − ϑ_1 under candidate (φ,γ)
-		res := mathx.WrapToPi(t.relPhase - ci)
-		residuals[i] = res
-		rs += math.Sin(res)
-		rc += math.Cos(res)
-	}
-	var weightSigma, mu float64
-	if literalRef {
-		// Definition 4.1 verbatim: residuals are N(0, 2σ²) because they
-		// carry both ε_i and the reference's ε₁.
-		weightSigma = sigma * math.Sqrt2
-	} else {
-		// Robust variant: cancel the shared ε₁ (and any common model
-		// offset) via the circular mean of the residuals, and widen the
-		// kernel to cover the *structured* residuals real sessions carry
-		// beyond thermal noise — the far-field approximation of Eqn. 2
-		// (≈0.08 rad at r = 10 cm, D = 2.5 m), orientation-calibration
-		// residue, and mild multipath. A kernel at exactly the thermal σ
-		// over-trusts the model and latches onto whichever snapshot
-		// subset the structured error happens to align (ablation A1
-		// sweeps this).
-		weightSigma = math.Hypot(sigma, modelResidualSigma)
-		mu = math.Atan2(rs, rc)
-	}
-	for i, res := range residuals {
-		w := mathx.GaussPDF(mathx.WrapToPi(res-mu), 0, weightSigma)
-		sum += cmplx.Rect(w, terms[i].relPhase+apertures[i])
-	}
-	// The paper normalizes by 1/n (Eqn. 7, Definition 4.1): the Q profile
-	// then peaks at 1 for a perfectly coherent stack, while the R profile
-	// peaks near the Gaussian kernel's mode. Normalizing by Σw instead
-	// would let a single accidentally-agreeing snapshot dominate at wrong
-	// angles.
-	return cmplx.Abs(sum) / float64(len(terms))
-}
-
-// Compute2D evaluates a 2D profile of the given kind over the angle grid.
+// Compute2D evaluates a 2D profile of the given kind over the angle grid,
+// in parallel across the grid (see Evaluator for the engine).
 func Compute2D(snaps []phase.Snapshot, p Params, kind Kind, angles []float64) (Profile, error) {
-	terms, err := prepare(snaps, p)
+	ev, err := NewEvaluator(snaps, p, kind)
 	if err != nil {
 		return Profile{}, err
 	}
-	prof := Profile{
-		Angles: append([]float64(nil), angles...),
-		Power:  make([]float64, len(angles)),
-	}
-	for i, phi := range angles {
-		prof.Power[i] = evalAt(terms, kind, p.sigma(), p.LiteralReference, phi, 0)
-	}
-	return prof, nil
+	return ev.Profile2D(angles), nil
 }
 
 // Compute3D evaluates a 3D profile of the given kind over the az × polar
-// grid.
+// grid, in parallel across grid rows (see Evaluator for the engine).
 func Compute3D(snaps []phase.Snapshot, p Params, kind Kind, azimuths, polars []float64) (Profile3D, error) {
-	terms, err := prepare(snaps, p)
+	ev, err := NewEvaluator(snaps, p, kind)
 	if err != nil {
 		return Profile3D{}, err
 	}
-	prof := Profile3D{
-		Azimuths: append([]float64(nil), azimuths...),
-		Polars:   append([]float64(nil), polars...),
-		Power:    make([][]float64, len(polars)),
-	}
-	for i, gamma := range polars {
-		row := make([]float64, len(azimuths))
-		for j, phi := range azimuths {
-			row[j] = evalAt(terms, kind, p.sigma(), p.LiteralReference, phi, gamma)
-		}
-		prof.Power[i] = row
-	}
-	return prof, nil
+	return ev.Profile3D(azimuths, polars), nil
 }
 
 // UniformAngles returns n candidate azimuths evenly covering [0, 2π).
@@ -251,27 +176,36 @@ func UniformAngles(n int) []float64 {
 	return out
 }
 
-// Peak returns the grid argmax of a 2D profile.
+// Peak returns the grid argmax of a 2D profile. Ties — including the
+// degenerate all-zero profile — resolve to the first grid point, so the
+// returned angle is always one of Angles; an empty profile reports zeros.
 func (p Profile) Peak() (angle, power float64) {
+	if len(p.Power) == 0 {
+		return 0, 0
+	}
+	best := 0
 	for i, v := range p.Power {
-		if v > power {
-			power = v
-			angle = p.Angles[i]
+		if v > p.Power[best] {
+			best = i
 		}
 	}
-	return angle, power
+	return p.Angles[best], p.Power[best]
 }
 
-// Peak returns the grid argmax of a 3D profile.
+// Peak returns the grid argmax of a 3D profile. Ties — including the
+// degenerate all-zero profile — resolve to the first grid point, so the
+// returned angles are always on the grid; an empty profile reports zeros.
 func (p Profile3D) Peak() (azimuth, polar, power float64) {
+	bi, bj := -1, 0
 	for i, row := range p.Power {
 		for j, v := range row {
-			if v > power {
-				power = v
-				azimuth = p.Azimuths[j]
-				polar = p.Polars[i]
+			if bi < 0 || v > p.Power[bi][bj] {
+				bi, bj = i, j
 			}
 		}
 	}
-	return azimuth, polar, power
+	if bi < 0 {
+		return 0, 0, 0
+	}
+	return p.Azimuths[bj], p.Polars[bi], p.Power[bi][bj]
 }
