@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json
+.PHONY: build test race vet bench bench-json bench-compare
 
 build:
 	$(GO) build ./...
@@ -23,4 +23,10 @@ bench:
 # bench-json regenerates the machine-readable perf snapshot consumed by
 # trajectory tooling (see cmd/tagspin-bench).
 bench-json:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_1.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_2.json
+
+# bench-compare diffs the two newest BENCH_<n>.json snapshots and fails on
+# any >10% ns/op regression — the pre-merge perf gate for the spectrum
+# engine.
+bench-compare:
+	$(GO) run ./cmd/tagspin-bench -benchcompare auto

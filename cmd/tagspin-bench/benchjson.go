@@ -16,6 +16,14 @@ import (
 	"github.com/tagspin/tagspin/internal/testbed"
 )
 
+// benchSchema is the current report schema. Version 2 adds provenance —
+// runtime.NumCPU at report level, per-benchmark GOMAXPROCS and an
+// engine-variant label — so a reader can tell whether a "parallel" number
+// had any cores to parallelize over and which trig kernel produced it.
+// Version 1 files (report-level GoMaxProcs only, no variants) still parse:
+// rows without a goMaxProcs fall back to the report-level value.
+const benchSchema = "tagspin-bench/2"
+
 // benchResult is one benchmark row of the machine-readable report.
 type benchResult struct {
 	Name        string  `json:"name"`
@@ -23,20 +31,57 @@ type benchResult struct {
 	NsPerOp     float64 `json:"nsPerOp"`
 	AllocsPerOp int64   `json:"allocsPerOp"`
 	BytesPerOp  int64   `json:"bytesPerOp"`
+	// GoMaxProcs is the GOMAXPROCS this row was measured at (schema 2+;
+	// zero in schema-1 files, meaning the report-level value).
+	GoMaxProcs int `json:"goMaxProcs,omitempty"`
+	// Variant labels the engine path: "serial" or "parallel" machinery ×
+	// "exact" or "fast" trig kernel (schema 2+).
+	Variant string `json:"variant,omitempty"`
 }
 
-// benchReport is the BENCH_1.json envelope. The schema string is versioned
+// benchReport is the BENCH_N.json envelope. The schema string is versioned
 // so future PRs can extend the format without breaking trajectory tooling.
 type benchReport struct {
-	Schema     string        `json:"schema"`
-	GoVersion  string        `json:"goVersion"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"goVersion"`
+	// NumCPU is runtime.NumCPU on the measuring machine (schema 2+): the
+	// ceiling any parallel speedup could have had.
+	NumCPU int `json:"numCPU,omitempty"`
+	// GoMaxProcs is the report-wide setting in schema-1 files; schema 2
+	// records it per row and sets this to the value main ran under.
 	GoMaxProcs int           `json:"goMaxProcs"`
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
+// benchCase is one entry of the micro-benchmark suite.
+type benchCase struct {
+	name    string
+	variant string
+	// procsSensitive marks benchmarks whose op fans out over GOMAXPROCS
+	// workers; only these are re-measured at each GOMAXPROCS setting.
+	procsSensitive bool
+	fn             func(b *testing.B)
+}
+
+// benchProcs returns the deduplicated GOMAXPROCS settings to measure at:
+// 1 (serial floor) and NumCPU (full machine).
+func benchProcs() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
 // writeBenchJSON measures the spectrum hot paths with testing.Benchmark and
-// writes the results (ns/op, allocs/op) as JSON, giving future PRs a
-// machine-readable perf trajectory for the evaluation engine.
+// writes the results (ns/op, allocs/op, provenance) as JSON, giving future
+// PRs a machine-readable perf trajectory for the evaluation engine.
+//
+// Benchmark names are stable across schema versions so bench-compare can
+// diff reports: EvalAtQ/EvalAtR are the single-candidate exact paths,
+// Profile2DR and Profile3DCoarse{Serial,Parallel} the grid scans, and
+// FindPeak2DR the full peak search (since schema 2 measured on a prebuilt
+// Evaluator, which is the serving-path shape). *Fast rows are the same ops
+// on the WithFastTrig kernel.
 func writeBenchJSON(path string) error {
 	rng := rand.New(rand.NewSource(9))
 	sc := testbed.DefaultScenario(0, rng)
@@ -58,72 +103,106 @@ func writeBenchJSON(path string) error {
 	if err != nil {
 		return err
 	}
+	evQFast, err := spectrum.NewEvaluator(snaps, params, spectrum.KindQ, spectrum.WithFastTrig())
+	if err != nil {
+		return err
+	}
+	evRFast, err := spectrum.NewEvaluator(snaps, params, spectrum.KindR, spectrum.WithFastTrig())
+	if err != nil {
+		return err
+	}
 	angles := spectrum.UniformAngles(720)
 	coarseAz := spectrum.UniformAngles(180)
 	coarsePol := mathx.Linspace(-math.Pi/2, math.Pi/2, 91)
 
 	var sink float64
-	benches := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
-		{"EvalAtQ", func(b *testing.B) {
-			sc := evQ.NewScratch()
+	evalAt := func(ev *spectrum.Evaluator) func(b *testing.B) {
+		return func(b *testing.B) {
+			sc := ev.NewScratch()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				sink = evQ.EvalAt(sc, float64(i)*0.001, 0.1)
+				sink = ev.EvalAt(sc, float64(i)*0.001, 0.1)
 			}
-		}},
-		{"EvalAtR", func(b *testing.B) {
-			sc := evR.NewScratch()
+		}
+	}
+	profile2D := func(ev *spectrum.Evaluator) func(b *testing.B) {
+		return func(b *testing.B) {
+			var prof spectrum.Profile
+			ev.Profile2DInto(&prof, angles) // warm the profile and pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.Profile2DInto(&prof, angles)
+			}
+		}
+	}
+	profile3D := func(ev *spectrum.Evaluator) func(b *testing.B) {
+		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				sink = evR.EvalAt(sc, float64(i)*0.001, 0.1)
+				ev.Profile3D(coarseAz, coarsePol)
 			}
-		}},
-		{"Profile2DR", func(b *testing.B) {
+		}
+	}
+	findPeak2D := func(ev *spectrum.Evaluator) func(b *testing.B) {
+		return func(b *testing.B) {
+			spectrum.FindPeak2DEval(ev, spectrum.SearchOptions{}) // warm pools
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				evR.Profile2D(angles)
+				az, pow := spectrum.FindPeak2DEval(ev, spectrum.SearchOptions{})
+				sink = az + pow
 			}
-		}},
-		{"Profile3DCoarseSerial", func(b *testing.B) {
+		}
+	}
+
+	benches := []benchCase{
+		{"EvalAtQ", "serial/exact", false, evalAt(evQ)},
+		{"EvalAtR", "serial/exact", false, evalAt(evR)},
+		{"EvalAtRFast", "serial/fast", false, evalAt(evRFast)},
+		{"Profile2DR", "parallel/exact", true, profile2D(evR)},
+		{"Profile2DRFast", "parallel/fast", true, profile2D(evRFast)},
+		{"Profile2DQFast", "parallel/fast", true, profile2D(evQFast)},
+		{"Profile3DCoarseSerial", "serial/exact", false, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				evR.Profile3DSerial(coarseAz, coarsePol)
 			}
 		}},
-		{"Profile3DCoarseParallel", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				evR.Profile3D(coarseAz, coarsePol)
-			}
-		}},
-		{"FindPeak2DR", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, _, err := spectrum.FindPeak2D(snaps, params, spectrum.KindR, spectrum.SearchOptions{}); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}},
+		{"Profile3DCoarseParallel", "parallel/exact", true, profile3D(evR)},
+		{"Profile3DCoarseParallelFast", "parallel/fast", true, profile3D(evRFast)},
+		{"FindPeak2DR", "parallel/exact", true, findPeak2D(evR)},
+		{"FindPeak2DRFast", "parallel/fast", true, findPeak2D(evRFast)},
 	}
 
 	report := benchReport{
-		Schema:     "tagspin-bench/1",
+		Schema:     benchSchema,
 		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
-	for _, bench := range benches {
-		res := testing.Benchmark(bench.fn)
-		report.Benchmarks = append(report.Benchmarks, benchResult{
-			Name:        bench.name,
-			Iterations:  res.N,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-		})
-		fmt.Fprintf(os.Stderr, "tagspin-bench: %-24s %12.0f ns/op %6d allocs/op\n",
-			bench.name, float64(res.T.Nanoseconds())/float64(res.N), res.AllocsPerOp())
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, procs := range benchProcs() {
+		runtime.GOMAXPROCS(procs)
+		for _, bench := range benches {
+			if procs != 1 && !bench.procsSensitive {
+				continue // serial ops don't change with GOMAXPROCS
+			}
+			res := testing.Benchmark(bench.fn)
+			report.Benchmarks = append(report.Benchmarks, benchResult{
+				Name:        bench.name,
+				Iterations:  res.N,
+				NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				GoMaxProcs:  procs,
+				Variant:     bench.variant,
+			})
+			fmt.Fprintf(os.Stderr, "tagspin-bench: %-28s %14s procs=%-2d %12.0f ns/op %6d allocs/op\n",
+				bench.name, bench.variant, procs,
+				float64(res.T.Nanoseconds())/float64(res.N), res.AllocsPerOp())
+		}
 	}
 	_ = sink
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// regressionTolerance is the ns/op slowdown a benchmark may show before the
+// comparison fails: noisy shared runners routinely wobble a few percent, so
+// the gate trips only past +10%.
+const regressionTolerance = 0.10
+
+// benchKey identifies a comparable measurement across reports: the stable
+// benchmark name plus the GOMAXPROCS it ran under. Variant labels stay out
+// of the key so schema-1 rows (which have none) line up with their schema-2
+// successors.
+type benchKey struct {
+	name  string
+	procs int
+}
+
+// readBenchReport parses a BENCH_*.json of any schema version. Schema-1
+// rows carry no per-row GOMAXPROCS; they inherit the report-level value so
+// cross-schema keys align.
+func readBenchReport(path string) (benchReport, error) {
+	var report benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return report, err
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		return report, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if !strings.HasPrefix(report.Schema, "tagspin-bench/") {
+		return report, fmt.Errorf("%s: unknown schema %q", path, report.Schema)
+	}
+	for i := range report.Benchmarks {
+		if report.Benchmarks[i].GoMaxProcs == 0 {
+			report.Benchmarks[i].GoMaxProcs = report.GoMaxProcs
+		}
+	}
+	return report, nil
+}
+
+var benchFilePattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestBenchFiles returns the two highest-numbered BENCH_<n>.json files in
+// dir, oldest first.
+func latestBenchFiles(dir string) (older, newer string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var found []numbered
+	for _, e := range entries {
+		m := benchFilePattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		found = append(found, numbered{n, filepath.Join(dir, e.Name())})
+	}
+	if len(found) < 2 {
+		return "", "", fmt.Errorf("need two BENCH_<n>.json files in %s, found %d", dir, len(found))
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	return found[len(found)-2].path, found[len(found)-1].path, nil
+}
+
+// compareBenchJSON diffs two bench reports and returns an error when any
+// benchmark present in both regressed by more than regressionTolerance in
+// ns/op. spec is either "old.json,new.json" or "auto" (the two
+// highest-numbered BENCH_<n>.json in the working directory). Benchmarks
+// present on only one side — new variants, retired paths — are reported but
+// never gate.
+func compareBenchJSON(spec string) error {
+	var oldPath, newPath string
+	if spec == "auto" || spec == "" {
+		var err error
+		oldPath, newPath, err = latestBenchFiles(".")
+		if err != nil {
+			return err
+		}
+	} else {
+		parts := strings.Split(spec, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("benchcompare wants 'old.json,new.json' or 'auto', got %q", spec)
+		}
+		oldPath, newPath = strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	}
+	oldRep, err := readBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := readBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldRows := make(map[benchKey]benchResult, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldRows[benchKey{b.Name, b.GoMaxProcs}] = b
+	}
+	fmt.Printf("bench-compare: %s (%s) -> %s (%s)\n", oldPath, oldRep.Schema, newPath, newRep.Schema)
+	var regressions []string
+	matched := 0
+	for _, nb := range newRep.Benchmarks {
+		key := benchKey{nb.Name, nb.GoMaxProcs}
+		ob, ok := oldRows[key]
+		if !ok {
+			fmt.Printf("  %-28s procs=%-2d %12.0f ns/op  (new)\n", nb.Name, nb.GoMaxProcs, nb.NsPerOp)
+			continue
+		}
+		matched++
+		delete(oldRows, key)
+		change := nb.NsPerOp/ob.NsPerOp - 1
+		fmt.Printf("  %-28s procs=%-2d %12.0f -> %12.0f ns/op  %+6.1f%%\n",
+			nb.Name, nb.GoMaxProcs, ob.NsPerOp, nb.NsPerOp, change*100)
+		if change > regressionTolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s (procs=%d): %.0f -> %.0f ns/op (%+.1f%%)",
+					nb.Name, nb.GoMaxProcs, ob.NsPerOp, nb.NsPerOp, change*100))
+		}
+	}
+	for key := range oldRows {
+		fmt.Printf("  %-28s procs=%-2d (only in %s)\n", key.name, key.procs, oldPath)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no comparable benchmarks between %s and %s", oldPath, newPath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed >%.0f%%:\n  %s",
+			len(regressions), regressionTolerance*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("bench-compare: %d benchmark(s) compared, none regressed >%.0f%%\n", matched, regressionTolerance*100)
+	return nil
+}

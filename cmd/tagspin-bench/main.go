@@ -7,7 +7,8 @@
 //	tagspin-bench -run F10a,T2    # run selected experiments
 //	tagspin-bench -list           # list experiment ids
 //	tagspin-bench -trials 100     # override per-experiment trial counts
-//	tagspin-bench -benchjson BENCH_1.json  # machine-readable spectrum perf
+//	tagspin-bench -benchjson BENCH_2.json  # machine-readable spectrum perf
+//	tagspin-bench -benchcompare auto       # regression-gate the two newest BENCH_*.json
 package main
 
 import (
@@ -30,17 +31,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tagspin-bench", flag.ContinueOnError)
 	var (
-		runIDs    = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
-		list      = fs.Bool("list", false, "list experiment ids and exit")
-		seed      = fs.Int64("seed", 0, "random seed")
-		trials    = fs.Int("trials", 0, "override per-experiment trial counts (0 = defaults)")
-		benchJSON = fs.String("benchjson", "", "write spectrum micro-benchmark results (ns/op, allocs/op) as JSON to this file and exit")
+		runIDs       = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list         = fs.Bool("list", false, "list experiment ids and exit")
+		seed         = fs.Int64("seed", 0, "random seed")
+		trials       = fs.Int("trials", 0, "override per-experiment trial counts (0 = defaults)")
+		benchJSON    = fs.String("benchjson", "", "write spectrum micro-benchmark results (ns/op, allocs/op) as JSON to this file and exit")
+		benchCompare = fs.String("benchcompare", "", "compare two bench reports ('old.json,new.json', or 'auto' for the two newest BENCH_<n>.json here) and fail on >10% ns/op regressions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *benchJSON != "" {
 		return writeBenchJSON(*benchJSON)
+	}
+	if *benchCompare != "" {
+		return compareBenchJSON(*benchCompare)
 	}
 	if *list {
 		for _, r := range experiment.All() {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -24,13 +25,13 @@ func TestUnknownExperiment(t *testing.T) {
 }
 
 // TestBenchJSON exercises the machine-readable perf report end to end: the
-// file must parse, carry every expected benchmark, and show the zero-alloc
-// steady state of the evaluation engine.
+// file must parse, carry every expected benchmark with provenance, and show
+// the zero-alloc steady state of the evaluation engine.
 func TestBenchJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmarks take seconds")
 	}
-	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	path := filepath.Join(t.TempDir(), "BENCH_2.json")
 	if err := run([]string{"-benchjson", path}); err != nil {
 		t.Fatalf("-benchjson: %v", err)
 	}
@@ -42,26 +43,130 @@ func TestBenchJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatalf("parse %s: %v", path, err)
 	}
-	if report.Schema != "tagspin-bench/1" {
-		t.Errorf("schema = %q", report.Schema)
+	if report.Schema != benchSchema {
+		t.Errorf("schema = %q, want %q", report.Schema, benchSchema)
+	}
+	if report.NumCPU <= 0 {
+		t.Errorf("numCPU = %d, want > 0", report.NumCPU)
 	}
 	rows := map[string]benchResult{}
 	for _, b := range report.Benchmarks {
-		rows[b.Name] = b
 		if b.Iterations <= 0 || b.NsPerOp <= 0 {
 			t.Errorf("benchmark %s has empty measurements: %+v", b.Name, b)
 		}
+		if b.GoMaxProcs <= 0 {
+			t.Errorf("benchmark %s lacks per-row GOMAXPROCS: %+v", b.Name, b)
+		}
+		if b.Variant == "" {
+			t.Errorf("benchmark %s lacks a variant label", b.Name)
+		}
+		if b.GoMaxProcs == 1 {
+			rows[b.Name] = b
+		}
 	}
-	for _, name := range []string{"EvalAtQ", "EvalAtR", "Profile2DR", "Profile3DCoarseSerial", "Profile3DCoarseParallel", "FindPeak2DR"} {
+	for _, name := range []string{
+		"EvalAtQ", "EvalAtR", "EvalAtRFast",
+		"Profile2DR", "Profile2DRFast", "Profile2DQFast",
+		"Profile3DCoarseSerial", "Profile3DCoarseParallel", "Profile3DCoarseParallelFast",
+		"FindPeak2DR", "FindPeak2DRFast",
+	} {
 		if _, ok := rows[name]; !ok {
-			t.Errorf("missing benchmark %q", name)
+			t.Errorf("missing benchmark %q at GOMAXPROCS=1", name)
 		}
 	}
 	// The acceptance property of the evaluation engine: steady-state
-	// candidate evaluations allocate nothing.
-	for _, name := range []string{"EvalAtQ", "EvalAtR"} {
+	// candidate evaluations, whole profile scans, and whole peak searches
+	// allocate nothing.
+	if raceEnabled {
+		t.Log("race-detector instrumentation allocates; skipping 0-alloc assertions")
+		return
+	}
+	for _, name := range []string{"EvalAtQ", "EvalAtR", "EvalAtRFast", "Profile2DR", "Profile2DRFast", "FindPeak2DR", "FindPeak2DRFast"} {
 		if b, ok := rows[name]; ok && b.AllocsPerOp != 0 {
 			t.Errorf("%s allocates %d per op, want 0", name, b.AllocsPerOp)
 		}
+	}
+}
+
+// writeReport marshals a report to dir/name for the compare tests.
+func writeReport(t *testing.T, dir, name string, report benchReport) string {
+	t.Helper()
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBenchCompare pins the regression gate: schema-1 files must still
+// parse (their rows inherit the report-level GOMAXPROCS), improvements and
+// small wobbles pass, and a >10% ns/op slowdown fails.
+func TestBenchCompare(t *testing.T) {
+	dir := t.TempDir()
+	v1 := benchReport{
+		Schema:     "tagspin-bench/1",
+		GoVersion:  "go1.24.0",
+		GoMaxProcs: 1,
+		Benchmarks: []benchResult{
+			{Name: "EvalAtR", Iterations: 100, NsPerOp: 20000},
+			{Name: "Profile2DR", Iterations: 100, NsPerOp: 13_000_000},
+			{Name: "Retired", Iterations: 100, NsPerOp: 1000},
+		},
+	}
+	improved := benchReport{
+		Schema:     benchSchema,
+		GoVersion:  "go1.24.0",
+		NumCPU:     1,
+		GoMaxProcs: 1,
+		Benchmarks: []benchResult{
+			{Name: "EvalAtR", Iterations: 100, NsPerOp: 21000, GoMaxProcs: 1, Variant: "serial/exact"}, // +5%: inside tolerance
+			{Name: "Profile2DR", Iterations: 100, NsPerOp: 9_000_000, GoMaxProcs: 1, Variant: "parallel/exact"},
+			{Name: "Profile2DRFast", Iterations: 100, NsPerOp: 4_000_000, GoMaxProcs: 1, Variant: "parallel/fast"}, // new: never gates
+		},
+	}
+	oldPath := writeReport(t, dir, "BENCH_1.json", v1)
+	newPath := writeReport(t, dir, "BENCH_2.json", improved)
+	if err := compareBenchJSON(oldPath + "," + newPath); err != nil {
+		t.Errorf("improvement flagged as regression: %v", err)
+	}
+
+	regressed := improved
+	regressed.Benchmarks = []benchResult{
+		{Name: "EvalAtR", Iterations: 100, NsPerOp: 25000, GoMaxProcs: 1, Variant: "serial/exact"}, // +25%
+		{Name: "Profile2DR", Iterations: 100, NsPerOp: 9_000_000, GoMaxProcs: 1, Variant: "parallel/exact"},
+	}
+	regPath := writeReport(t, dir, "BENCH_3.json", regressed)
+	err := compareBenchJSON(oldPath + "," + regPath)
+	if err == nil {
+		t.Fatal("25% regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "EvalAtR") {
+		t.Errorf("regression error does not name the benchmark: %v", err)
+	}
+
+	// Auto-discovery picks the two highest-numbered files (2 vs 3 here):
+	// both parse, Profile2DR matches, EvalAtR regressed.
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := compareBenchJSON("auto"); err == nil {
+		t.Error("auto compare missed the BENCH_2 -> BENCH_3 regression")
+	}
+
+	if err := compareBenchJSON("nope"); err == nil {
+		t.Error("malformed spec accepted")
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// assertions skip under it because the instrumentation itself allocates.
+const raceEnabled = false

@@ -68,6 +68,21 @@ type Config struct {
 	// ZPolicy resolves the 3D mirror ambiguity; zero means
 	// locate.ZPreferNonNegative.
 	ZPolicy locate.ZPolicy
+	// FastSpectrum selects the fast trig kernel (spectrum.WithFastTrig) for
+	// every spectrum evaluation the pipeline runs. Profile values move by
+	// ≲1e-6 and refined peaks by well under 1e-5 rad relative to the exact
+	// default — far below the phase-noise floor — in exchange for several-×
+	// faster grid scans. Leave it off to reproduce paper figures bit for
+	// bit.
+	FastSpectrum bool
+}
+
+// evalOpts returns the spectrum.NewEvaluator options the config implies.
+func (c Config) evalOpts() []spectrum.EvalOption {
+	if c.FastSpectrum {
+		return []spectrum.EvalOption{spectrum.WithFastTrig()}
+	}
+	return nil
 }
 
 // kind returns the effective profile kind.
@@ -184,10 +199,11 @@ func (l *Locator) estimate2D(tag SpinningTag, selected []phase.Snapshot, kind sp
 	if correctAgainst != nil && tag.Orientation != nil && !l.cfg.DisableOrientation {
 		input = applyOrientation(tag, selected, geom.V3(correctAgainst.X, correctAgainst.Y, tag.Disk.Center.Z))
 	}
-	az, power, err := spectrum.FindPeak2D(input, params, kind, l.cfg.Search)
+	ev, err := spectrum.NewEvaluator(input, params, kind, l.cfg.evalOpts()...)
 	if err != nil {
 		return TagEstimate{}, fmt.Errorf("tag %s: %w", tag.EPC, err)
 	}
+	az, power := spectrum.FindPeak2DEval(ev, l.cfg.Search)
 	return TagEstimate{
 		EPC:       tag.EPC,
 		Azimuth:   az,
@@ -203,10 +219,11 @@ func (l *Locator) estimate3D(tag SpinningTag, selected []phase.Snapshot, kind sp
 	if correctAgainst != nil && tag.Orientation != nil && !l.cfg.DisableOrientation {
 		input = applyOrientation(tag, selected, *correctAgainst)
 	}
-	pk, err := spectrum.FindPeak3D(input, params, kind, l.cfg.Search)
+	ev, err := spectrum.NewEvaluator(input, params, kind, l.cfg.evalOpts()...)
 	if err != nil {
 		return TagEstimate{}, fmt.Errorf("tag %s: %w", tag.EPC, err)
 	}
+	pk := spectrum.FindPeak3DEval(ev, l.cfg.Search)
 	return TagEstimate{
 		EPC:       tag.EPC,
 		Azimuth:   pk.Azimuth,
@@ -450,10 +467,11 @@ func (l *Locator) ValidateRegistration(tag SpinningTag, snaps []phase.Snapshot) 
 		return Diagnosis{}, fmt.Errorf("tag %s: %w", tag.EPC, err)
 	}
 	params := spectrum.Params{Disk: tag.Disk, Sigma: l.cfg.Sigma}
-	_, power, err := spectrum.FindPeak2D(selected, params, spectrum.KindQ, l.cfg.Search)
+	ev, err := spectrum.NewEvaluator(selected, params, spectrum.KindQ, l.cfg.evalOpts()...)
 	if err != nil {
 		return Diagnosis{}, fmt.Errorf("tag %s: %w", tag.EPC, err)
 	}
+	_, power := spectrum.FindPeak2DEval(ev, l.cfg.Search)
 	return Diagnosis{
 		EPC:       tag.EPC,
 		Snapshots: len(selected),

@@ -29,6 +29,10 @@ type Config struct {
 	Registry *registry.Registry
 	// Locator runs the pipeline; nil means a default core.Locator.
 	Locator *core.Locator
+	// FastSpectrum enables the fast spectrum kernel on the default locator
+	// (core.Config.FastSpectrum). Ignored when Locator is non-nil — a
+	// caller-supplied locator carries its own config.
+	FastSpectrum bool
 	// Collect gathers snapshots; nil means client.Collect.
 	Collect CollectFunc
 	// Client tunes collection sessions.
@@ -61,7 +65,7 @@ func New(cfg Config) (*Server, error) {
 		collect: cfg.Collect,
 	}
 	if s.locator == nil {
-		s.locator = core.NewLocator(core.Config{})
+		s.locator = core.NewLocator(core.Config{FastSpectrum: cfg.FastSpectrum})
 	}
 	if s.collect == nil {
 		s.collect = client.Collect

@@ -1,0 +1,89 @@
+package mathx
+
+import "math"
+
+// FastSincos computes (sin x, cos x) with a table-free range-reduced
+// polynomial kernel. It exists for the spectrum engine's fast evaluation
+// path, where one sincos per snapshot per candidate dominates grid scans
+// and the full 0.5-ulp accuracy of math.Sincos buys nothing.
+//
+// Numerical contract (verified by TestFastSincosErrorBound):
+//
+//   - For |x| ≤ FastSincosMaxArg the absolute error of both results is at
+//     most FastSincosMaxErr (2.5e-8 by construction, < 1e-7 with margin).
+//     The bound is the tail of the degree-8 cosine polynomial at π/4,
+//     (π/4)¹⁰/10! ≈ 2.45e-8; the degree-9 sine polynomial and the
+//     three-part Cody–Waite reduction contribute ≲1e-9 on this range.
+//   - Outside that range (and for NaN/±Inf) it falls back to math.Sincos,
+//     so results are always finite-safe and never worse than the bound.
+//
+// The kernel reduces x by multiples of π/2 (round-to-nearest, three-part
+// Cody–Waite constant) into r ∈ [-π/4, π/4], evaluates Taylor polynomials
+// for sin r and cos r, and swaps/negates by reduction quadrant. No lookup
+// tables: the working set is a handful of constants, so the kernel never
+// pressures the cache that the snapshot terms want.
+func FastSincos(x float64) (sin, cos float64) {
+	if x < -FastSincosMaxArg || x > FastSincosMaxArg || x != x {
+		return math.Sincos(x)
+	}
+	// k = round(x·2/π); r = x − k·π/2 with π/2 split into three parts so
+	// the products are exact for |k| < 2^27 and the reduction error stays
+	// below an ulp of r.
+	t := x*twoOverPi + roundBias
+	k := int64(math.Float64bits(t)) // low bits of t hold round(x·2/π) mod 2^52
+	kf := t - roundBias
+	r := x - kf*pio2Hi
+	r -= kf * pio2Mid
+	r -= kf * pio2Lo
+
+	r2 := r * r
+	// sin r, r ∈ [-π/4, π/4]: Taylor to r⁹, tail ≤ (π/4)¹¹/11! ≈ 1.6e-9.
+	s := r * (1 + r2*(sinC3+r2*(sinC5+r2*(sinC7+r2*sinC9))))
+	// cos r: Taylor to r⁸, tail ≤ (π/4)¹⁰/10! ≈ 2.45e-8.
+	c := 1 + r2*(cosC2+r2*(cosC4+r2*(cosC6+r2*cosC8)))
+
+	switch k & 3 {
+	case 0:
+		return s, c
+	case 1:
+		return c, -s
+	case 2:
+		return -s, -c
+	default:
+		return -c, s
+	}
+}
+
+const (
+	// FastSincosMaxErr is the guaranteed absolute error bound of
+	// FastSincos on |x| ≤ FastSincosMaxArg.
+	FastSincosMaxErr = 1e-7
+	// FastSincosMaxArg bounds the fast reduction; beyond it FastSincos
+	// delegates to math.Sincos. 2^20 keeps the k·π/2 Cody–Waite products
+	// exact with a wide margin (the 26 significant bits of pio2Hi plus
+	// the ≤21 bits of k stay under 53); spectrum arguments are tens of
+	// radians at most.
+	FastSincosMaxArg = 1 << 20
+
+	twoOverPi = 2 / math.Pi
+	// roundBias implements round-to-nearest via the float64 mantissa: for
+	// |t| < 2^51, (t + 1.5·2^52) − 1.5·2^52 rounds t to the nearest
+	// integer, and the integer sits in the low mantissa bits.
+	roundBias = 1.5 / 0x1p-52
+
+	// π/2 split into three parts (high bits exact in products with small
+	// integers), standard Cody–Waite constants.
+	pio2Hi  = 1.57079632673412561417e+00
+	pio2Mid = 6.07710050650619224932e-11
+	pio2Lo  = 2.02226624879595063154e-21
+
+	sinC3 = -1.0 / 6
+	sinC5 = 1.0 / 120
+	sinC7 = -1.0 / 5040
+	sinC9 = 1.0 / 362880
+
+	cosC2 = -1.0 / 2
+	cosC4 = 1.0 / 24
+	cosC6 = -1.0 / 720
+	cosC8 = 1.0 / 40320
+)

@@ -1,0 +1,108 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFastSincosErrorBound is the exhaustive-sweep property test backing the
+// documented contract: over a dense sweep of the operating range (and well
+// beyond it), |FastSincos − math.Sincos| never exceeds FastSincosMaxErr.
+func TestFastSincosErrorBound(t *testing.T) {
+	sweep := func(lo, hi float64, n int) (maxErr float64) {
+		step := (hi - lo) / float64(n)
+		for i := 0; i <= n; i++ {
+			x := lo + float64(i)*step
+			fs, fc := FastSincos(x)
+			es, ec := math.Sincos(x)
+			if d := math.Abs(fs - es); d > maxErr {
+				maxErr = d
+			}
+			if d := math.Abs(fc - ec); d > maxErr {
+				maxErr = d
+			}
+		}
+		return maxErr
+	}
+
+	// Operating range of the spectrum engine: phases stay within tens of
+	// radians. 4M points ≈ every 2.5e-5 rad.
+	if err := sweep(-50, 50, 4_000_000); err > FastSincosMaxErr {
+		t.Errorf("max error %.3g over [-50, 50], want ≤ %.1g", err, FastSincosMaxErr)
+	}
+	// Full fast-reduction range, coarser: the Cody–Waite reduction must
+	// hold the bound all the way to the math.Sincos fallback threshold.
+	if err := sweep(-FastSincosMaxArg, FastSincosMaxArg, 2_000_000); err > FastSincosMaxErr {
+		t.Errorf("max error %.3g over ±2^20, want ≤ %.1g", err, FastSincosMaxErr)
+	}
+	// Quadrant boundaries are where reduction sign/swap bugs live.
+	for k := -1000; k <= 1000; k++ {
+		for _, eps := range []float64{0, 1e-9, -1e-9, 1e-3, -1e-3} {
+			x := float64(k)*math.Pi/2 + eps
+			fs, fc := FastSincos(x)
+			es, ec := math.Sincos(x)
+			if math.Abs(fs-es) > FastSincosMaxErr || math.Abs(fc-ec) > FastSincosMaxErr {
+				t.Fatalf("quadrant boundary x=%v: fast (%v, %v) vs exact (%v, %v)", x, fs, fc, es, ec)
+			}
+		}
+	}
+}
+
+// TestFastSincosFallback pins the out-of-range and non-finite behavior: the
+// function must degrade to math.Sincos, never to garbage.
+func TestFastSincosFallback(t *testing.T) {
+	for _, x := range []float64{
+		FastSincosMaxArg * 2, -FastSincosMaxArg * 2, 1e300, -1e300,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+	} {
+		fs, fc := FastSincos(x)
+		es, ec := math.Sincos(x)
+		if math.IsNaN(es) {
+			if !math.IsNaN(fs) || !math.IsNaN(fc) {
+				t.Errorf("FastSincos(%v) = (%v, %v), want NaNs", x, fs, fc)
+			}
+			continue
+		}
+		if fs != es || fc != ec {
+			t.Errorf("FastSincos(%v) = (%v, %v), want math.Sincos's (%v, %v)", x, fs, fc, es, ec)
+		}
+	}
+}
+
+// TestFastSincosIdentity checks sin²+cos² ≈ 1 across random-ish points — a
+// cheap smoke test that the polynomial pair stays mutually consistent.
+func TestFastSincosIdentity(t *testing.T) {
+	for i := 0; i < 100_000; i++ {
+		x := -40 + 80*float64(i)/100_000*1.000003
+		s, c := FastSincos(x)
+		if d := math.Abs(s*s + c*c - 1); d > 3*FastSincosMaxErr {
+			t.Fatalf("sin²+cos² at %v off by %.3g", x, d)
+		}
+	}
+}
+
+var sincosSink float64
+
+func BenchmarkMathSincos(b *testing.B) {
+	x := 0.0
+	for i := 0; i < b.N; i++ {
+		s, c := math.Sincos(x)
+		sincosSink = s + c
+		x += 0.7
+		if x > 40 {
+			x -= 80
+		}
+	}
+}
+
+func BenchmarkFastSincos(b *testing.B) {
+	x := 0.0
+	for i := 0; i < b.N; i++ {
+		s, c := FastSincos(x)
+		sincosSink = s + c
+		x += 0.7
+		if x > 40 {
+			x -= 80
+		}
+	}
+}

@@ -28,22 +28,58 @@ const chunkTarget = 64
 // the aperture scales 4πr/λ — so that each candidate direction costs a
 // handful of multiply-adds per snapshot instead of a cosine, and no heap
 // allocation at all: the residual/aperture buffers the R profile needs live
-// in a caller-owned Scratch.
+// in a caller-owned Scratch (grid scans draw theirs from an internal
+// sync.Pool, so steady-state scans allocate nothing either).
 //
-// An Evaluator is immutable after construction and safe for concurrent use.
-// All mutable per-evaluation state lives in a Scratch, which must be owned
-// by exactly one goroutine at a time.
+// Two trig paths exist. The default exact path uses math.Sincos everywhere
+// and is bit-identical to a naive serial evaluation — equivalence tests pin
+// this. WithFastTrig selects the batched fast kernel: mathx.FastSincos for
+// the per-snapshot phasors (absolute error ≤ mathx.FastSincosMaxErr) and a
+// rotation-recurrence trig table for uniform candidate grids (re-seeded
+// from math.Sincos every trigReseedInterval points). The fast path changes
+// profile values by ≲1e-6 and peak locations by well under 1e-5 rad; the
+// kernel tests bound both.
+//
+// An Evaluator is immutable after construction (the pools are internally
+// synchronized) and safe for concurrent use. All mutable per-evaluation
+// state lives in a Scratch, which must be owned by exactly one goroutine at
+// a time.
 type Evaluator struct {
 	terms       []snapshotTerm
 	coarse      []snapshotTerm // strided subset (≤coarseTermLimit) for coarse scans
 	kind        Kind
 	literalRef  bool
 	weightSigma float64 // Gaussian kernel width for the R weights
+	fastTrig    bool    // FastSincos + recurrence tables instead of math.Sincos
+
+	// Hoisted Gaussian-kernel constants for the fast R path: GaussPDF's
+	// per-call 1/(σ√2π) and 1/(2σ²) pulled out of the inner loop. The
+	// exact path keeps calling mathx.GaussPDF so its results stay
+	// bit-identical to the pre-kernel engine.
+	wNorm    float64
+	wInv2Sig float64
+
+	scratchPool sync.Pool // *Scratch, reused across grid scans and peak searches
+	bestsPool   sync.Pool // *[]maxEntry, reused across argmax reductions
+	jobPool     sync.Pool // *scanJob, reused across grid scans
+}
+
+// EvalOption configures an Evaluator at construction.
+type EvalOption func(*Evaluator)
+
+// WithFastTrig selects the fast trig kernel (mathx.FastSincos plus
+// rotation-recurrence candidate tables) for every evaluation this Evaluator
+// performs. Profile values move by ≲1e-6 and refined peak locations by well
+// under 1e-5 rad relative to the default exact path; grid scans get several
+// times faster. Use it on serving paths; leave the default for equivalence
+// tests and paper-figure reproduction.
+func WithFastTrig() EvalOption {
+	return func(e *Evaluator) { e.fastTrig = true }
 }
 
 // NewEvaluator prepares the snapshot terms and trig tables for repeated
 // evaluation of the selected profile kind.
-func NewEvaluator(snaps []phase.Snapshot, p Params, kind Kind) (*Evaluator, error) {
+func NewEvaluator(snaps []phase.Snapshot, p Params, kind Kind, opts ...EvalOption) (*Evaluator, error) {
 	terms, err := prepare(snaps, p)
 	if err != nil {
 		return nil, err
@@ -60,18 +96,31 @@ func NewEvaluator(snaps []phase.Snapshot, p Params, kind Kind) (*Evaluator, erro
 		e.weightSigma = p.sigma() * math.Sqrt2
 	} else {
 		// Robust variant: the kernel covers the structured residuals real
-		// sessions carry beyond thermal noise (see evalTerms).
+		// sessions carry beyond thermal noise (see evalQR).
 		e.weightSigma = math.Hypot(p.sigma(), modelResidualSigma)
+	}
+	e.wNorm = 1 / (e.weightSigma * math.Sqrt(mathx.TwoPi))
+	e.wInv2Sig = 1 / (2 * e.weightSigma * e.weightSigma)
+	for _, opt := range opts {
+		opt(e)
 	}
 	return e, nil
 }
 
-// Scratch holds the per-evaluation buffers EvalAt writes into, so the hot
-// path never allocates. Create one per worker goroutine with NewScratch; a
-// Scratch must not be shared between concurrently running evaluations.
+// Scratch holds the per-evaluation buffers EvalAt and the row kernels write
+// into, so the hot paths never allocate. Create one per worker goroutine
+// with NewScratch; a Scratch must not be shared between concurrently
+// running evaluations.
 type Scratch struct {
-	residuals []float64
-	apertures []float64
+	residuals []float64 // per-snapshot R residuals
+	apertures []float64 // per-snapshot aperture terms
+
+	// Row-kernel buffers, sized to the widest row seen so far.
+	sinPhi []float64 // per-candidate sin φ table
+	cosPhi []float64 // per-candidate cos φ table
+	sumRe  []float64 // per-candidate phasor accumulators (interchanged Q)
+	sumIm  []float64
+	row    []float64 // per-candidate values during argmax scans
 }
 
 // NewScratch returns a Scratch sized for this Evaluator's snapshot set.
@@ -81,6 +130,35 @@ func (e *Evaluator) NewScratch() *Scratch {
 		apertures: make([]float64, len(e.terms)),
 	}
 }
+
+// ensureRow grows the row-kernel buffers to hold n candidates.
+func (sc *Scratch) ensureRow(n int) {
+	if cap(sc.sinPhi) < n {
+		sc.sinPhi = make([]float64, n)
+		sc.cosPhi = make([]float64, n)
+		sc.sumRe = make([]float64, n)
+		sc.sumIm = make([]float64, n)
+		sc.row = make([]float64, n)
+	}
+	sc.sinPhi = sc.sinPhi[:n]
+	sc.cosPhi = sc.cosPhi[:n]
+	sc.sumRe = sc.sumRe[:n]
+	sc.sumIm = sc.sumIm[:n]
+	sc.row = sc.row[:n]
+}
+
+// getScratch draws a Scratch from the pool (allocating only when the pool
+// is empty); putScratch returns it. Grid scans and peak searches route all
+// their transient state through this pair, which is what makes whole
+// Profile2D/FindPeak calls allocation-free in steady state.
+func (e *Evaluator) getScratch() *Scratch {
+	if sc, ok := e.scratchPool.Get().(*Scratch); ok {
+		return sc
+	}
+	return e.NewScratch()
+}
+
+func (e *Evaluator) putScratch(sc *Scratch) { e.scratchPool.Put(sc) }
 
 // EvalAt computes the configured power formula at candidate direction
 // (phi, gamma) over the full snapshot set; gamma = 0 reduces Eqn. 11/12 to
@@ -94,29 +172,63 @@ func (e *Evaluator) EvalCoarse(sc *Scratch, phi, gamma float64) float64 {
 	return e.evalTerms(e.coarse, sc, phi, gamma)
 }
 
-// evalTerms is the engine core. Per candidate it spends two trig calls on
-// (sin φ, cos φ) and one on cos γ; the per-snapshot factor cos(a_i−φ) then
-// falls out of the tables as cos a_i·cos φ + sin a_i·sin φ.
+// evalTerms evaluates one candidate. Per candidate it spends two trig calls
+// on (sin φ, cos φ) and one on cos γ; the per-snapshot factor cos(a_i−φ)
+// then falls out of the tables as cos a_i·cos φ + sin a_i·sin φ. The row
+// kernels in kernel.go amortize the candidate trig across uniform grids;
+// this single-candidate form remains for refinement loops and callers off
+// the grid.
 func (e *Evaluator) evalTerms(terms []snapshotTerm, sc *Scratch, phi, gamma float64) float64 {
 	sinPhi, cosPhi := math.Sincos(phi)
 	cg := math.Cos(gamma)
+	if e.kind != KindR {
+		if e.fastTrig {
+			return evalQFast(terms, sinPhi, cosPhi, cg)
+		}
+		return evalQExact(terms, sinPhi, cosPhi, cg)
+	}
+	if e.fastTrig {
+		return e.evalRFast(terms, sc, sinPhi, cosPhi, cg)
+	}
+	return e.evalRExact(terms, sc, sinPhi, cosPhi, cg)
+}
+
+// evalQExact is the exact-trig Q profile for one candidate; its arithmetic
+// (expression shapes and accumulation order) is the bit-exactness reference
+// every other Q path must reproduce.
+func evalQExact(terms []snapshotTerm, sinPhi, cosPhi, cg float64) float64 {
+	var sumRe, sumIm float64
+	for _, t := range terms {
+		aperture := t.scale * (t.cosA*cosPhi + t.sinA*sinPhi) * cg
+		s, c := math.Sincos(t.relPhase + aperture)
+		sumRe += c
+		sumIm += s
+	}
+	return math.Hypot(sumRe, sumIm) / float64(len(terms))
+}
+
+// evalQFast is evalQExact with the per-snapshot sincos replaced by the
+// bounded-error fast kernel (and Hypot by a plain sqrt — the sums are
+// bounded by the term count, so overflow protection buys nothing).
+func evalQFast(terms []snapshotTerm, sinPhi, cosPhi, cg float64) float64 {
+	var sumRe, sumIm float64
+	for _, t := range terms {
+		aperture := t.scale * (t.cosA*cosPhi + t.sinA*sinPhi) * cg
+		s, c := mathx.FastSincos(t.relPhase + aperture)
+		sumRe += c
+		sumIm += s
+	}
+	return math.Sqrt(sumRe*sumRe+sumIm*sumIm) / float64(len(terms))
+}
+
+// evalRExact is the exact-trig R profile for one candidate: residual of
+// each snapshot's relative phase against the candidate direction's
+// prediction, Gaussian-weighted phasor stack (Definition 4.1 / 5.1).
+func (e *Evaluator) evalRExact(terms []snapshotTerm, sc *Scratch, sinPhi, cosPhi, cg float64) float64 {
 	// c_i(φ,γ) = scale·(cos(a_1−φ) − cos(a_i−φ))·cos γ with the reference
 	// term folded in per snapshot below.
 	t0 := terms[0]
 	refAperture := t0.scale * (t0.cosA*cosPhi + t0.sinA*sinPhi) * cg
-	var sumRe, sumIm float64
-	if e.kind != KindR {
-		for _, t := range terms {
-			aperture := t.scale * (t.cosA*cosPhi + t.sinA*sinPhi) * cg
-			s, c := math.Sincos(t.relPhase + aperture)
-			sumRe += c
-			sumIm += s
-		}
-		return math.Hypot(sumRe, sumIm) / float64(len(terms))
-	}
-
-	// R profile: residual of each snapshot's relative phase against the
-	// candidate direction's prediction.
 	residuals := sc.residuals[:len(terms)]
 	apertures := sc.apertures[:len(terms)]
 	var rs, rc float64
@@ -139,6 +251,7 @@ func (e *Evaluator) evalTerms(terms []snapshotTerm, sc *Scratch, phi, gamma floa
 		// exactly the thermal σ would over-trust (ablation A1 sweeps this).
 		mu = math.Atan2(rs, rc)
 	}
+	var sumRe, sumIm float64
 	for i, res := range residuals {
 		w := mathx.GaussPDF(mathx.WrapToPi(res-mu), 0, e.weightSigma)
 		s, c := math.Sincos(terms[i].relPhase + apertures[i])
@@ -153,26 +266,186 @@ func (e *Evaluator) evalTerms(terms []snapshotTerm, sc *Scratch, phi, gamma floa
 	return math.Hypot(sumRe, sumIm) / float64(len(terms))
 }
 
-// parallelChunks runs fn over contiguous index chunks of [0, n) on up to
-// GOMAXPROCS workers, each with its own Scratch. Chunks are handed out by an
-// atomic counter (work stealing), so a straggler worker never serializes the
+// evalRFast is evalRExact on the fast kernel: FastSincos phasors, an
+// additive phase wrap (arguments are bounded by π + 2·4πr/λ, so the mod in
+// WrapToPi is overkill), and the Gaussian weight with the normalization and
+// 1/2σ² hoisted into the Evaluator.
+func (e *Evaluator) evalRFast(terms []snapshotTerm, sc *Scratch, sinPhi, cosPhi, cg float64) float64 {
+	t0 := terms[0]
+	refAperture := t0.scale * (t0.cosA*cosPhi + t0.sinA*sinPhi) * cg
+	residuals := sc.residuals[:len(terms)]
+	apertures := sc.apertures[:len(terms)]
+	var rs, rc float64
+	for i, t := range terms {
+		aperture := t.scale * (t.cosA*cosPhi + t.sinA*sinPhi) * cg
+		apertures[i] = aperture
+		res := wrapToPiFast(t.relPhase - (refAperture - aperture))
+		residuals[i] = res
+		s, c := mathx.FastSincos(res)
+		rs += s
+		rc += c
+	}
+	var mu float64
+	if !e.literalRef {
+		mu = math.Atan2(rs, rc)
+	}
+	var sumRe, sumIm float64
+	for i, res := range residuals {
+		d := wrapToPiFast(res - mu)
+		w := e.wNorm * math.Exp(-d*d*e.wInv2Sig)
+		s, c := mathx.FastSincos(terms[i].relPhase + apertures[i])
+		sumRe += w * c
+		sumIm += w * s
+	}
+	return math.Sqrt(sumRe*sumRe+sumIm*sumIm) / float64(len(terms))
+}
+
+// inv2Pi is 1/2π for the rounded phase wrap below.
+const inv2Pi = 1 / mathx.TwoPi
+
+// wrapToPiFast maps a phase difference into [-π, π] by subtracting the
+// rounded multiple of 2π — one multiply, an intrinsic floor, and one
+// fused subtract, against math.Mod inside mathx.WrapToPi. The subtracted
+// multiple k carries |k|·ulp(2π) ≲ 1e-14 rad of error for the |x| ≤
+// π + 2·4πr/λ arguments spectrum residuals produce, far inside the fast
+// path's 1e-7 budget; the boundary case that lands on −π instead of the
+// exact wrap's (−π, π] is harmless because every consumer (sincos, the
+// squared Gaussian distance) is continuous through ±π. Pathological
+// magnitudes fall back to the exact wrap before the k·2π cancellation
+// could lose precision.
+func wrapToPiFast(x float64) float64 {
+	if x > 1e6 || x < -1e6 {
+		return mathx.WrapToPi(x)
+	}
+	if x > math.Pi || x < -math.Pi {
+		x -= math.Floor(x*inv2Pi+0.5) * mathx.TwoPi
+	}
+	return x
+}
+
+// scanJob describes one grid scan as plain data — which snapshot terms,
+// which candidate geometry, and where results go. Scans dispatch through a
+// pooled *scanJob and the runChunk method instead of closures: a closure
+// passed into the parallel machinery escapes to the worker goroutines and
+// would cost the caller a heap allocation per scan, which is exactly what
+// the zero-alloc steady-state contract forbids.
+//
+// Candidate geometry, in precedence order:
+//   - rows != nil: 3D profile — chunks index polar rows; row i evaluates
+//     angles at γ = polars[i] into rows[i].
+//   - angles != nil: 1D profile — chunks index candidates; candidate i
+//     evaluates angles[i] at fixed gamma into out[i].
+//   - azCount > 0: 3D coarse argmax — chunks are exactly one polar row of
+//     azCount uniform candidates (φ_k = k·step, γ = polBase +
+//     (i/azCount)·polStep); winners land in bests.
+//   - otherwise: 1D uniform argmax — candidate i is φ_i = i·step at fixed
+//     gamma; winners land in bests.
+type scanJob struct {
+	terms []snapshotTerm
+	n     int // candidate (or row) count
+	chunk int // chunk size handed to one worker grab
+
+	// Output: profile scans write out/rows; argmax scans reduce into bests.
+	out   []float64
+	rows  [][]float64
+	bests []maxEntry
+
+	// Candidate geometry.
+	angles           []float64
+	polars           []float64
+	step             float64
+	azCount          int
+	polBase, polStep float64
+	gamma            float64
+}
+
+// reset clears slice references so a pooled job cannot retain caller
+// memory across uses.
+func (j *scanJob) reset() {
+	*j = scanJob{}
+}
+
+// getJob draws a scan descriptor from the pool; putJob resets and returns
+// it.
+func (e *Evaluator) getJob() *scanJob {
+	if j, ok := e.jobPool.Get().(*scanJob); ok {
+		return j
+	}
+	return new(scanJob)
+}
+
+func (e *Evaluator) putJob(j *scanJob) {
+	j.reset()
+	e.jobPool.Put(j)
+}
+
+// runChunk evaluates one contiguous chunk [lo, hi) of a scan job on the
+// given Scratch, per the job's candidate geometry.
+func (e *Evaluator) runChunk(j *scanJob, sc *Scratch, lo, hi int) {
+	switch {
+	case j.rows != nil:
+		for i := lo; i < hi; i++ {
+			e.fillAngleTrig(sc, j.angles)
+			e.evalRow(j.terms, sc, j.polars[i], len(j.angles), j.rows[i])
+		}
+	case j.angles != nil:
+		e.fillAngleTrig(sc, j.angles[lo:hi])
+		e.evalRow(j.terms, sc, j.gamma, hi-lo, j.out[lo:hi])
+	case j.azCount > 0:
+		gamma := j.polBase + float64(lo/j.azCount)*j.polStep
+		e.fillUniformTrig(sc, 0, hi-lo, j.step)
+		e.evalRow(j.terms, sc, gamma, hi-lo, sc.row[:hi-lo])
+		j.reduceChunk(sc, lo, hi)
+	default:
+		e.fillUniformTrig(sc, lo, hi-lo, j.step)
+		e.evalRow(j.terms, sc, j.gamma, hi-lo, sc.row[:hi-lo])
+		j.reduceChunk(sc, lo, hi)
+	}
+}
+
+// reduceChunk records the chunk's argmax winner. Strict > keeps the
+// serial lowest-index tie rule.
+func (j *scanJob) reduceChunk(sc *Scratch, lo, hi int) {
+	best := maxEntry{idx: -1, val: math.Inf(-1)}
+	for k, v := range sc.row[:hi-lo] {
+		if v > best.val {
+			best = maxEntry{idx: lo + k, val: v}
+		}
+	}
+	j.bests[lo/j.chunk] = best
+}
+
+// scanChunks runs a job's chunks of [0, n) on up to GOMAXPROCS workers,
+// each with its own pooled Scratch. Chunks are handed out by an atomic
+// counter (work stealing), so a straggler worker never serializes the
 // scan; every index is processed by exactly one worker, so output writes
 // never race and results are bit-identical to a serial loop regardless of
-// scheduling.
-func (e *Evaluator) parallelChunks(n, chunk int, fn func(sc *Scratch, lo, hi int)) {
-	if n <= 0 {
+// scheduling. Chunk boundaries are part of the contract: each runChunk
+// call covers at most one chunk (the 3D coarse scan relies on a chunk
+// being exactly one polar row), in both the serial and parallel paths.
+func (e *Evaluator) scanChunks(j *scanJob) {
+	if j.n <= 0 {
 		return
 	}
-	if chunk <= 0 {
-		chunk = chunkTarget
+	if j.chunk <= 0 {
+		j.chunk = chunkTarget
 	}
-	nChunks := (n + chunk - 1) / chunk
+	nChunks := (j.n + j.chunk - 1) / j.chunk
 	workers := runtime.GOMAXPROCS(0)
 	if workers > nChunks {
 		workers = nChunks
 	}
 	if workers <= 1 {
-		fn(e.NewScratch(), 0, n)
+		sc := e.getScratch()
+		for c := 0; c < nChunks; c++ {
+			lo := c * j.chunk
+			hi := lo + j.chunk
+			if hi > j.n {
+				hi = j.n
+			}
+			e.runChunk(j, sc, lo, hi)
+		}
+		e.putScratch(sc)
 		return
 	}
 	var next atomic.Int64
@@ -181,18 +454,19 @@ func (e *Evaluator) parallelChunks(n, chunk int, fn func(sc *Scratch, lo, hi int
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			sc := e.NewScratch()
+			sc := e.getScratch()
+			defer e.putScratch(sc)
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= nChunks {
 					return
 				}
-				lo := c * chunk
-				hi := lo + chunk
-				if hi > n {
-					hi = n
+				lo := c * j.chunk
+				hi := lo + j.chunk
+				if hi > j.n {
+					hi = j.n
 				}
-				fn(sc, lo, hi)
+				e.runChunk(j, sc, lo, hi)
 			}
 		}()
 	}
@@ -205,55 +479,80 @@ type maxEntry struct {
 	val float64
 }
 
-// argmax evaluates eval for every index in [0, n) — in parallel — and
-// returns the index and value of the maximum. Per-chunk winners are reduced
-// in chunk order with a strict > comparison, so ties resolve to the lowest
-// index exactly like a serial left-to-right scan.
-func (e *Evaluator) argmax(n, chunk int, eval func(sc *Scratch, i int) float64) (int, float64) {
-	if n <= 0 {
+// getBests draws a chunk-winner slice of length n from the pool; putBests
+// returns it. Pooling here removes the per-call allocate-and-zero that
+// peak searches used to pay (BENCH_1 recorded 13 allocs/op on FindPeak2DR).
+func (e *Evaluator) getBests(n int) *[]maxEntry {
+	p, ok := e.bestsPool.Get().(*[]maxEntry)
+	if !ok {
+		p = new([]maxEntry)
+	}
+	if cap(*p) < n {
+		*p = make([]maxEntry, n)
+	}
+	*p = (*p)[:n]
+	for i := range *p {
+		(*p)[i] = maxEntry{idx: -1, val: math.Inf(-1)}
+	}
+	return p
+}
+
+func (e *Evaluator) putBests(p *[]maxEntry) { e.bestsPool.Put(p) }
+
+// argmaxJob runs an argmax-shaped scan job and returns the index and value
+// of the maximum candidate. Per-chunk winners are reduced in chunk order
+// with a strict > comparison, so ties resolve to the lowest index exactly
+// like a serial left-to-right scan.
+func (e *Evaluator) argmaxJob(j *scanJob) (int, float64) {
+	if j.n <= 0 {
 		return 0, math.Inf(-1)
 	}
-	if chunk <= 0 {
-		chunk = chunkTarget
+	if j.chunk <= 0 {
+		j.chunk = chunkTarget
 	}
-	nChunks := (n + chunk - 1) / chunk
-	bests := make([]maxEntry, nChunks)
-	for i := range bests {
-		bests[i] = maxEntry{idx: -1, val: math.Inf(-1)}
-	}
-	e.parallelChunks(n, chunk, func(sc *Scratch, lo, hi int) {
-		best := maxEntry{idx: -1, val: math.Inf(-1)}
-		for i := lo; i < hi; i++ {
-			if v := eval(sc, i); v > best.val {
-				best = maxEntry{idx: i, val: v}
-			}
-		}
-		bests[lo/chunk] = best
-	})
+	nChunks := (j.n + j.chunk - 1) / j.chunk
+	bestsPtr := e.getBests(nChunks)
+	j.bests = *bestsPtr
+	e.scanChunks(j)
 	best := maxEntry{idx: 0, val: math.Inf(-1)}
-	for _, b := range bests {
+	for _, b := range j.bests {
 		if b.idx >= 0 && b.val > best.val {
 			best = b
 		}
 	}
+	e.putBests(bestsPtr)
 	return best.idx, best.val
 }
 
 // Profile2D evaluates the 2D profile over the angle grid, parallelized
-// across the grid. The result is bit-identical to Profile2DSerial: each
-// power value is written by exactly one worker into its own index, and
-// evaluation order never enters the arithmetic.
+// across the grid through the row kernel. The result is bit-identical to
+// Profile2DSerial: each power value is written by exactly one worker into
+// its own index, and evaluation order never enters the arithmetic.
 func (e *Evaluator) Profile2D(angles []float64) Profile {
-	prof := Profile{
-		Angles: append([]float64(nil), angles...),
-		Power:  make([]float64, len(angles)),
-	}
-	e.parallelChunks(len(prof.Angles), chunkTarget, func(sc *Scratch, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			prof.Power[i] = e.EvalAt(sc, prof.Angles[i], 0)
-		}
-	})
+	var prof Profile
+	e.Profile2DInto(&prof, angles)
 	return prof
+}
+
+// Profile2DInto is Profile2D writing into a caller-owned Profile, reusing
+// its backing slices when they are large enough. Together with the pooled
+// Scratch underneath, a steady-state caller (e.g. a serving loop computing
+// the same-size profile per request) allocates nothing.
+func (e *Evaluator) Profile2DInto(prof *Profile, angles []float64) {
+	prof.Angles = append(prof.Angles[:0], angles...)
+	if cap(prof.Power) >= len(angles) {
+		prof.Power = prof.Power[:len(angles)]
+	} else {
+		prof.Power = make([]float64, len(angles))
+	}
+	j := e.getJob()
+	j.terms = e.terms
+	j.n = len(prof.Angles)
+	j.chunk = chunkTarget
+	j.angles = prof.Angles
+	j.out = prof.Power
+	e.scanChunks(j)
+	e.putJob(j)
 }
 
 // Profile2DSerial is the single-threaded reference implementation of
@@ -296,19 +595,20 @@ func rowChunk(cols int) int {
 }
 
 // Profile3D evaluates the 3D profile over the az × polar grid, parallelized
-// across whole grid rows to keep each worker's writes cache-local. The
-// result is bit-identical to Profile3DSerial.
+// across whole grid rows to keep each worker's writes cache-local; each row
+// goes through the batched row kernel. The result is bit-identical to
+// Profile3DSerial.
 func (e *Evaluator) Profile3D(azimuths, polars []float64) Profile3D {
 	prof := newProfile3D(azimuths, polars)
-	e.parallelChunks(len(prof.Polars), rowChunk(len(prof.Azimuths)), func(sc *Scratch, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := prof.Power[i]
-			gamma := prof.Polars[i]
-			for j, phi := range prof.Azimuths {
-				row[j] = e.EvalAt(sc, phi, gamma)
-			}
-		}
-	})
+	j := e.getJob()
+	j.terms = e.terms
+	j.n = len(prof.Polars)
+	j.chunk = rowChunk(len(prof.Azimuths))
+	j.angles = prof.Azimuths
+	j.polars = prof.Polars
+	j.rows = prof.Power
+	e.scanChunks(j)
+	e.putJob(j)
 	return prof
 }
 

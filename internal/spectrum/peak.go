@@ -8,6 +8,12 @@ import (
 	"github.com/tagspin/tagspin/internal/phase"
 )
 
+// NoRefine, set as SearchOptions.Refinements, requests a coarse-only
+// search: the grid argmax is returned without any local refinement rounds.
+// Any negative Refinements value means the same thing; the zero value keeps
+// meaning "default rounds", so existing callers are unaffected.
+const NoRefine = -1
+
 // SearchOptions tunes the coarse-to-fine peak search.
 type SearchOptions struct {
 	// CoarseStep is the initial azimuth grid spacing. Zero means 0.5°.
@@ -17,7 +23,8 @@ type SearchOptions struct {
 	CoarsePolarStep float64
 	// Refinements is the number of local-grid refinement rounds; each
 	// shrinks the step by 5×. Zero means 4 (≈0.0008° final resolution
-	// from a 0.5° start).
+	// from a 0.5° start); NoRefine (or any negative value) disables
+	// refinement entirely, returning the raw coarse-grid argmax.
 	Refinements int
 }
 
@@ -36,10 +43,14 @@ func (o SearchOptions) coarsePolarStep() float64 {
 }
 
 func (o SearchOptions) refinements() int {
-	if o.Refinements <= 0 {
+	switch {
+	case o.Refinements < 0: // NoRefine: coarse-only search
+		return 0
+	case o.Refinements == 0: // zero value: default rounds
 		return 4
+	default:
+		return o.Refinements
 	}
-	return o.Refinements
 }
 
 // gridSteps returns how many grid points of the given spacing cover the
@@ -55,21 +66,35 @@ func gridSteps(span, step float64) int {
 // FindPeak2D locates the azimuth maximizing the selected profile using a
 // coarse global grid followed by local refinement (ablation A2 validates it
 // against exhaustive search). It returns the refined azimuth and the profile
-// power there.
+// power there. Callers that already hold an Evaluator — or localize the
+// same session repeatedly — should use FindPeak2DEval, which skips the
+// snapshot-term preparation.
 func FindPeak2D(snaps []phase.Snapshot, p Params, kind Kind, opts SearchOptions) (float64, float64, error) {
 	ev, err := NewEvaluator(snaps, p, kind)
 	if err != nil {
 		return 0, 0, err
 	}
+	az, pow := FindPeak2DEval(ev, opts)
+	return az, pow, nil
+}
 
-	// Coarse pass on the strided snapshot subset (≤64), parallel across the
-	// angle grid; the refinement rounds use the full set.
+// FindPeak2DEval is FindPeak2D on a prebuilt Evaluator: the coarse pass
+// runs the batched row kernel over the strided snapshot subset (≤64),
+// parallel across the angle grid, and the refinement rounds use the full
+// set. Steady-state calls allocate nothing — scratch and argmax state come
+// from the Evaluator's pools.
+func FindPeak2DEval(ev *Evaluator, opts SearchOptions) (float64, float64) {
 	step := opts.coarseStep()
-	idx, _ := ev.argmax(gridSteps(2*math.Pi, step), chunkTarget, func(sc *Scratch, i int) float64 {
-		return ev.EvalCoarse(sc, float64(i)*step, 0)
-	})
+	j := ev.getJob()
+	j.terms = ev.coarse
+	j.n = gridSteps(2*math.Pi, step)
+	j.chunk = chunkTarget
+	j.step = step
+	idx, _ := ev.argmaxJob(j)
+	ev.putJob(j)
 	best := float64(idx) * step
-	sc := ev.NewScratch()
+	sc := ev.getScratch()
+	defer ev.putScratch(sc)
 	bestPow := ev.EvalAt(sc, best, 0)
 	for r := 0; r < opts.refinements(); r++ {
 		fine := step / 5
@@ -82,7 +107,7 @@ func FindPeak2D(snaps []phase.Snapshot, p Params, kind Kind, opts SearchOptions)
 		}
 		step = fine
 	}
-	return geom.NormalizeAngle(best), bestPow, nil
+	return geom.NormalizeAngle(best), bestPow
 }
 
 // ExhaustivePeak2D locates the peak on a single dense grid with the given
@@ -97,9 +122,13 @@ func ExhaustivePeak2D(snaps []phase.Snapshot, p Params, kind Kind, step float64)
 	if err != nil {
 		return 0, 0, err
 	}
-	idx, pow := ev.argmax(gridSteps(2*math.Pi, step), chunkTarget, func(sc *Scratch, i int) float64 {
-		return ev.EvalAt(sc, float64(i)*step, 0)
-	})
+	j := ev.getJob()
+	j.terms = ev.terms
+	j.n = gridSteps(2*math.Pi, step)
+	j.chunk = chunkTarget
+	j.step = step
+	idx, pow := ev.argmaxJob(j)
+	ev.putJob(j)
 	return float64(idx) * step, pow, nil
 }
 
@@ -114,32 +143,43 @@ type Peak3D struct {
 // profile, coarse-to-fine. Because the z-mirror of the true direction scores
 // identically (§V-B), callers usually restrict interpretation to γ ≥ 0 or
 // use dead-space rules; this function simply returns the global maximum it
-// finds.
+// finds. Callers that already hold an Evaluator should use FindPeak3DEval.
 func FindPeak3D(snaps []phase.Snapshot, p Params, kind Kind, opts SearchOptions) (Peak3D, error) {
 	ev, err := NewEvaluator(snaps, p, kind)
 	if err != nil {
 		return Peak3D{}, err
 	}
+	return FindPeak3DEval(ev, opts), nil
+}
 
-	// The global coarse scan costs |grid|·|snapshots|; it runs on the
-	// strided snapshot subset (≤64), parallel across grid rows, and the
-	// refinement rounds below use the full set.
+// FindPeak3DEval is FindPeak3D on a prebuilt Evaluator. The global coarse
+// scan costs |grid|·|snapshots|; it runs the batched row kernel on the
+// strided snapshot subset (≤64), parallel across grid rows (each argmax
+// chunk is exactly one polar row, so γ is fixed per row evaluation), and
+// the refinement rounds use the full set.
+func FindPeak3DEval(ev *Evaluator, opts SearchOptions) Peak3D {
 	azStep := opts.coarseStep() * 4 // 3D coarse pass can be coarser; refined below
 	polStep := opts.coarsePolarStep()
 	nAz := gridSteps(2*math.Pi, azStep)
 	nPol := int(math.Floor(math.Pi/polStep+1e-9)) + 1 // [-π/2, π/2] inclusive
-	idx, _ := ev.argmax(nAz*nPol, nAz, func(sc *Scratch, i int) float64 {
-		gamma := -math.Pi/2 + float64(i/nAz)*polStep
-		phi := float64(i%nAz) * azStep
-		return ev.EvalCoarse(sc, phi, gamma)
-	})
+	j := ev.getJob()
+	j.terms = ev.coarse
+	j.n = nAz * nPol
+	j.chunk = nAz
+	j.step = azStep
+	j.azCount = nAz
+	j.polBase = -math.Pi / 2
+	j.polStep = polStep
+	idx, _ := ev.argmaxJob(j)
+	ev.putJob(j)
 	best := Peak3D{
 		Azimuth: float64(idx%nAz) * azStep,
 		Polar:   -math.Pi/2 + float64(idx/nAz)*polStep,
 	}
 	// Re-score the coarse winner with the full snapshot set so the
 	// refinement comparisons are apples-to-apples.
-	sc := ev.NewScratch()
+	sc := ev.getScratch()
+	defer ev.putScratch(sc)
 	best.Power = ev.EvalAt(sc, best.Azimuth, best.Polar)
 	for r := 0; r < opts.refinements(); r++ {
 		fineAz, finePol := azStep/5, polStep/5
@@ -156,7 +196,7 @@ func FindPeak3D(snaps []phase.Snapshot, p Params, kind Kind, opts SearchOptions)
 		azStep, polStep = fineAz, finePol
 	}
 	best.Azimuth = geom.NormalizeAngle(best.Azimuth)
-	return best, nil
+	return best
 }
 
 // clampPolar keeps a polar candidate inside [-π/2, π/2].
