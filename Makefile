@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-compare
+.PHONY: check build test race vet bench bench-json bench-compare
+
+.DEFAULT_GOAL := check
+
+# check is the default tier-1 gate: build, vet (catches context misuse like
+# lost cancel funcs), and the full test suite under the race detector — the
+# collection pipeline's retry/cancellation paths are all concurrent.
+check: build vet
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

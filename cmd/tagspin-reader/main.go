@@ -5,10 +5,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/tagspin/tagspin/internal/geom"
 	"github.com/tagspin/tagspin/internal/readersim"
@@ -17,13 +20,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "tagspin-reader:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tagspin-reader", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:5084", "LLRP listen address")
@@ -70,5 +75,16 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("simulated reader at (%.2f, %.2f, %.2f), serving LLRP on %s\n", *x, *y, *z, *addr)
-	return reader.ListenAndServe(*addr)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- reader.ListenAndServe(*addr) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutdown requested; closing reader")
+	if err := reader.Close(); err != nil {
+		return err
+	}
+	return <-serveErr
 }

@@ -8,31 +8,47 @@
 //	POST /v1/tags            {"epc":..., "centerM":[x,y,z], "radiusM":..., "omegaRadPerSec":...}
 //	DELETE /v1/tags/{epc}
 //	POST /v1/locate          {"readerAddr":"host:port", "mode":"2d"|"3d"}
+//
+// The server shuts down gracefully: SIGINT/SIGTERM stops accepting new
+// connections, drains in-flight requests for up to the -drain budget, and
+// exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"github.com/tagspin/tagspin/internal/client"
 	"github.com/tagspin/tagspin/internal/locsrv"
 	"github.com/tagspin/tagspin/internal/registry"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "tagspin-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tagspin-server", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		regPath = fs.String("registry", "", "registry JSON to load at startup")
+		addr           = fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		regPath        = fs.String("registry", "", "registry JSON to load at startup")
+		requestTimeout = fs.Duration("request-timeout", 0, "per-request deadline for locate/locate-batch (0 = no server deadline)")
+		drain          = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for draining in-flight requests")
+		maxAttempts    = fs.Int("max-attempts", 0, "collect attempts per reader, retrying transient failures (0 = client default of 3)")
+		baseBackoff    = fs.Duration("base-backoff", 0, "first collect retry delay, doubled with jitter (0 = client default of 100ms)")
+		collectTimeout = fs.Duration("collect-timeout", 0, "wall-clock bound per collection session (0 = client default of 30s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,7 +63,13 @@ func run(args []string) error {
 		fmt.Printf("loaded %d spinning tags from %s\n", reg.Len(), *regPath)
 	}
 	srv, err := locsrv.New(locsrv.Config{
-		Registry: reg,
+		Registry:       reg,
+		RequestTimeout: *requestTimeout,
+		Client: client.Config{
+			Timeout:     *collectTimeout,
+			MaxAttempts: *maxAttempts,
+			BaseBackoff: *baseBackoff,
+		},
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},
@@ -60,6 +82,24 @@ func run(args []string) error {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	fmt.Printf("localization server listening on http://%s\n", *addr)
-	return httpSrv.ListenAndServe()
+	select {
+	case err := <-serveErr:
+		// Listen/serve failed before any shutdown was requested.
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutdown requested; draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close() //nolint:errcheck // already failing; force-close stragglers
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

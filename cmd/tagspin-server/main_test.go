@@ -1,0 +1,41 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunGracefulShutdown starts the server on an ephemeral port, requests
+// shutdown via context cancellation (the same path SIGINT/SIGTERM take), and
+// expects a clean nil return — http.ErrServerClosed must not leak out.
+func TestRunGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain", "5s"})
+	}()
+	// Give ListenAndServe a moment to bind before pulling the plug.
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean exit", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not shut down")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunMissingRegistry(t *testing.T) {
+	if err := run(context.Background(), []string{"-registry", "/nonexistent/registry.json"}); err == nil {
+		t.Error("missing registry file accepted")
+	}
+}

@@ -3,11 +3,18 @@
 // tag reports, and converts them into the snapshot series the localization
 // pipeline consumes (expanding phase words to radians and channel indices to
 // carrier frequencies).
+//
+// Collection is context-aware: a canceled or expired context unblocks an
+// in-flight LLRP exchange immediately (the connection deadline is slammed to
+// the past), and CollectRetry layers exponential-backoff retries on top for
+// the transient failures flaky reader links produce.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -29,8 +36,16 @@ type Config struct {
 	// Duration is the simulated session length; zero means 4 s (two
 	// rotations at ω = π).
 	Duration time.Duration
-	// Timeout bounds the whole wall-clock exchange; zero means 30 s.
+	// Timeout bounds the whole wall-clock exchange; zero means 30 s. The
+	// effective session deadline never cuts a configured Duration short:
+	// it is max(Timeout, Duration + grace).
 	Timeout time.Duration
+	// MaxAttempts bounds how many times CollectRetry runs the exchange;
+	// zero means 3. Plain Collect always makes exactly one attempt.
+	MaxAttempts int
+	// BaseBackoff is CollectRetry's first retry delay, doubled after each
+	// failed attempt with ±50% jitter; zero means 100 ms.
+	BaseBackoff time.Duration
 }
 
 // band returns the effective frequency plan.
@@ -57,20 +72,141 @@ func (c Config) timeout() time.Duration {
 	return c.Timeout
 }
 
+// dialTimeout bounds the TCP dial alone. The dial must not be allowed to
+// spend the whole session budget: a slow (but eventually successful) dial
+// would otherwise leave ~0 budget for the exchange itself.
+func (c Config) dialTimeout() time.Duration {
+	dt := c.timeout() / 3
+	if dt > 5*time.Second {
+		dt = 5 * time.Second
+	}
+	return dt
+}
+
+// sessionGrace pads the session deadline past the requested inventory
+// duration, covering connection setup, report draining, and the reader's
+// final ROSpecDone.
+const sessionGrace = 10 * time.Second
+
+// sessionDeadline returns the wall-clock budget for the post-dial exchange:
+// max(Timeout, Duration + grace), so a session longer than the default
+// timeout is not doomed to die mid-stream.
+func (c Config) sessionDeadline() time.Duration {
+	if d := c.duration() + sessionGrace; d > c.timeout() {
+		return d
+	}
+	return c.timeout()
+}
+
+// maxAttempts returns the effective CollectRetry attempt bound.
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 3
+	}
+	return c.MaxAttempts
+}
+
+// baseBackoff returns the effective first retry delay.
+func (c Config) baseBackoff() time.Duration {
+	if c.BaseBackoff <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.BaseBackoff
+}
+
 // Collect dials a reader, runs one inventory session, and returns the
-// per-EPC snapshot series.
-func Collect(addr string, cfg Config) (core.Observations, error) {
-	raw, err := net.DialTimeout("tcp", addr, cfg.timeout())
+// per-EPC snapshot series. Canceling ctx aborts the exchange promptly, even
+// while blocked mid-stream; the returned error then wraps ctx.Err().
+func Collect(ctx context.Context, addr string, cfg Config) (core.Observations, error) {
+	dialer := net.Dialer{Timeout: cfg.dialTimeout()}
+	raw, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client dial: %w", err)
 	}
-	if err := raw.SetDeadline(time.Now().Add(cfg.timeout())); err != nil {
+	deadline := time.Now().Add(cfg.sessionDeadline())
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	if err := raw.SetDeadline(deadline); err != nil {
 		raw.Close() //nolint:errcheck // already failing
 		return nil, fmt.Errorf("client deadline: %w", err)
 	}
 	conn := llrp.NewConn(raw)
 	defer conn.Close() //nolint:errcheck // read side already drained
-	return collect(conn, cfg)
+	// Watcher: when ctx is canceled mid-exchange, slam the connection
+	// deadline so a blocked Receive (or Send) returns immediately instead
+	// of waiting out the session deadline.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Now()) //nolint:errcheck // best-effort abort
+		case <-watchDone:
+		}
+	}()
+	obs, err := collect(conn, cfg)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("client: collect aborted: %w", cerr)
+		}
+		return nil, err
+	}
+	return obs, nil
+}
+
+// Transient reports whether err is worth retrying: dial failures, network
+// timeouts, and session rejections are transient reader/link conditions;
+// protocol errors and context cancellation are not.
+func Transient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrRejected) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) && oe.Op == "dial" {
+		return true
+	}
+	return false
+}
+
+// CollectRetry runs Collect up to cfg.MaxAttempts times, sleeping an
+// exponentially growing, jittered backoff between attempts. Only transient
+// failures (see Transient) are retried; protocol errors and context
+// cancellation surface immediately.
+func CollectRetry(ctx context.Context, addr string, cfg Config) (core.Observations, error) {
+	attempts := cfg.maxAttempts()
+	backoff := cfg.baseBackoff()
+	var last error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		obs, err := Collect(ctx, addr, cfg)
+		if err == nil {
+			return obs, nil
+		}
+		last = err
+		if ctx.Err() != nil || !Transient(err) {
+			return nil, err
+		}
+		if attempt == attempts {
+			break
+		}
+		// Jitter the schedule to [backoff/2, 3·backoff/2) so a batch of
+		// clients retrying the same reader doesn't stampede in lockstep.
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		backoff *= 2
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("client: retry aborted: %w", ctx.Err())
+		case <-time.After(sleep):
+		}
+	}
+	return nil, fmt.Errorf("client: %d attempts failed: %w", attempts, last)
 }
 
 // collect runs the session protocol over an established connection.

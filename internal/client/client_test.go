@@ -1,8 +1,13 @@
 package client
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"io"
 	"net"
+	"os"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -174,8 +179,12 @@ func TestCollectBadChannelIndex(t *testing.T) {
 }
 
 func TestCollectDialFailure(t *testing.T) {
-	if _, err := Collect("127.0.0.1:1", Config{Timeout: 200 * time.Millisecond}); err == nil {
+	_, err := Collect(context.Background(), "127.0.0.1:1", Config{Timeout: 200 * time.Millisecond})
+	if err == nil {
 		t.Error("dial to a dead port succeeded")
+	}
+	if !Transient(err) {
+		t.Errorf("dial failure %v should be transient", err)
 	}
 }
 
@@ -189,5 +198,157 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if c.timeout() != 30*time.Second {
 		t.Errorf("default timeout = %v", c.timeout())
+	}
+	if c.maxAttempts() != 3 {
+		t.Errorf("default attempts = %d", c.maxAttempts())
+	}
+	if c.baseBackoff() != 100*time.Millisecond {
+		t.Errorf("default backoff = %v", c.baseBackoff())
+	}
+}
+
+// TestBudgetSplit pins the dial/session budget separation: the dial may use
+// at most min(timeout/3, 5s), and the session deadline never truncates a
+// configured duration (max(timeout, duration+grace)) — a DurationMillis
+// above 30 000 used to always die mid-session on the shared 30 s budget.
+func TestBudgetSplit(t *testing.T) {
+	var c Config // defaults: 30 s timeout, 4 s duration
+	if got := c.dialTimeout(); got != 5*time.Second {
+		t.Errorf("default dial timeout = %v, want capped 5 s", got)
+	}
+	if got := c.sessionDeadline(); got != 30*time.Second {
+		t.Errorf("default session deadline = %v, want 30 s", got)
+	}
+	c = Config{Timeout: 6 * time.Second}
+	if got := c.dialTimeout(); got != 2*time.Second {
+		t.Errorf("dial timeout = %v, want timeout/3", got)
+	}
+	c = Config{Duration: 60 * time.Second}
+	if got := c.sessionDeadline(); got != 60*time.Second+sessionGrace {
+		t.Errorf("session deadline = %v, want duration+grace", got)
+	}
+}
+
+// TestTransientClassification pins the retry policy's error taxonomy.
+func TestTransientClassification(t *testing.T) {
+	timeoutErr := &net.OpError{Op: "read", Err: os.ErrDeadlineExceeded}
+	dialErr := &net.OpError{Op: "dial", Err: errors.New("connection refused")}
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrRejected, true},
+		{fmt.Errorf("wrapped: %w", ErrRejected), true},
+		{timeoutErr, true},
+		{dialErr, true},
+		{fmt.Errorf("client dial: %w", dialErr), true},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{errors.New("client: reader closed the connection mid-session"), false},
+		{io.ErrUnexpectedEOF, false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("Transient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// rejectingReader serves real TCP sessions that reject the first reject
+// StartROSpecs with StatusError, then complete an empty session.
+func rejectingReader(t *testing.T, reject int) (string, *atomic.Int32) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	var sessions atomic.Int32
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				conn := llrp.NewConn(c)
+				id, _, err := conn.Receive() // StartROSpec
+				if err != nil {
+					return
+				}
+				n := sessions.Add(1)
+				if int(n) <= reject {
+					conn.Reply(id, &llrp.StartROSpecResponse{Status: llrp.StatusError}) //nolint:errcheck
+					return
+				}
+				if err := conn.Reply(id, &llrp.StartROSpecResponse{Status: llrp.StatusOK}); err != nil {
+					return
+				}
+				conn.Send(&llrp.ReaderEventNotification{Event: llrp.EventROSpecDone}) //nolint:errcheck
+			}(c)
+		}
+	}()
+	return l.Addr().String(), &sessions
+}
+
+// TestCollectRetrySucceedsAfterRejections exercises the backoff loop against
+// real wire-level rejections: two StatusError sessions, then success.
+func TestCollectRetrySucceedsAfterRejections(t *testing.T) {
+	addr, sessions := rejectingReader(t, 2)
+	cfg := Config{MaxAttempts: 3, BaseBackoff: 2 * time.Millisecond}
+	if _, err := CollectRetry(context.Background(), addr, cfg); err != nil {
+		t.Fatalf("retry did not ride out rejections: %v", err)
+	}
+	if got := sessions.Load(); got != 3 {
+		t.Errorf("sessions = %d, want 3", got)
+	}
+}
+
+// TestCollectRetryExhaustsAttempts verifies the attempt bound and that the
+// final error still reports the underlying rejection.
+func TestCollectRetryExhaustsAttempts(t *testing.T) {
+	addr, sessions := rejectingReader(t, 100)
+	cfg := Config{MaxAttempts: 2, BaseBackoff: time.Millisecond}
+	_, err := CollectRetry(context.Background(), addr, cfg)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	if got := sessions.Load(); got != 2 {
+		t.Errorf("sessions = %d, want 2", got)
+	}
+}
+
+// TestCollectContextCancelUnblocks cancels mid-exchange while the client is
+// blocked in Receive against a silent but live endpoint; the watcher must
+// slam the deadline and surface ctx.Err() well before the session deadline.
+func TestCollectContextCancelUnblocks(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // hold the conn open, never respond
+		}
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = Collect(ctx, l.Addr().String(), Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt unblock", elapsed)
 	}
 }

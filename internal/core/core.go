@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -304,8 +305,28 @@ func (l *Locator) solvePass2D(present []SpinningTag, selected map[string][]phase
 // corrected snapshots are solved again (§III-B's Step 2 needs a direction,
 // which only exists after a first estimate).
 func (l *Locator) Locate2D(registered []SpinningTag, obs Observations) (Result2D, error) {
+	return l.Locate2DContext(context.Background(), registered, obs)
+}
+
+// ctxErr wraps a context failure so callers can distinguish an abandoned
+// request from a pipeline failure.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: locate aborted: %w", err)
+	}
+	return nil
+}
+
+// Locate2DContext is Locate2D with cancellation: the context is checked
+// between spectrum passes (each pass scans the full angle grid for every
+// tag), so an abandoned request stops burning cores at the next pass
+// boundary instead of running the full multi-pass solve to completion.
+func (l *Locator) Locate2DContext(ctx context.Context, registered []SpinningTag, obs Observations) (Result2D, error) {
 	present, selected, err := l.selectAll(registered, obs)
 	if err != nil {
+		return Result2D{}, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return Result2D{}, err
 	}
 	bootstrapKind := l.cfg.kind()
@@ -326,6 +347,9 @@ func (l *Locator) Locate2D(registered []SpinningTag, obs Observations) (Result2D
 		// Convergence is fast; 1 cm of position movement changes ρ by
 		// well under a degree at operating distances.
 		for pass := 0; pass < 3; pass++ {
+			if err := ctxErr(ctx); err != nil {
+				return Result2D{}, err
+			}
 			coarse := pos
 			ests, pos, err = l.solvePass2D(present, selected, l.cfg.kind(), &coarse)
 			if err != nil {
@@ -397,8 +421,17 @@ func (l *Locator) solvePass3D(present []SpinningTag, selected map[string][]phase
 // two or more registered spinning tags, with the same two-pass orientation
 // handling as Locate2D.
 func (l *Locator) Locate3D(registered []SpinningTag, obs Observations) (Result3D, error) {
+	return l.Locate3DContext(context.Background(), registered, obs)
+}
+
+// Locate3DContext is Locate3D with cancellation, checked between spectrum
+// passes exactly as in Locate2DContext.
+func (l *Locator) Locate3DContext(ctx context.Context, registered []SpinningTag, obs Observations) (Result3D, error) {
 	present, selected, err := l.selectAll(registered, obs)
 	if err != nil {
+		return Result3D{}, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return Result3D{}, err
 	}
 	bootstrapKind := l.cfg.kind()
@@ -414,6 +447,9 @@ func (l *Locator) Locate3D(registered []SpinningTag, obs Observations) (Result3D
 		// of z, so correcting against the preferred candidate is safe
 		// even before the mirror ambiguity is resolved. Iterate as in 2D.
 		for pass := 0; pass < 3; pass++ {
+			if err := ctxErr(ctx); err != nil {
+				return Result3D{}, err
+			}
 			coarse := cands[0].Position
 			ests, cands, err = l.solvePass3D(present, selected, l.cfg.kind(), &coarse)
 			if err != nil {

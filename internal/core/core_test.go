@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -445,5 +446,40 @@ func TestFastSpectrumPipelineAgreement(t *testing.T) {
 	}
 	if d := res3F.Position.DistanceTo(res3E.Position); d > 2e-3 {
 		t.Errorf("fast 3D position drifts %.2f mm from exact (fast %v, exact %v)", d*1000, res3F.Position, res3E.Position)
+	}
+}
+
+// TestLocateContextCanceled verifies the pipeline aborts between spectrum
+// passes when its context dies: an already-canceled context must return
+// context.Canceled from both solvers without producing a result.
+func TestLocateContextCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	sc := testbed.DefaultScenario(0, rng)
+	sc.PlaceReader(geom.V3(-1.8, 1.4, 0))
+	registered, err := sc.CalibratedSpinningTags(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := sc.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := core.NewLocator(core.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := loc.Locate2DContext(ctx, registered, col.Obs); !errors.Is(err, context.Canceled) {
+		t.Errorf("Locate2DContext err = %v, want context.Canceled", err)
+	}
+	if _, err := loc.Locate3DContext(ctx, registered, col.Obs); !errors.Is(err, context.Canceled) {
+		t.Errorf("Locate3DContext err = %v, want context.Canceled", err)
+	}
+	// A live context must still produce the normal result through the
+	// context-threaded path.
+	res, err := loc.Locate2DContext(context.Background(), registered, col.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res.Position.DistanceTo(geom.V2(-1.8, 1.4)); e > 0.10 {
+		t.Errorf("ctx path 2D error %.1f cm", e*100)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Encode serializes a message with the given correlation id into a frame.
@@ -106,6 +107,11 @@ func (c *Conn) Receive() (uint32, Message, error) {
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.raw.Close() }
+
+// SetDeadline sets the read/write deadline on the underlying connection.
+// Setting a deadline in the past unblocks a pending Receive or Send — the
+// mechanism context-aware callers use to abort an in-flight exchange.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
 
 // RemoteAddr exposes the peer address for logging.
 func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }

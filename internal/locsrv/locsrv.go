@@ -5,12 +5,14 @@
 package locsrv
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -20,8 +22,10 @@ import (
 )
 
 // CollectFunc gathers snapshots from a reader; it exists so tests can
-// substitute a canned collector for the real network client.
-type CollectFunc func(addr string, cfg client.Config) (core.Observations, error)
+// substitute a canned collector for the real network client. The context is
+// the (possibly deadline-bounded) request context: implementations must
+// return promptly once it is done.
+type CollectFunc func(ctx context.Context, addr string, cfg client.Config) (core.Observations, error)
 
 // Config configures the server.
 type Config struct {
@@ -33,15 +37,22 @@ type Config struct {
 	// (core.Config.FastSpectrum). Ignored when Locator is non-nil — a
 	// caller-supplied locator carries its own config.
 	FastSpectrum bool
-	// Collect gathers snapshots; nil means client.Collect.
+	// Collect gathers snapshots; nil means client.CollectRetry (the
+	// network client with transient-failure retries).
 	Collect CollectFunc
-	// Client tunes collection sessions.
+	// Client tunes collection sessions (including retry policy:
+	// MaxAttempts, BaseBackoff).
 	Client client.Config
 	// BatchConcurrency bounds how many batch items run at once; zero means
 	// GOMAXPROCS. Each item drives a full collect + localization pipeline
 	// (which itself parallelizes across tags and grid points), so an
 	// unbounded fan-out would multiply that work by the batch size.
 	BatchConcurrency int
+	// RequestTimeout bounds each locate/locate-batch request end to end;
+	// zero means no server-imposed deadline. Batch items inherit the
+	// request context, so one hung reader cannot pin a batch slot past the
+	// deadline.
+	RequestTimeout time.Duration
 	// Logf, when non-nil, receives request log lines.
 	Logf func(format string, args ...any)
 }
@@ -68,7 +79,7 @@ func New(cfg Config) (*Server, error) {
 		s.locator = core.NewLocator(core.Config{FastSpectrum: cfg.FastSpectrum})
 	}
 	if s.collect == nil {
-		s.collect = client.Collect
+		s.collect = client.CollectRetry
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -81,8 +92,39 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler. Panics in request handlers are
+// converted to 500 JSON responses instead of tearing down the connection.
+func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
+
+// recoverPanics is middleware that turns a handler panic into a JSON 500.
+// http.ErrAbortHandler is re-raised: it is the sanctioned way to abort a
+// response and must keep its net/http semantics.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.logf("locsrv: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// requestContext derives the working context for one request: the client's
+// own context (canceled when the client disconnects), bounded by
+// RequestTimeout when configured.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
 
 // logf logs through the configured sink.
 func (s *Server) logf(format string, args ...any) {
@@ -189,7 +231,9 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp, serr := s.locateOne(req, spinning)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	resp, serr := s.locateOne(ctx, req, spinning)
 	if serr != nil {
 		writeError(w, serr.status, serr)
 		return
@@ -265,6 +309,11 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 	// A semaphore bounds how many items are in flight: each item runs a
 	// full collect + localization pipeline, so goroutine-per-request with
 	// no bound would thrash the CPU (and the readers) on large batches.
+	// Every item inherits the request context: when the client disconnects
+	// or RequestTimeout fires, queued items fail fast instead of starting
+	// doomed collects, and running ones are canceled.
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
 	items := make([]BatchItem, len(req.Requests))
 	sem := make(chan struct{}, s.batchConcurrency())
 	var wg sync.WaitGroup
@@ -272,10 +321,16 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Requests {
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			item := BatchItem{ReaderAddr: req.Requests[i].ReaderAddr}
-			resp, serr := s.locateOne(req.Requests[i], spinning)
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				item.Error = fmt.Sprintf("batch item not started: %v", ctx.Err())
+				items[i] = item
+				return
+			}
+			defer func() { <-sem }()
+			resp, serr := s.locateOne(ctx, req.Requests[i], spinning)
 			if serr != nil {
 				item.Error = serr.Error()
 			} else {
@@ -299,11 +354,22 @@ type statusError struct {
 func (e *statusError) Error() string { return e.err.Error() }
 func (e *statusError) Unwrap() error { return e.err }
 
+// deadlineStatus maps an error to the HTTP status for a failed collect or
+// solve: context expiry is the server-imposed deadline (504), everything
+// else is the given fallback.
+func deadlineStatus(err error, fallback int) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return fallback
+}
+
 // locateOne validates one request, collects snapshots from the reader, and
 // runs the localization pipeline. Both the single-locate handler and every
 // batch item share this path, so validation, error mapping, and response
-// construction cannot drift between the two.
-func (s *Server) locateOne(req LocateRequest, spinning []core.SpinningTag) (*LocateResponse, *statusError) {
+// construction cannot drift between the two. The context bounds the whole
+// item: collect and solve are both canceled when it expires.
+func (s *Server) locateOne(ctx context.Context, req LocateRequest, spinning []core.SpinningTag) (*LocateResponse, *statusError) {
 	if req.ReaderAddr == "" {
 		return nil, &statusError{http.StatusBadRequest, errors.New("readerAddr required")}
 	}
@@ -314,27 +380,30 @@ func (s *Server) locateOne(req LocateRequest, spinning []core.SpinningTag) (*Loc
 	if mode != "2d" && mode != "3d" {
 		return nil, &statusError{http.StatusBadRequest, fmt.Errorf("unknown mode %q", mode)}
 	}
+	if req.DurationMillis < 0 {
+		return nil, &statusError{http.StatusBadRequest, fmt.Errorf("negative durationMillis %d", req.DurationMillis)}
+	}
 	ccfg := s.cfg.Client
 	if req.DurationMillis > 0 {
 		ccfg.Duration = time.Duration(req.DurationMillis) * time.Millisecond
 	}
-	obs, err := s.collect(req.ReaderAddr, ccfg)
+	obs, err := s.collect(ctx, req.ReaderAddr, ccfg)
 	if err != nil {
-		return nil, &statusError{http.StatusBadGateway, fmt.Errorf("collect from %s: %w", req.ReaderAddr, err)}
+		return nil, &statusError{deadlineStatus(err, http.StatusBadGateway), fmt.Errorf("collect from %s: %w", req.ReaderAddr, err)}
 	}
 	resp := &LocateResponse{Mode: mode}
 	switch mode {
 	case "2d":
-		res, err := s.locator.Locate2D(spinning, obs)
+		res, err := s.locator.Locate2DContext(ctx, spinning, obs)
 		if err != nil {
-			return nil, &statusError{http.StatusUnprocessableEntity, err}
+			return nil, &statusError{deadlineStatus(err, http.StatusUnprocessableEntity), err}
 		}
 		resp.Position = [3]float64{res.Position.X, res.Position.Y, 0}
 		resp.Bearings = bearingResults(res.Bearings)
 	case "3d":
-		res, err := s.locator.Locate3D(spinning, obs)
+		res, err := s.locator.Locate3DContext(ctx, spinning, obs)
 		if err != nil {
-			return nil, &statusError{http.StatusUnprocessableEntity, err}
+			return nil, &statusError{deadlineStatus(err, http.StatusUnprocessableEntity), err}
 		}
 		resp.Position = [3]float64{res.Position.X, res.Position.Y, res.Position.Z}
 		mirror := [3]float64{res.Mirror.X, res.Mirror.Y, res.Mirror.Z}

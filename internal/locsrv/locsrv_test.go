@@ -2,6 +2,7 @@ package locsrv_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -47,7 +48,7 @@ func fixture(t *testing.T) (*httptest.Server, geom.Vec3) {
 	}
 	srv, err := locsrv.New(locsrv.Config{
 		Registry: reg,
-		Collect: func(addr string, _ client.Config) (core.Observations, error) {
+		Collect: func(_ context.Context, addr string, _ client.Config) (core.Observations, error) {
 			if addr == "fail" {
 				return nil, errors.New("boom")
 			}
@@ -165,7 +166,7 @@ func TestTagCRUD(t *testing.T) {
 	reg := registry.New()
 	srv, err := locsrv.New(locsrv.Config{
 		Registry: reg,
-		Collect: func(string, client.Config) (core.Observations, error) {
+		Collect: func(context.Context, string, client.Config) (core.Observations, error) {
 			return nil, errors.New("unused")
 		},
 	})
@@ -347,7 +348,7 @@ func TestLocateBatchBounded(t *testing.T) {
 	srv, err := locsrv.New(locsrv.Config{
 		Registry:         reg,
 		BatchConcurrency: bound,
-		Collect: func(string, client.Config) (core.Observations, error) {
+		Collect: func(context.Context, string, client.Config) (core.Observations, error) {
 			calls.Add(1)
 			n := inflight.Add(1)
 			defer inflight.Add(-1)

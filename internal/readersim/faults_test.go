@@ -1,0 +1,132 @@
+package readersim_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/client"
+	"github.com/tagspin/tagspin/internal/readersim"
+)
+
+// These tests drive the client's retry/cancellation machinery against real
+// wire-level failures injected by the simulated reader — no mocks anywhere
+// on the path: TCP, LLRP framing, and the fault all behave as deployed.
+
+func TestFaultRejectSessionsThenRetrySucceeds(t *testing.T) {
+	sc := world(t, 11)
+	addr, shutdown := startReader(t, readersim.Config{
+		World:     sc,
+		TimeScale: 400,
+		Faults:    readersim.Faults{RejectSessions: 2},
+	})
+	defer shutdown()
+
+	// A single attempt must surface the rejection...
+	_, err := client.Collect(context.Background(), addr, client.Config{Duration: 2 * time.Second})
+	if !errors.Is(err, client.ErrRejected) {
+		t.Fatalf("first attempt err = %v, want ErrRejected", err)
+	}
+	// ...and the retry layer must ride out the remaining injected rejection
+	// and then complete a full session.
+	obs, err := client.CollectRetry(context.Background(), addr, client.Config{
+		Duration:    2 * time.Second,
+		MaxAttempts: 3,
+		BaseBackoff: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if len(obs) != 2 {
+		t.Errorf("tags observed = %d, want 2", len(obs))
+	}
+}
+
+func TestFaultStallBeforeDoneHonorsDeadline(t *testing.T) {
+	sc := world(t, 12)
+	addr, shutdown := startReader(t, readersim.Config{
+		World:     sc,
+		TimeScale: 400,
+		Faults:    readersim.Faults{StallBeforeDone: true},
+	})
+	defer shutdown()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Collect(ctx, addr, client.Config{Duration: 2 * time.Second})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// Without the context the client would sit on the stalled session until
+	// the 30 s wall-clock deadline; the ctx must cut that to ~1 s.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("stalled collect took %v, want ≈1 s", elapsed)
+	}
+}
+
+func TestFaultCancelUnblocksMidStream(t *testing.T) {
+	sc := world(t, 13)
+	// Slow time scale: the session streams for many wall-clock seconds, so
+	// the cancel lands mid-stream with reports still flowing.
+	addr, shutdown := startReader(t, readersim.Config{World: sc, TimeScale: 2})
+	defer shutdown()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := client.Collect(ctx, addr, client.Config{
+		Duration: 30 * time.Second,
+		Timeout:  20 * time.Second,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancel took %v, want prompt unblock", elapsed)
+	}
+}
+
+func TestFaultDropAfterReports(t *testing.T) {
+	sc := world(t, 14)
+	addr, shutdown := startReader(t, readersim.Config{
+		World:     sc,
+		TimeScale: 400,
+		Faults:    readersim.Faults{DropAfterReports: 1},
+	})
+	defer shutdown()
+
+	_, err := client.Collect(context.Background(), addr, client.Config{Duration: 2 * time.Second})
+	if err == nil {
+		t.Fatal("abrupt mid-stream drop produced no error")
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("drop misreported as context failure: %v", err)
+	}
+}
+
+func TestFaultCloseMidSession(t *testing.T) {
+	sc := world(t, 15)
+	addr, shutdown := startReader(t, readersim.Config{
+		World:     sc,
+		TimeScale: 400,
+		Faults:    readersim.Faults{CloseMidSession: true},
+	})
+	defer shutdown()
+
+	_, err := client.Collect(context.Background(), addr, client.Config{Duration: 2 * time.Second})
+	if err == nil {
+		t.Fatal("protocol-level CloseConnection produced no error")
+	}
+	if !strings.Contains(err.Error(), "mid-session") {
+		t.Errorf("err = %v, want mid-session close", err)
+	}
+	if client.Transient(err) {
+		t.Errorf("protocol close classified transient: %v", err)
+	}
+}

@@ -25,6 +25,26 @@ import (
 	"github.com/tagspin/tagspin/internal/testbed"
 )
 
+// Faults injects deterministic wire-level failures so the robustness of the
+// collection pipeline (retries, deadlines, cancellation) can be tested
+// against real protocol traffic instead of mocks.
+type Faults struct {
+	// RejectSessions rejects the first K StartROSpec requests across the
+	// whole reader (StatusError), then serves normally — the transient
+	// "reader busy" condition a retrying client must ride out.
+	RejectSessions int
+	// DropAfterReports abruptly closes the TCP connection after the Nth
+	// ROAccessReport of a session, with no protocol goodbye; zero
+	// disables the fault.
+	DropAfterReports int
+	// StallBeforeDone streams every report but never sends ROSpecDone;
+	// the session hangs until the client gives up or disconnects.
+	StallBeforeDone bool
+	// CloseMidSession sends a protocol-level CloseConnection after the
+	// first report batch and drops the connection.
+	CloseMidSession bool
+}
+
 // Config configures the simulated reader.
 type Config struct {
 	// World is the simulated deployment the reader interrogates.
@@ -36,6 +56,8 @@ type Config struct {
 	ReportBatch int
 	// Seed seeds the session randomness.
 	Seed int64
+	// Faults, when non-zero, injects wire-level failures (see Faults).
+	Faults Faults
 	// Logf, when non-nil, receives diagnostic log lines.
 	Logf func(format string, args ...any)
 }
@@ -67,12 +89,13 @@ func (c Config) logf(format string, args ...any) {
 type Reader struct {
 	cfg Config
 
-	mu     sync.Mutex
-	seed   int64
-	closed chan struct{}
-	wg     sync.WaitGroup
-	lis    net.Listener
-	conns  map[*llrp.Conn]struct{}
+	mu       sync.Mutex
+	seed     int64
+	rejected int
+	closed   chan struct{}
+	wg       sync.WaitGroup
+	lis      net.Listener
+	conns    map[*llrp.Conn]struct{}
 }
 
 // New builds a Reader.
@@ -183,6 +206,17 @@ func (r *Reader) nextSeed() int64 {
 	return r.seed
 }
 
+// takeRejection consumes one injected session rejection, if any remain.
+func (r *Reader) takeRejection() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rejected < r.cfg.Faults.RejectSessions {
+		r.rejected++
+		return true
+	}
+	return false
+}
+
 // read is one generated tag read on the session timeline.
 type read struct {
 	epc  tags.EPC
@@ -265,6 +299,13 @@ func (r *Reader) handle(conn *llrp.Conn) {
 		switch m := msg.(type) {
 		case *llrp.StartROSpec:
 			stopRunning()
+			if r.takeRejection() {
+				r.cfg.logf("readersim: injected rejection of ROSpec %d", m.ROSpecID)
+				if err := conn.Reply(id, &llrp.StartROSpecResponse{ROSpecID: m.ROSpecID, Status: llrp.StatusError}); err != nil {
+					return
+				}
+				continue
+			}
 			duration := time.Duration(m.DurationMicros) * time.Microsecond
 			if duration <= 0 {
 				duration = 4 * time.Second
@@ -309,6 +350,8 @@ func (r *Reader) stream(conn *llrp.Conn, reads []read, duration time.Duration, s
 	}
 	batch := r.cfg.reportBatch()
 	scale := r.cfg.timeScale()
+	f := r.cfg.Faults
+	reportsSent := 0
 	sent := time.Duration(0) // simulated time already streamed
 	for start := 0; start < len(reads); start += batch {
 		end := start + batch
@@ -341,6 +384,18 @@ func (r *Reader) stream(conn *llrp.Conn, reads []read, duration time.Duration, s
 		if _, err := conn.Send(report); err != nil {
 			return
 		}
+		reportsSent++
+		if f.CloseMidSession && reportsSent == 1 {
+			r.cfg.logf("readersim: injected CloseConnection mid-session")
+			conn.Send(&llrp.CloseConnection{}) //nolint:errcheck // dropping anyway
+			conn.Close()                       //nolint:errcheck // dropping anyway
+			return
+		}
+		if f.DropAfterReports > 0 && reportsSent >= f.DropAfterReports {
+			r.cfg.logf("readersim: injected drop after %d reports", reportsSent)
+			conn.Close() //nolint:errcheck // abrupt drop is the point
+			return
+		}
 	}
 	// Wait out any remaining simulated time so Done matches the duration.
 	if tail := time.Duration(float64(duration-sent) / scale); tail > 0 {
@@ -351,6 +406,16 @@ func (r *Reader) stream(conn *llrp.Conn, reads []read, duration time.Duration, s
 			return
 		case <-time.After(tail):
 		}
+	}
+	if f.StallBeforeDone {
+		// Hang instead of completing: the client sees a live but silent
+		// connection until it cancels, times out, or disconnects.
+		r.cfg.logf("readersim: injected stall before ROSpecDone")
+		select {
+		case <-stop:
+		case <-r.closed:
+		}
+		return
 	}
 	if _, err := conn.Send(&llrp.ReaderEventNotification{
 		Event:           llrp.EventROSpecDone,

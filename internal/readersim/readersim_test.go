@@ -1,6 +1,7 @@
 package readersim_test
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"testing"
@@ -60,7 +61,7 @@ func TestEndToEndCollection(t *testing.T) {
 	addr, shutdown := startReader(t, readersim.Config{World: sc, TimeScale: 400, Seed: 9})
 	defer shutdown()
 
-	obs, err := client.Collect(addr, client.Config{Duration: 4 * time.Second})
+	obs, err := client.Collect(context.Background(), addr, client.Config{Duration: 4 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestLocalizationOverTheWire(t *testing.T) {
 	addr, shutdown := startReader(t, readersim.Config{World: sc, TimeScale: 400, Seed: 5})
 	defer shutdown()
 
-	obs, err := client.Collect(addr, client.Config{Duration: 4 * time.Second})
+	obs, err := client.Collect(context.Background(), addr, client.Config{Duration: 4 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestTwoClientsConcurrently(t *testing.T) {
 	results := make(chan result, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			obs, err := client.Collect(addr, client.Config{Duration: 2 * time.Second})
+			obs, err := client.Collect(context.Background(), addr, client.Config{Duration: 2 * time.Second})
 			results <- result{n: len(obs), err: err}
 		}()
 	}
@@ -232,7 +233,7 @@ func TestClientRejectsUnknownChannel(t *testing.T) {
 	sc := world(t, 6)
 	addr, shutdown := startReader(t, readersim.Config{World: sc, TimeScale: 400})
 	defer shutdown()
-	_, err := client.Collect(addr, client.Config{
+	_, err := client.Collect(context.Background(), addr, client.Config{
 		Duration: time.Second,
 		Band:     sc.Band, // same plan: should succeed
 	})
@@ -259,7 +260,7 @@ func TestCloseDuringSession(t *testing.T) {
 
 	clientErr := make(chan error, 1)
 	go func() {
-		_, err := client.Collect(l.Addr().String(), client.Config{
+		_, err := client.Collect(context.Background(), l.Addr().String(), client.Config{
 			Duration: 30 * time.Second,
 			Timeout:  20 * time.Second,
 		})

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -184,16 +185,35 @@ func (r *Registry) SpinningTags() ([]core.SpinningTag, error) {
 }
 
 // Save writes the registry to path as JSON, atomically (write + rename).
-func (r *Registry) Save(path string) error {
+// The temporary file gets a unique name in the target directory, so
+// concurrent Saves to the same path cannot corrupt each other's rename, and
+// it is removed on any failure rather than leaked.
+func (r *Registry) Save(path string) (err error) {
 	data, err := json.MarshalIndent(r.List(), "", "  ")
 	if err != nil {
 		return fmt.Errorf("registry save: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
 		return fmt.Errorf("registry save: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	defer func() {
+		if err != nil {
+			os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup
+		}
+	}()
+	if _, err = tmp.Write(data); err != nil {
+		tmp.Close() //nolint:errcheck // already failing
+		return fmt.Errorf("registry save: %w", err)
+	}
+	if err = tmp.Chmod(0o644); err != nil {
+		tmp.Close() //nolint:errcheck // already failing
+		return fmt.Errorf("registry save: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("registry save: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("registry save: %w", err)
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -265,5 +266,84 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if r.Len() != 8*25 {
 		t.Errorf("len = %d, want %d", r.Len(), 8*25)
+	}
+}
+
+// TestSaveConcurrent hammers Save on one path from several goroutines; with
+// the old fixed path+".tmp" scheme two concurrent Saves raced on the same
+// temp file and could corrupt each other's rename. Run with -race.
+func TestSaveConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+	r := New()
+	if err := r.Add(validEntry(1)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := r.Save(path); err != nil {
+					t.Errorf("save: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("load after concurrent saves: %v", err)
+	}
+	if loaded.Len() != 1 {
+		t.Errorf("loaded %d entries", loaded.Len())
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestSaveFailedRenameCleansTemp points Save at a path whose rename must
+// fail (the destination is an existing directory) and verifies the
+// temporary file is removed instead of leaked.
+func TestSaveFailedRenameCleansTemp(t *testing.T) {
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "registry.json")
+	if err := os.Mkdir(blocked, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Make the rename target unremovable-over: a non-empty directory.
+	if err := os.WriteFile(filepath.Join(blocked, "keep"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.Add(validEntry(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Save(blocked); err == nil {
+		t.Fatal("save over a directory succeeded")
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestSaveMissingDir fails before creating anything when the target
+// directory does not exist.
+func TestSaveMissingDir(t *testing.T) {
+	r := New()
+	if err := r.Save(filepath.Join(t.TempDir(), "no", "such", "dir", "r.json")); err == nil {
+		t.Error("save into missing directory succeeded")
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leaked temp file %s", e.Name())
+		}
 	}
 }
