@@ -1,14 +1,20 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-json bench-compare
+.PHONY: check build test race vet bench bench-json bench-load bench-compare
 
 .DEFAULT_GOAL := check
 
 # check is the default tier-1 gate: build, vet (catches context misuse like
 # lost cancel funcs), and the full test suite under the race detector — the
-# collection pipeline's retry/cancellation paths are all concurrent.
+# collection pipeline's retry/cancellation paths are all concurrent. The
+# two pinned-GOMAXPROCS passes re-run the compute-pool equivalence and
+# plan-cache tests at the scheduling extremes (single-threaded runtime vs
+# 4-way) to catch regressions that only show under a particular worker/CPU
+# ratio.
 check: build vet
 	$(GO) test -race ./...
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestSched|TestPooled|TestPlanCache' ./internal/sched/ ./internal/spectrum/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestSched|TestPooled|TestPlanCache' ./internal/sched/ ./internal/spectrum/
 
 build:
 	$(GO) build ./...
@@ -29,9 +35,16 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/spectrum/
 
 # bench-json regenerates the machine-readable perf snapshot consumed by
-# trajectory tooling (see cmd/tagspin-bench).
+# trajectory tooling (see cmd/tagspin-bench): schema tagspin-bench/3 —
+# micro rows plus the concurrent-load rows (K simultaneous Locate2D
+# pipelines on the shared compute pool) and plan-cache hit rates.
 bench-json:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_2.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_3.json
+
+# bench-load is bench-json under its serving-path name: the schema-3 report
+# is where the concurrent-load rows live.
+bench-load:
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_3.json
 
 # bench-compare diffs the two newest BENCH_<n>.json snapshots and fails on
 # any >10% ns/op regression — the pre-merge perf gate for the spectrum

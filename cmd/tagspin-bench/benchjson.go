@@ -12,17 +12,21 @@ import (
 	"github.com/tagspin/tagspin/internal/geom"
 	"github.com/tagspin/tagspin/internal/mathx"
 	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/sched"
 	"github.com/tagspin/tagspin/internal/spectrum"
 	"github.com/tagspin/tagspin/internal/testbed"
 )
 
-// benchSchema is the current report schema. Version 2 adds provenance —
-// runtime.NumCPU at report level, per-benchmark GOMAXPROCS and an
-// engine-variant label — so a reader can tell whether a "parallel" number
-// had any cores to parallelize over and which trig kernel produced it.
+// benchSchema is the current report schema. Version 3 keeps every
+// version-2 micro-benchmark row and adds concurrent-load rows
+// (LoadLocate2D/K=<k>: K simultaneous Locate2D pipelines on the shared
+// compute pool, with aggregate locates/sec, p50/p99 latency, and the trig
+// plan-cache hit rate). Version 2 added provenance — runtime.NumCPU at
+// report level, per-benchmark GOMAXPROCS and an engine-variant label.
 // Version 1 files (report-level GoMaxProcs only, no variants) still parse:
-// rows without a goMaxProcs fall back to the report-level value.
-const benchSchema = "tagspin-bench/2"
+// rows without a goMaxProcs fall back to the report-level value, and the
+// load-only fields are simply absent from older rows.
+const benchSchema = "tagspin-bench/3"
 
 // benchResult is one benchmark row of the machine-readable report.
 type benchResult struct {
@@ -34,9 +38,22 @@ type benchResult struct {
 	// GoMaxProcs is the GOMAXPROCS this row was measured at (schema 2+;
 	// zero in schema-1 files, meaning the report-level value).
 	GoMaxProcs int `json:"goMaxProcs,omitempty"`
-	// Variant labels the engine path: "serial" or "parallel" machinery ×
-	// "exact" or "fast" trig kernel (schema 2+).
+	// Variant labels the engine path: "serial", "parallel", or "load"
+	// machinery × "exact" or "fast" trig kernel (schema 2+).
 	Variant string `json:"variant,omitempty"`
+	// Concurrency is the number of simultaneous locate pipelines for a
+	// load row (schema 3+; zero on micro rows).
+	Concurrency int `json:"concurrency,omitempty"`
+	// LocatesPerSec is the aggregate completed-locate throughput across
+	// all Concurrency streams (schema 3+, load rows only).
+	LocatesPerSec float64 `json:"locatesPerSec,omitempty"`
+	// P50Ns and P99Ns are per-locate latency percentiles in nanoseconds
+	// (schema 3+, load rows only; NsPerOp is the mean).
+	P50Ns float64 `json:"p50Ns,omitempty"`
+	P99Ns float64 `json:"p99Ns,omitempty"`
+	// PlanCacheHitRate is the trig plan-cache hit rate over the row's run,
+	// cache reset at row start (schema 3+, load rows only).
+	PlanCacheHitRate float64 `json:"planCacheHitRate,omitempty"`
 }
 
 // benchReport is the BENCH_N.json envelope. The schema string is versioned
@@ -182,9 +199,18 @@ func writeBenchJSON(path string) error {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	prevProcs := runtime.GOMAXPROCS(0)
-	defer runtime.GOMAXPROCS(prevProcs)
+	prevWorkers := sched.Workers()
+	defer func() {
+		runtime.GOMAXPROCS(prevProcs)
+		sched.SetWorkers(prevWorkers)
+	}()
 	for _, procs := range benchProcs() {
+		// The shared compute pool's width is what the "parallel" rows
+		// actually measure now; keep it in lockstep with GOMAXPROCS so
+		// procs=1 rows are genuinely serial (the evaluator falls back to
+		// its inline path at width 1).
 		runtime.GOMAXPROCS(procs)
+		sched.SetWorkers(procs)
 		for _, bench := range benches {
 			if procs != 1 && !bench.procsSensitive {
 				continue // serial ops don't change with GOMAXPROCS
@@ -205,6 +231,14 @@ func writeBenchJSON(path string) error {
 		}
 	}
 	_ = sink
+	// Concurrent-load rows run at full width after the micro sweep.
+	runtime.GOMAXPROCS(prevProcs)
+	sched.SetWorkers(prevWorkers)
+	loadRows, err := loadBenchRows()
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, loadRows...)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -25,9 +25,11 @@ type benchKey struct {
 	procs int
 }
 
-// readBenchReport parses a BENCH_*.json of any schema version. Schema-1
-// rows carry no per-row GOMAXPROCS; they inherit the report-level value so
-// cross-schema keys align.
+// readBenchReport parses a BENCH_*.json of any schema version (1, 2, or
+// 3). Schema-1 rows carry no per-row GOMAXPROCS; they inherit the
+// report-level value so cross-schema keys align. Schema-3 load rows
+// (concurrency, locates/sec, percentiles, plan-cache hit rate) decode into
+// the same row struct; their extra fields are zero in older files.
 func readBenchReport(path string) (benchReport, error) {
 	var report benchReport
 	data, err := os.ReadFile(path)
@@ -128,6 +130,10 @@ func compareBenchJSON(spec string) error {
 		change := nb.NsPerOp/ob.NsPerOp - 1
 		fmt.Printf("  %-28s procs=%-2d %12.0f -> %12.0f ns/op  %+6.1f%%\n",
 			nb.Name, nb.GoMaxProcs, ob.NsPerOp, nb.NsPerOp, change*100)
+		if nb.LocatesPerSec > 0 && ob.LocatesPerSec > 0 {
+			fmt.Printf("  %-28s          %12.1f -> %12.1f locates/s  (p99 %.2f -> %.2f ms)\n",
+				"", ob.LocatesPerSec, nb.LocatesPerSec, ob.P99Ns/1e6, nb.P99Ns/1e6)
+		}
 		if change > regressionTolerance {
 			regressions = append(regressions,
 				fmt.Sprintf("%s (procs=%d): %.0f -> %.0f ns/op (%+.1f%%)",

@@ -49,6 +49,9 @@ func run(ctx context.Context, args []string) error {
 		maxAttempts    = fs.Int("max-attempts", 0, "collect attempts per reader, retrying transient failures (0 = client default of 3)")
 		baseBackoff    = fs.Duration("base-backoff", 0, "first collect retry delay, doubled with jitter (0 = client default of 100ms)")
 		collectTimeout = fs.Duration("collect-timeout", 0, "wall-clock bound per collection session (0 = client default of 30s)")
+		workers        = fs.Int("workers", 0, "spectrum compute-pool width (0 = TAGSPIN_WORKERS env or GOMAXPROCS)")
+		maxInFlight    = fs.Int("max-in-flight", 0, "admitted locate requests before shedding with 503 (0 = 2x pool width, negative = unlimited)")
+		debugAddr      = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +67,8 @@ func run(ctx context.Context, args []string) error {
 	}
 	srv, err := locsrv.New(locsrv.Config{
 		Registry:       reg,
+		Workers:        *workers,
+		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *requestTimeout,
 		Client: client.Config{
 			Timeout:     *collectTimeout,
@@ -76,6 +81,14 @@ func run(ctx context.Context, args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		publishDebugVars(srv)
+		dbg, err := startDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close() //nolint:errcheck // best-effort on exit
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,

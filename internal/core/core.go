@@ -22,6 +22,7 @@ import (
 	"github.com/tagspin/tagspin/internal/geom"
 	"github.com/tagspin/tagspin/internal/locate"
 	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/sched"
 	"github.com/tagspin/tagspin/internal/spectrum"
 	"github.com/tagspin/tagspin/internal/spindisk"
 	"github.com/tagspin/tagspin/internal/tags"
@@ -76,6 +77,13 @@ type Config struct {
 	// faster grid scans. Leave it off to reproduce paper figures bit for
 	// bit.
 	FastSpectrum bool
+	// Workers, when positive, pins the width of the process-wide spectrum
+	// compute pool (sched.SetWorkers) at NewLocator time. The pool is
+	// shared by every Locator in the process — this is a convenience for
+	// single-locator programs, not a per-locator knob; the last setter
+	// wins. Zero leaves the pool at its current width (TAGSPIN_WORKERS or
+	// GOMAXPROCS by default). Results are identical at any width.
+	Workers int
 }
 
 // evalOpts returns the spectrum.NewEvaluator options the config implies.
@@ -108,7 +116,12 @@ type Locator struct {
 }
 
 // NewLocator builds a Locator.
-func NewLocator(cfg Config) *Locator { return &Locator{cfg: cfg} }
+func NewLocator(cfg Config) *Locator {
+	if cfg.Workers > 0 {
+		sched.SetWorkers(cfg.Workers)
+	}
+	return &Locator{cfg: cfg}
+}
 
 // TagEstimate is the per-tag intermediate result: the angle spectrum peak.
 type TagEstimate struct {
@@ -251,10 +264,13 @@ func orderTags(registered []SpinningTag, obs Observations) []SpinningTag {
 
 // estimateAll runs fn — a per-tag spectrum estimate — for every present tag
 // concurrently. The per-tag peak searches are independent and dominate a
-// pass's cost, so one goroutine per tag keeps all cores busy even for a
-// single localization request. Results land in tag-index slots and the first
-// error *in tag order* is returned, so the output is deterministic
-// regardless of goroutine scheduling.
+// pass's cost. One lightweight goroutine per tag submits that tag's grid
+// scans; the scans themselves execute on the shared compute pool
+// (internal/sched), which interleaves them at chunk granularity, so this
+// fan-out sizes pending work, not CPU parallelism — the pool's worker count
+// bounds the latter. Results land in tag-index slots and the first error
+// *in tag order* is returned, so the output is deterministic regardless of
+// goroutine scheduling.
 func estimateAll(present []SpinningTag, fn func(tag SpinningTag) (TagEstimate, error)) ([]TagEstimate, error) {
 	ests := make([]TagEstimate, len(present))
 	errs := make([]error, len(present))

@@ -14,11 +14,13 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tagspin/tagspin/internal/client"
 	"github.com/tagspin/tagspin/internal/core"
 	"github.com/tagspin/tagspin/internal/registry"
+	"github.com/tagspin/tagspin/internal/sched"
 )
 
 // CollectFunc gathers snapshots from a reader; it exists so tests can
@@ -44,10 +46,25 @@ type Config struct {
 	// MaxAttempts, BaseBackoff).
 	Client client.Config
 	// BatchConcurrency bounds how many batch items run at once; zero means
-	// GOMAXPROCS. Each item drives a full collect + localization pipeline
-	// (which itself parallelizes across tags and grid points), so an
-	// unbounded fan-out would multiply that work by the batch size.
+	// GOMAXPROCS. Since the shared compute pool (internal/sched) took over
+	// spectrum execution, this no longer multiplies CPU fan-out — all grid
+	// scans queue on the pool's fixed workers regardless of how many items
+	// run — so it mainly bounds concurrent *collects* (open reader
+	// sessions, their buffers, and retry timers) and the pipeline working
+	// set per in-flight item.
 	BatchConcurrency int
+	// Workers, when positive, pins the process-wide spectrum compute pool
+	// width (sched.SetWorkers) when the server is built. Zero leaves the
+	// pool at its current width (TAGSPIN_WORKERS env or GOMAXPROCS).
+	Workers int
+	// MaxInFlight bounds admitted locate/locate-batch HTTP requests (one
+	// slot per request, whatever its batch size). Beyond it the server
+	// sheds load with 503 + Retry-After instead of queueing: the compute
+	// pool serializes excess scan work anyway, so queued requests would
+	// only accumulate latency until they hit RequestTimeout (504) with no
+	// extra throughput. Zero means 2 × the pool width; negative disables
+	// admission control.
+	MaxInFlight int
 	// RequestTimeout bounds each locate/locate-batch request end to end;
 	// zero means no server-imposed deadline. Batch items inherit the
 	// request context, so one hung reader cannot pin a batch slot past the
@@ -63,12 +80,23 @@ type Server struct {
 	locator *core.Locator
 	collect CollectFunc
 	mux     *http.ServeMux
+
+	// admit is the admission-control semaphore for locate endpoints: one
+	// buffered slot per admitted request. Nil disables admission control.
+	admit chan struct{}
+
+	locates          atomic.Uint64
+	batches          atomic.Uint64
+	admissionRejects atomic.Uint64
 }
 
 // New builds a Server.
 func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		return nil, errors.New("locsrv: nil registry")
+	}
+	if cfg.Workers > 0 {
+		sched.SetWorkers(cfg.Workers)
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -80,6 +108,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.collect == nil {
 		s.collect = client.CollectRetry
+	}
+	if cfg.MaxInFlight >= 0 {
+		slots := cfg.MaxInFlight
+		if slots == 0 {
+			slots = 2 * sched.Workers()
+		}
+		s.admit = make(chan struct{}, slots)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -124,6 +159,64 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	}
 	return r.Context(), func() {}
+}
+
+// tryAdmit attempts to take an admission slot for one locate request,
+// without blocking. On saturation it writes the 503 shed-load response —
+// with a Retry-After hint so well-behaved clients back off — and returns
+// false. This is deliberately distinct from the 504 deadline path: 503
+// means "never started, retry elsewhere/later", 504 means "started and ran
+// out of time".
+func (s *Server) tryAdmit(w http.ResponseWriter) bool {
+	if s.admit == nil {
+		return true
+	}
+	select {
+	case s.admit <- struct{}{}:
+		return true
+	default:
+		s.admissionRejects.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("server at capacity (%d locate requests in flight)", cap(s.admit)))
+		return false
+	}
+}
+
+// releaseAdmit returns an admission slot taken by tryAdmit.
+func (s *Server) releaseAdmit() {
+	if s.admit != nil {
+		<-s.admit
+	}
+}
+
+// Stats is a point-in-time snapshot of the server's request counters,
+// shaped for expvar publication.
+type Stats struct {
+	// Locates and Batches count requests that passed admission (whatever
+	// their eventual outcome).
+	Locates uint64
+	Batches uint64
+	// AdmissionRejects counts requests shed with 503.
+	AdmissionRejects uint64
+	// InFlight and MaxInFlight describe the admission semaphore; both are
+	// 0 when admission control is disabled.
+	InFlight    int
+	MaxInFlight int
+}
+
+// Stats reports the server's counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Locates:          s.locates.Load(),
+		Batches:          s.batches.Load(),
+		AdmissionRejects: s.admissionRejects.Load(),
+	}
+	if s.admit != nil {
+		st.InFlight = len(s.admit)
+		st.MaxInFlight = cap(s.admit)
+	}
+	return st
 }
 
 // logf logs through the configured sink.
@@ -221,6 +314,11 @@ type LocateResponse struct {
 }
 
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	if !s.tryAdmit(w) {
+		return
+	}
+	defer s.releaseAdmit()
+	s.locates.Add(1)
 	var req LocateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
@@ -288,6 +386,11 @@ func (s *Server) batchConcurrency() int {
 }
 
 func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.tryAdmit(w) {
+		return
+	}
+	defer s.releaseAdmit()
+	s.batches.Add(1)
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
@@ -306,9 +409,11 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	// A semaphore bounds how many items are in flight: each item runs a
-	// full collect + localization pipeline, so goroutine-per-request with
-	// no bound would thrash the CPU (and the readers) on large batches.
+	// A semaphore bounds how many items are in flight: each item opens a
+	// reader collect session and holds a pipeline working set, so an
+	// unbounded fan-out would hammer the readers and balloon memory on
+	// large batches (the CPU side is already bounded by the shared compute
+	// pool).
 	// Every item inherits the request context: when the client disconnects
 	// or RequestTimeout fires, queued items fail fast instead of starting
 	// doomed collects, and running ones are canceled.

@@ -1,0 +1,262 @@
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countTask records exactly which indices ran, and how often.
+type countTask struct {
+	hits  []atomic.Int32
+	delay time.Duration
+	// onChunk, when non-nil, observes each executed chunk start.
+	onChunk func(lo, hi int)
+}
+
+func newCountTask(n int, delay time.Duration) *countTask {
+	return &countTask{hits: make([]atomic.Int32, n), delay: delay}
+}
+
+func (t *countTask) RunChunk(lo, hi int) {
+	if t.onChunk != nil {
+		t.onChunk(lo, hi)
+	}
+	if t.delay > 0 {
+		time.Sleep(t.delay)
+	}
+	for i := lo; i < hi; i++ {
+		t.hits[i].Add(1)
+	}
+}
+
+func (t *countTask) executed() int {
+	n := 0
+	for i := range t.hits {
+		if t.hits[i].Load() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSchedRunCoversAllChunks proves the exactly-once contract across pool
+// widths and chunk sizes, including partial final chunks and n < chunk.
+func TestSchedRunCoversAllChunks(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		for _, tc := range []struct{ n, chunk int }{
+			{1, 64}, {64, 64}, {65, 64}, {1000, 64}, {333, 10}, {5, 1},
+		} {
+			task := newCountTask(tc.n, 0)
+			if err := p.Run(context.Background(), task, tc.n, tc.chunk); err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, tc.n, err)
+			}
+			for i := range task.hits {
+				if got := task.hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d chunk=%d: index %d ran %d times, want 1",
+						workers, tc.n, tc.chunk, i, got)
+				}
+			}
+		}
+		if st := p.Stats(); st.JobsRun != 6 {
+			t.Errorf("workers=%d: JobsRun = %d, want 6", workers, st.JobsRun)
+		}
+	}
+}
+
+// TestSchedConcurrentJobsShareWorkers hammers one pool from many submitters
+// at once; under -race this is the data-race test for the job list and the
+// claim/complete accounting.
+func TestSchedConcurrentJobsShareWorkers(t *testing.T) {
+	p := NewPool(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				task := newCountTask(97, 0)
+				if err := p.Run(context.Background(), task, 97, 8); err != nil {
+					t.Errorf("run: %v", err)
+					return
+				}
+				for i := range task.hits {
+					if task.hits[i].Load() != 1 {
+						t.Errorf("index %d not exactly-once", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSchedStarvation pins the fairness property the pool was built for: a
+// 1-worker pool running a long job must not starve a second, shorter job —
+// both make progress concurrently, and the short one finishes while the
+// long one is still running.
+func TestSchedStarvation(t *testing.T) {
+	p := NewPool(1)
+	const longChunks = 400
+	long := newCountTask(longChunks, time.Millisecond)
+	longStarted := make(chan struct{})
+	var once sync.Once
+	long.onChunk = func(lo, hi int) { once.Do(func() { close(longStarted) }) }
+
+	longDone := make(chan struct{})
+	go func() {
+		defer close(longDone)
+		if err := p.Run(context.Background(), long, longChunks, 1); err != nil {
+			t.Errorf("long job: %v", err)
+		}
+	}()
+	<-longStarted
+
+	short := newCountTask(8, time.Millisecond)
+	if err := p.Run(context.Background(), short, 8, 1); err != nil {
+		t.Fatalf("short job: %v", err)
+	}
+	// The short job is done; the long one must still have work left —
+	// i.e. the pool interleaved them instead of running the long job to
+	// completion first.
+	if got := long.executed(); got >= longChunks {
+		t.Errorf("long job already finished (%d/%d chunks) when short job completed; no interleaving", got, longChunks)
+	}
+	if short.executed() != 8 {
+		t.Errorf("short job executed %d/8 chunks", short.executed())
+	}
+	<-longDone
+	if long.executed() != longChunks {
+		t.Errorf("long job executed %d/%d chunks", long.executed(), longChunks)
+	}
+}
+
+// TestSchedCancel checks that a canceled submitter stops receiving chunks:
+// Run returns ctx.Err(), a (large) tail of the job never executes, and no
+// chunk runs after Run has returned.
+func TestSchedCancel(t *testing.T) {
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 100000
+	task := newCountTask(n, 0)
+	task.onChunk = func(lo, hi int) {
+		if lo == 0 {
+			cancel()
+		}
+	}
+	err := p.Run(ctx, task, n, 10)
+	if err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	executed := task.executed()
+	if executed >= n/2 {
+		t.Errorf("executed %d of %d indices after cancel, want an early stop", executed, n)
+	}
+	// Run has returned: every claimed chunk completed, so the count must
+	// be frozen now.
+	time.Sleep(20 * time.Millisecond)
+	if again := task.executed(); again != executed {
+		t.Errorf("chunks still executing after Run returned: %d -> %d", executed, again)
+	}
+}
+
+// TestSchedSetWorkers exercises resizing in both directions while jobs are
+// flowing.
+func TestSchedSetWorkers(t *testing.T) {
+	p := NewPool(2)
+	if got := p.Workers(); got != 2 {
+		t.Fatalf("Workers() = %d, want 2", got)
+	}
+	p.SetWorkers(0) // clamps to 1
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("Workers() after SetWorkers(0) = %d, want 1", got)
+	}
+	p.SetWorkers(8)
+	task := newCountTask(500, 0)
+	if err := p.Run(context.Background(), task, 500, 7); err != nil {
+		t.Fatal(err)
+	}
+	p.SetWorkers(1)
+	task2 := newCountTask(500, 0)
+	if err := p.Run(context.Background(), task2, 500, 7); err != nil {
+		t.Fatal(err)
+	}
+	if task.executed() != 500 || task2.executed() != 500 {
+		t.Errorf("executed %d and %d, want 500 each", task.executed(), task2.executed())
+	}
+	st := p.Stats()
+	if st.Workers != 1 {
+		t.Errorf("Stats().Workers = %d, want 1", st.Workers)
+	}
+	if st.ChunksRun == 0 || st.JobsRun != 2 {
+		t.Errorf("Stats() = %+v, want nonzero ChunksRun and JobsRun=2", st)
+	}
+}
+
+// TestSchedDefaultWorkersEnv pins the TAGSPIN_WORKERS resolution order:
+// a positive integer wins, garbage and non-positive values fall back to
+// GOMAXPROCS.
+func TestSchedDefaultWorkersEnv(t *testing.T) {
+	t.Setenv(WorkersEnv, "3")
+	if got := defaultWorkers(); got != 3 {
+		t.Errorf("defaultWorkers() with env=3: %d", got)
+	}
+	t.Setenv(WorkersEnv, "0")
+	if got := defaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("defaultWorkers() with env=0: %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	t.Setenv(WorkersEnv, "not-a-number")
+	if got := defaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("defaultWorkers() with garbage env: %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestSchedSharedPool sanity-checks the package-level wrappers around the
+// process-wide pool (and restores its width for other tests).
+func TestSchedSharedPool(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	SetWorkers(2)
+	if Workers() != 2 {
+		t.Fatalf("shared Workers() = %d, want 2", Workers())
+	}
+	task := newCountTask(200, 0)
+	if err := Run(context.Background(), task, 200, 16); err != nil {
+		t.Fatal(err)
+	}
+	if task.executed() != 200 {
+		t.Errorf("shared pool executed %d/200", task.executed())
+	}
+	if st := PoolStats(); st.ChunksRun == 0 || st.UptimeSec <= 0 {
+		t.Errorf("PoolStats() = %+v", st)
+	}
+}
+
+// TestSchedRunZeroAllocs pins the steady-state allocation contract of the
+// submit path itself: the spectrum engine's 0 allocs/op guarantee now rests
+// on it.
+func TestSchedRunZeroAllocs(t *testing.T) {
+	p := NewPool(4)
+	task := newCountTask(1024, 0)
+	ctx := context.Background()
+	// Warm the descriptor pool and the job-list backing array.
+	for i := 0; i < 4; i++ {
+		if err := p.Run(ctx, task, 1024, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := p.Run(ctx, task, 1024, 64); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Run allocates %v per op, want 0", allocs)
+	}
+}

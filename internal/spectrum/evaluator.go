@@ -1,13 +1,13 @@
 package spectrum
 
 import (
+	"context"
 	"math"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"github.com/tagspin/tagspin/internal/mathx"
 	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/sched"
 )
 
 // coarseTermLimit is the snapshot-subset size global coarse scans use: a
@@ -341,6 +341,7 @@ func wrapToPiFast(x float64) float64 {
 //   - otherwise: 1D uniform argmax — candidate i is φ_i = i·step at fixed
 //     gamma; winners land in bests.
 type scanJob struct {
+	ev    *Evaluator // back-reference so RunChunk can reach the kernels
 	terms []snapshotTerm
 	n     int // candidate (or row) count
 	chunk int // chunk size handed to one worker grab
@@ -368,10 +369,12 @@ func (j *scanJob) reset() {
 // getJob draws a scan descriptor from the pool; putJob resets and returns
 // it.
 func (e *Evaluator) getJob() *scanJob {
-	if j, ok := e.jobPool.Get().(*scanJob); ok {
-		return j
+	j, ok := e.jobPool.Get().(*scanJob)
+	if !ok {
+		j = new(scanJob)
 	}
-	return new(scanJob)
+	j.ev = e
+	return j
 }
 
 func (e *Evaluator) putJob(j *scanJob) {
@@ -415,14 +418,31 @@ func (j *scanJob) reduceChunk(sc *Scratch, lo, hi int) {
 	j.bests[lo/j.chunk] = best
 }
 
-// scanChunks runs a job's chunks of [0, n) on up to GOMAXPROCS workers,
-// each with its own pooled Scratch. Chunks are handed out by an atomic
-// counter (work stealing), so a straggler worker never serializes the
-// scan; every index is processed by exactly one worker, so output writes
-// never race and results are bit-identical to a serial loop regardless of
-// scheduling. Chunk boundaries are part of the contract: each runChunk
-// call covers at most one chunk (the 3D coarse scan relies on a chunk
-// being exactly one polar row), in both the serial and parallel paths.
+// RunChunk implements sched.Chunked: execute one claimed chunk of the scan
+// on a pooled Scratch. It runs on shared-pool workers and the submitting
+// goroutine alike; the scratch pool is internally synchronized and every
+// chunk writes a disjoint slice of the job's output, so no further locking
+// is needed.
+func (j *scanJob) RunChunk(lo, hi int) {
+	e := j.ev
+	sc := e.getScratch()
+	e.runChunk(j, sc, lo, hi)
+	e.putScratch(sc)
+}
+
+// scanChunks runs a job's chunks of [0, n). Multi-chunk scans are submitted
+// to the process-wide compute pool (internal/sched): persistent workers
+// claim chunks from the job's cursor and concurrent scans interleave at
+// chunk granularity instead of each spawning its own GOMAXPROCS goroutines.
+// Single-chunk scans — and every scan when the pool is pinned to one worker
+// (sched.SetWorkers(1) / TAGSPIN_WORKERS=1) — run inline on one Scratch.
+//
+// Every index is processed exactly once, output writes never race, and
+// evaluation order never enters the arithmetic, so results are bit-identical
+// to a serial loop regardless of scheduling. Chunk boundaries are part of
+// the contract: each runChunk call covers at most one chunk (the 3D coarse
+// scan relies on a chunk being exactly one polar row), in both the serial
+// and pooled paths.
 func (e *Evaluator) scanChunks(j *scanJob) {
 	if j.n <= 0 {
 		return
@@ -431,11 +451,7 @@ func (e *Evaluator) scanChunks(j *scanJob) {
 		j.chunk = chunkTarget
 	}
 	nChunks := (j.n + j.chunk - 1) / j.chunk
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nChunks {
-		workers = nChunks
-	}
-	if workers <= 1 {
+	if nChunks <= 1 || sched.Workers() <= 1 {
 		sc := e.getScratch()
 		for c := 0; c < nChunks; c++ {
 			lo := c * j.chunk
@@ -448,29 +464,10 @@ func (e *Evaluator) scanChunks(j *scanJob) {
 		e.putScratch(sc)
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			sc := e.getScratch()
-			defer e.putScratch(sc)
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= nChunks {
-					return
-				}
-				lo := c * j.chunk
-				hi := lo + j.chunk
-				if hi > j.n {
-					hi = j.n
-				}
-				e.runChunk(j, sc, lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	// Background context: scans are short (a request's cancellation is
+	// checked between pipeline passes in core), and an uncancelable submit
+	// keeps this path allocation-free.
+	_ = sched.Run(context.Background(), j, j.n, j.chunk)
 }
 
 // maxEntry records one chunk's best candidate during a parallel argmax.

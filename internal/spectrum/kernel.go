@@ -48,20 +48,37 @@ func (e *Evaluator) fillAngleTrig(sc *Scratch, angles []float64) {
 }
 
 // fillUniformTrig fills sc.sinPhi/cosPhi for the uniform grid points
-// φ_k = (i0+k)·step, k ∈ [0, n). The angle values are computed as
-// float64(i0+k)*step — exactly the expression the peak searches have
-// always used — so the exact path stays bit-identical to PR-1.
+// φ_k = (i0+k)·step, k ∈ [0, n). Tables large enough to be worth a map
+// lookup are served from the process-wide plan cache (plancache.go) —
+// repeated locates at the same grid skip table construction entirely —
+// and both cache paths produce exactly the bytes buildUniformTrig would,
+// so results are unchanged.
+func (e *Evaluator) fillUniformTrig(sc *Scratch, i0, n int, step float64) {
+	sc.ensureRow(n)
+	if n >= planMinN {
+		planCache.fill(sc.sinPhi[:n], sc.cosPhi[:n], planKey{i0: i0, n: n, step: step, fast: e.fastTrig})
+		return
+	}
+	buildUniformTrig(sc.sinPhi[:n], sc.cosPhi[:n], i0, step, e.fastTrig)
+}
+
+// buildUniformTrig computes sin/cos of the uniform grid points
+// φ_k = (i0+k)·step into sin[:n]/cos[:n] (n = len(sin)). The angle values
+// are computed as float64(i0+k)*step — exactly the expression the peak
+// searches have always used — so the exact path stays bit-identical to
+// PR-1. It is a pure function of (i0, step, fast, n), which is what makes
+// the plan cache sound.
 //
 // The fast path hoists the per-candidate sincos through the rotation
 // recurrence e^{iφ_{k+1}} = e^{iφ_k}·e^{iΔφ}: two multiplies and two adds
 // per grid point instead of a sincos, re-seeded from math.Sincos every
 // trigReseedInterval points so rounding drift cannot accumulate past
 // ~1e-14 rad (TestUniformTrigRecurrenceDrift pins this).
-func (e *Evaluator) fillUniformTrig(sc *Scratch, i0, n int, step float64) {
-	sc.ensureRow(n)
-	if !e.fastTrig {
+func buildUniformTrig(sin, cos []float64, i0 int, step float64, fast bool) {
+	n := len(sin)
+	if !fast {
 		for k := 0; k < n; k++ {
-			sc.sinPhi[k], sc.cosPhi[k] = math.Sincos(float64(i0+k) * step)
+			sin[k], cos[k] = math.Sincos(float64(i0+k) * step)
 		}
 		return
 	}
@@ -73,7 +90,7 @@ func (e *Evaluator) fillUniformTrig(sc *Scratch, i0, n int, step float64) {
 		} else {
 			s, c = s*cosStep+c*sinStep, c*cosStep-s*sinStep
 		}
-		sc.sinPhi[k], sc.cosPhi[k] = s, c
+		sin[k], cos[k] = s, c
 	}
 }
 
