@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-json bench-load bench-compare
+.PHONY: check build test race vet bench bench-json bench-load bench-stream bench-compare
 
 .DEFAULT_GOAL := check
 
@@ -15,6 +15,7 @@ check: build vet
 	$(GO) test -race ./...
 	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestSched|TestPooled|TestPlanCache' ./internal/sched/ ./internal/spectrum/
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestSched|TestPooled|TestPlanCache' ./internal/sched/ ./internal/spectrum/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestAccumulator|TestStream' ./internal/spectrum/ ./internal/core/
 
 build:
 	$(GO) build ./...
@@ -35,16 +36,22 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/spectrum/
 
 # bench-json regenerates the machine-readable perf snapshot consumed by
-# trajectory tooling (see cmd/tagspin-bench): schema tagspin-bench/3 —
-# micro rows plus the concurrent-load rows (K simultaneous Locate2D
-# pipelines on the shared compute pool) and plan-cache hit rates.
+# trajectory tooling (see cmd/tagspin-bench): schema tagspin-bench/4 —
+# micro rows, concurrent-load rows (K simultaneous Locate2D pipelines on
+# the shared compute pool) with plan-cache hit rates, and the streaming
+# rows (StreamLocate2D tail-latency pairs, LoadLocate2DStream throughput).
 bench-json:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_3.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_4.json
 
-# bench-load is bench-json under its serving-path name: the schema-3 report
+# bench-load is bench-json under its serving-path name: the schema-4 report
 # is where the concurrent-load rows live.
 bench-load:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_3.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_4.json
+
+# bench-stream is bench-json under its streaming-path name: the schema-4
+# report is where the StreamLocate2D/LoadLocate2DStream rows live.
+bench-stream:
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_4.json
 
 # bench-compare diffs the two newest BENCH_<n>.json snapshots and fails on
 # any >10% ns/op regression — the pre-merge perf gate for the spectrum

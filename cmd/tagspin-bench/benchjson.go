@@ -17,8 +17,11 @@ import (
 	"github.com/tagspin/tagspin/internal/testbed"
 )
 
-// benchSchema is the current report schema. Version 3 keeps every
-// version-2 micro-benchmark row and adds concurrent-load rows
+// benchSchema is the current report schema. Version 4 keeps every
+// version-3 row and adds the streaming rows: StreamLocate2D/<kind>/{batch,
+// stream} pairs measuring last-snapshot-to-answer latency (the stream row
+// carries speedupVsBatch), and LoadLocate2DStream/K=<k> throughput rows for
+// the full streaming pipeline. Version 3 added concurrent-load rows
 // (LoadLocate2D/K=<k>: K simultaneous Locate2D pipelines on the shared
 // compute pool, with aggregate locates/sec, p50/p99 latency, and the trig
 // plan-cache hit rate). Version 2 added provenance — runtime.NumCPU at
@@ -26,7 +29,7 @@ import (
 // Version 1 files (report-level GoMaxProcs only, no variants) still parse:
 // rows without a goMaxProcs fall back to the report-level value, and the
 // load-only fields are simply absent from older rows.
-const benchSchema = "tagspin-bench/3"
+const benchSchema = "tagspin-bench/4"
 
 // benchResult is one benchmark row of the machine-readable report.
 type benchResult struct {
@@ -54,6 +57,9 @@ type benchResult struct {
 	// PlanCacheHitRate is the trig plan-cache hit rate over the row's run,
 	// cache reset at row start (schema 3+, load rows only).
 	PlanCacheHitRate float64 `json:"planCacheHitRate,omitempty"`
+	// SpeedupVsBatch is how many times lower this row's latency is than its
+	// paired batch row (schema 4+, StreamLocate2D/*/stream rows only).
+	SpeedupVsBatch float64 `json:"speedupVsBatch,omitempty"`
 }
 
 // benchReport is the BENCH_N.json envelope. The schema string is versioned
@@ -239,6 +245,11 @@ func writeBenchJSON(path string) error {
 		return err
 	}
 	report.Benchmarks = append(report.Benchmarks, loadRows...)
+	streamRows, err := streamBenchRows()
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, streamRows...)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -25,11 +25,12 @@ type benchKey struct {
 	procs int
 }
 
-// readBenchReport parses a BENCH_*.json of any schema version (1, 2, or
-// 3). Schema-1 rows carry no per-row GOMAXPROCS; they inherit the
+// readBenchReport parses a BENCH_*.json of any schema version (1 through
+// 4). Schema-1 rows carry no per-row GOMAXPROCS; they inherit the
 // report-level value so cross-schema keys align. Schema-3 load rows
-// (concurrency, locates/sec, percentiles, plan-cache hit rate) decode into
-// the same row struct; their extra fields are zero in older files.
+// (concurrency, locates/sec, percentiles, plan-cache hit rate) and schema-4
+// streaming rows decode into the same row struct; their extra fields are
+// zero in older files.
 func readBenchReport(path string) (benchReport, error) {
 	var report benchReport
 	data, err := os.ReadFile(path)
@@ -138,6 +139,23 @@ func compareBenchJSON(spec string) error {
 			regressions = append(regressions,
 				fmt.Sprintf("%s (procs=%d): %.0f -> %.0f ns/op (%+.1f%%)",
 					nb.Name, nb.GoMaxProcs, ob.NsPerOp, nb.NsPerOp, change*100))
+		}
+		// Load rows gate on their serving metrics too: a throughput drop or
+		// a p99 tail blowup can hide behind a flat mean (ns/op) when the
+		// latency distribution shifts shape.
+		if nb.LocatesPerSec > 0 && ob.LocatesPerSec > 0 {
+			if drop := 1 - nb.LocatesPerSec/ob.LocatesPerSec; drop > regressionTolerance {
+				regressions = append(regressions,
+					fmt.Sprintf("%s (procs=%d): %.1f -> %.1f locates/s (-%.1f%%)",
+						nb.Name, nb.GoMaxProcs, ob.LocatesPerSec, nb.LocatesPerSec, drop*100))
+			}
+		}
+		if nb.P99Ns > 0 && ob.P99Ns > 0 {
+			if rise := nb.P99Ns/ob.P99Ns - 1; rise > regressionTolerance {
+				regressions = append(regressions,
+					fmt.Sprintf("%s (procs=%d): p99 %.2f -> %.2f ms (%+.1f%%)",
+						nb.Name, nb.GoMaxProcs, ob.P99Ns/1e6, nb.P99Ns/1e6, rise*100))
+			}
 		}
 	}
 	for key := range oldRows {

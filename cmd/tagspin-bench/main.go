@@ -7,14 +7,18 @@
 //	tagspin-bench -run F10a,T2    # run selected experiments
 //	tagspin-bench -list           # list experiment ids
 //	tagspin-bench -trials 100     # override per-experiment trial counts
-//	tagspin-bench -benchjson BENCH_2.json  # machine-readable spectrum perf
+//	tagspin-bench -benchjson BENCH_4.json  # machine-readable spectrum perf
 //	tagspin-bench -benchcompare auto       # regression-gate the two newest BENCH_*.json
+//	tagspin-bench -cpuprofile cpu.pprof -benchjson BENCH_4.json  # profile the run
+//	tagspin-bench -memprofile mem.pprof -run T2                  # heap profile at exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,9 +41,36 @@ func run(args []string) error {
 		trials       = fs.Int("trials", 0, "override per-experiment trial counts (0 = defaults)")
 		benchJSON    = fs.String("benchjson", "", "write spectrum micro-benchmark results (ns/op, allocs/op) as JSON to this file and exit")
 		benchCompare = fs.String("benchcompare", "", "compare two bench reports ('old.json,new.json', or 'auto' for the two newest BENCH_<n>.json here) and fail on >10% ns/op regressions")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile   = fs.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close() //nolint:errcheck // profile already flushed by StopCPUProfile
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tagspin-bench: memprofile:", err)
+				return
+			}
+			defer f.Close() //nolint:errcheck // best-effort profile dump
+			runtime.GC()    // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tagspin-bench: memprofile:", err)
+			}
+		}()
 	}
 	if *benchJSON != "" {
 		return writeBenchJSON(*benchJSON)

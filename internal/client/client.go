@@ -114,10 +114,28 @@ func (c Config) baseBackoff() time.Duration {
 	return c.BaseBackoff
 }
 
+// ReportFunc observes one decoded tag snapshot the moment its report is
+// read off the wire, before the session completes. Calls arrive from the
+// collecting goroutine, in wire order; a slow sink backpressures the
+// protocol loop, so sinks that do real work should hand off to their own
+// goroutine (core.Stream does).
+type ReportFunc func(epc tags.EPC, s phase.Snapshot)
+
 // Collect dials a reader, runs one inventory session, and returns the
 // per-EPC snapshot series. Canceling ctx aborts the exchange promptly, even
 // while blocked mid-stream; the returned error then wraps ctx.Err().
 func Collect(ctx context.Context, addr string, cfg Config) (core.Observations, error) {
+	return CollectStream(ctx, addr, cfg, nil)
+}
+
+// CollectStream is Collect with a per-report callback: sink (when non-nil)
+// sees every snapshot as it is decoded, letting downstream consumers overlap
+// their work with the remainder of the session instead of waiting for the
+// full Observations map. The map is still returned — the stream is a live
+// copy, not a replacement — and on error the partial map is discarded while
+// the sink has already seen the partial stream; callers that retry must
+// reset their sink state per attempt (see CollectRetryStream).
+func CollectStream(ctx context.Context, addr string, cfg Config, sink ReportFunc) (core.Observations, error) {
 	dialer := net.Dialer{Timeout: cfg.dialTimeout()}
 	raw, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -145,10 +163,17 @@ func Collect(ctx context.Context, addr string, cfg Config) (core.Observations, e
 		case <-watchDone:
 		}
 	}()
-	obs, err := collect(conn, cfg)
+	obs, err := collect(conn, cfg, sink)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, fmt.Errorf("client: collect aborted: %w", cerr)
+		}
+		// The connection deadline is pinned to the context deadline above,
+		// and net timers can fire a beat before context's own timer goroutine
+		// marks the context done — surface the deadline, not the raw net
+		// timeout, once its moment has passed.
+		if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+			return nil, fmt.Errorf("client: collect aborted: %w", context.DeadlineExceeded)
 		}
 		return nil, err
 	}
@@ -181,11 +206,24 @@ func Transient(err error) bool {
 // failures (see Transient) are retried; protocol errors and context
 // cancellation surface immediately.
 func CollectRetry(ctx context.Context, addr string, cfg Config) (core.Observations, error) {
+	return CollectRetryStream(ctx, addr, cfg, nil)
+}
+
+// CollectRetryStream is CollectRetry with per-report streaming. start is
+// called once per attempt and returns that attempt's sink (nil start, or a
+// nil returned sink, disables streaming for the attempt) — a failed attempt
+// has already streamed a partial prefix, so each retry needs a fresh sink
+// that discards the previous attempt's state (core.Stream.Reset).
+func CollectRetryStream(ctx context.Context, addr string, cfg Config, start func() ReportFunc) (core.Observations, error) {
 	attempts := cfg.maxAttempts()
 	backoff := cfg.baseBackoff()
 	var last error
 	for attempt := 1; attempt <= attempts; attempt++ {
-		obs, err := Collect(ctx, addr, cfg)
+		var sink ReportFunc
+		if start != nil {
+			sink = start()
+		}
+		obs, err := CollectStream(ctx, addr, cfg, sink)
 		if err == nil {
 			return obs, nil
 		}
@@ -209,8 +247,9 @@ func CollectRetry(ctx context.Context, addr string, cfg Config) (core.Observatio
 	return nil, fmt.Errorf("client: %d attempts failed: %w", attempts, last)
 }
 
-// collect runs the session protocol over an established connection.
-func collect(conn *llrp.Conn, cfg Config) (core.Observations, error) {
+// collect runs the session protocol over an established connection,
+// calling sink (when non-nil) for each snapshot right after it is recorded.
+func collect(conn *llrp.Conn, cfg Config, sink ReportFunc) (core.Observations, error) {
 	if _, err := conn.Send(&llrp.StartROSpec{
 		ROSpecID:       1,
 		DurationMicros: uint64(cfg.duration() / time.Microsecond),
@@ -238,13 +277,17 @@ func collect(conn *llrp.Conn, cfg Config) (core.Observations, error) {
 					return nil, fmt.Errorf("client: report %v: %w", rep.EPC, err)
 				}
 				epc := tags.EPC(rep.EPC)
-				obs[epc] = append(obs[epc], phase.Snapshot{
+				snap := phase.Snapshot{
 					Time:        time.Duration(rep.FirstSeenMicros) * time.Microsecond,
 					Phase:       llrp.RadiansFromPhaseWord(rep.PhaseWord),
 					RSSIdBm:     llrp.DBmFromRSSIWord(rep.PeakRSSI),
 					FrequencyHz: freq,
 					AntennaID:   int(rep.AntennaID),
-				})
+				}
+				obs[epc] = append(obs[epc], snap)
+				if sink != nil {
+					sink(epc, snap)
+				}
 			}
 		case *llrp.KeepAlive:
 			if err := conn.Reply(0, &llrp.KeepAliveAck{}); err != nil {

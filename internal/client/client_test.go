@@ -12,7 +12,10 @@ import (
 	"time"
 
 	"github.com/tagspin/tagspin/internal/channel"
+	"github.com/tagspin/tagspin/internal/core"
 	"github.com/tagspin/tagspin/internal/llrp"
+	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/tags"
 )
 
 // fakeReader scripts a reader endpoint over net.Pipe for protocol-level
@@ -71,7 +74,7 @@ func TestCollectHappyPath(t *testing.T) {
 			return
 		}
 	})
-	obs, err := collect(conn, Config{})
+	obs, err := collect(conn, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +118,7 @@ func TestCollectRejected(t *testing.T) {
 			return
 		}
 	})
-	if _, err := collect(conn, Config{}); !errors.Is(err, ErrRejected) {
+	if _, err := collect(conn, Config{}, nil); !errors.Is(err, ErrRejected) {
 		t.Errorf("err = %v, want ErrRejected", err)
 	}
 }
@@ -142,7 +145,7 @@ func TestCollectAnswersKeepAlive(t *testing.T) {
 			return
 		}
 	})
-	if _, err := collect(conn, Config{}); err != nil {
+	if _, err := collect(conn, Config{}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -157,7 +160,7 @@ func TestCollectReaderClosesMidSession(t *testing.T) {
 			return
 		}
 	})
-	if _, err := collect(conn, Config{}); err == nil {
+	if _, err := collect(conn, Config{}, nil); err == nil {
 		t.Error("mid-session close accepted")
 	}
 }
@@ -173,7 +176,7 @@ func TestCollectBadChannelIndex(t *testing.T) {
 			return
 		}
 	})
-	if _, err := collect(conn, Config{}); err == nil {
+	if _, err := collect(conn, Config{}, nil); err == nil {
 		t.Error("out-of-band channel index accepted")
 	}
 }
@@ -350,5 +353,101 @@ func TestCollectContextCancelUnblocks(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Errorf("cancellation took %v, want prompt unblock", elapsed)
+	}
+}
+
+// TestCollectStreamDeliversEverySnapshot pins the streaming contract: the
+// sink sees exactly the snapshots the returned map holds, in wire order.
+func TestCollectStreamDeliversEverySnapshot(t *testing.T) {
+	epcA, epcB := [12]byte{1}, [12]byte{2}
+	conn := fakeReader(t, func(s *llrp.Conn) {
+		id := expectStart(t, s)
+		if err := s.Reply(id, &llrp.StartROSpecResponse{Status: llrp.StatusOK}); err != nil {
+			return
+		}
+		for i := 0; i < 3; i++ {
+			report := &llrp.ROAccessReport{Reports: []llrp.TagReportData{
+				{EPC: epcA, ChannelIndex: 8, PhaseWord: uint16(100 * i), FirstSeenMicros: uint64(1000 * i)},
+				{EPC: epcB, ChannelIndex: 9, PhaseWord: uint16(200 * i), FirstSeenMicros: uint64(1000*i + 500)},
+			}}
+			if _, err := s.Send(report); err != nil {
+				return
+			}
+		}
+		s.Send(&llrp.ReaderEventNotification{Event: llrp.EventROSpecDone}) //nolint:errcheck
+	})
+	streamed := make(core.Observations)
+	obs, err := collect(conn, Config{}, func(epc tags.EPC, snap phase.Snapshot) {
+		streamed[epc] = append(streamed[epc], snap)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 2 || len(streamed) != 2 {
+		t.Fatalf("tags: returned %d, streamed %d, want 2", len(obs), len(streamed))
+	}
+	for epc, snaps := range obs {
+		got := streamed[epc]
+		if len(got) != len(snaps) {
+			t.Fatalf("%v: streamed %d snapshots, returned %d", epc, len(got), len(snaps))
+		}
+		for i := range snaps {
+			if got[i] != snaps[i] {
+				t.Fatalf("%v snapshot %d: streamed %+v != returned %+v", epc, i, got[i], snaps[i])
+			}
+		}
+	}
+}
+
+// TestCollectStreamPartialOnError verifies the documented failure shape: on
+// a mid-session error the map is discarded but the sink has already seen
+// the partial prefix — which is why retrying callers must reset per attempt.
+func TestCollectStreamPartialOnError(t *testing.T) {
+	conn := fakeReader(t, func(s *llrp.Conn) {
+		id := expectStart(t, s)
+		if err := s.Reply(id, &llrp.StartROSpecResponse{Status: llrp.StatusOK}); err != nil {
+			return
+		}
+		report := &llrp.ROAccessReport{Reports: []llrp.TagReportData{
+			{EPC: [12]byte{1}, ChannelIndex: 8},
+			{EPC: [12]byte{1}, ChannelIndex: 8, FirstSeenMicros: 1000},
+		}}
+		if _, err := s.Send(report); err != nil {
+			return
+		}
+		s.Send(&llrp.CloseConnection{}) //nolint:errcheck
+	})
+	var seen int
+	obs, err := collect(conn, Config{}, func(tags.EPC, phase.Snapshot) { seen++ })
+	if err == nil {
+		t.Fatal("mid-session close accepted")
+	}
+	if obs != nil {
+		t.Errorf("failed collect returned a map")
+	}
+	if seen != 2 {
+		t.Errorf("sink saw %d snapshots before the failure, want 2", seen)
+	}
+}
+
+// TestCollectRetryStreamFreshSinkPerAttempt verifies start() runs once per
+// attempt, so a sink poisoned by a failed attempt's partial stream can be
+// replaced before the retry.
+func TestCollectRetryStreamFreshSinkPerAttempt(t *testing.T) {
+	addr, sessions := rejectingReader(t, 1)
+	cfg := Config{MaxAttempts: 3, BaseBackoff: 2 * time.Millisecond}
+	var starts int
+	_, err := CollectRetryStream(context.Background(), addr, cfg, func() ReportFunc {
+		starts++
+		return func(tags.EPC, phase.Snapshot) {}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sessions.Load(); got != 2 {
+		t.Errorf("sessions = %d, want 2", got)
+	}
+	if starts != 2 {
+		t.Errorf("start() called %d times, want once per attempt (2)", starts)
 	}
 }

@@ -291,14 +291,8 @@ func estimateAll(present []SpinningTag, fn func(tag SpinningTag) (TagEstimate, e
 	return ests, nil
 }
 
-// solvePass2D runs one estimate-and-intersect pass.
-func (l *Locator) solvePass2D(present []SpinningTag, selected map[string][]phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec2) ([]TagEstimate, geom.Vec2, error) {
-	ests, err := estimateAll(present, func(tag SpinningTag) (TagEstimate, error) {
-		return l.estimate2D(tag, selected[tag.EPC.String()], kind, correctAgainst)
-	})
-	if err != nil {
-		return nil, geom.Vec2{}, err
-	}
+// solveBearings2D intersects per-tag azimuth estimates into a position.
+func solveBearings2D(present []SpinningTag, ests []TagEstimate) (geom.Vec2, error) {
 	bearings := make([]locate.Bearing2D, len(present))
 	for i, tag := range present {
 		bearings[i] = locate.Bearing2D{
@@ -307,7 +301,18 @@ func (l *Locator) solvePass2D(present []SpinningTag, selected map[string][]phase
 			Weight:  ests[i].Power,
 		}
 	}
-	pos, err := locate.Solve2D(bearings)
+	return locate.Solve2D(bearings)
+}
+
+// solvePass2D runs one estimate-and-intersect pass.
+func (l *Locator) solvePass2D(present []SpinningTag, selected map[string][]phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec2) ([]TagEstimate, geom.Vec2, error) {
+	ests, err := estimateAll(present, func(tag SpinningTag) (TagEstimate, error) {
+		return l.estimate2D(tag, selected[tag.EPC.String()], kind, correctAgainst)
+	})
+	if err != nil {
+		return nil, geom.Vec2{}, err
+	}
+	pos, err := solveBearings2D(present, ests)
 	if err != nil {
 		return nil, geom.Vec2{}, err
 	}
@@ -345,28 +350,40 @@ func (l *Locator) Locate2DContext(ctx context.Context, registered []SpinningTag,
 	if err := ctxErr(ctx); err != nil {
 		return Result2D{}, err
 	}
-	bootstrapKind := l.cfg.kind()
-	if l.wantsOrientation(present) {
-		// The enhanced profile's likelihood weights are brittle under the
-		// *uncalibrated* orientation error (structured, not Gaussian), so
-		// the bootstrap pass always uses the traditional Q profile; the
-		// corrected passes use the configured profile.
-		bootstrapKind = spectrum.KindQ
-	}
-	ests, pos, err := l.solvePass2D(present, selected, bootstrapKind, nil)
+	ests, pos, err := l.solvePass2D(present, selected, l.bootstrapKind(present), nil)
 	if err != nil {
 		return Result2D{}, err
 	}
+	return l.finish2D(ctx, present, selected, ests, pos)
+}
+
+// bootstrapKind returns the profile kind of the first solve pass. The
+// enhanced profile's likelihood weights are brittle under the
+// *uncalibrated* orientation error (structured, not Gaussian), so whenever
+// orientation passes will follow, the bootstrap pass always uses the
+// traditional Q profile; the corrected passes use the configured profile.
+func (l *Locator) bootstrapKind(present []SpinningTag) spectrum.Kind {
 	if l.wantsOrientation(present) {
-		// Iterate: a better position estimate gives more accurate
-		// per-snapshot orientations, which gives a better position.
-		// Convergence is fast; 1 cm of position movement changes ρ by
-		// well under a degree at operating distances.
+		return spectrum.KindQ
+	}
+	return l.cfg.kind()
+}
+
+// finish2D completes a 2D locate from the bootstrap pass's estimates:
+// when orientation calibrations apply, it iterates correction passes — a
+// better position estimate gives more accurate per-snapshot orientations,
+// which gives a better position; convergence is fast since 1 cm of position
+// movement changes ρ by well under a degree at operating distances. Both
+// the batch Locate2DContext and the streaming Finalize2D end here, so the
+// two paths share everything after the bootstrap estimates.
+func (l *Locator) finish2D(ctx context.Context, present []SpinningTag, selected map[string][]phase.Snapshot, ests []TagEstimate, pos geom.Vec2) (Result2D, error) {
+	if l.wantsOrientation(present) {
 		for pass := 0; pass < 3; pass++ {
 			if err := ctxErr(ctx); err != nil {
 				return Result2D{}, err
 			}
 			coarse := pos
+			var err error
 			ests, pos, err = l.solvePass2D(present, selected, l.cfg.kind(), &coarse)
 			if err != nil {
 				return Result2D{}, err
@@ -409,14 +426,9 @@ func (l *Locator) wantsOrientation(present []SpinningTag) bool {
 	return false
 }
 
-// solvePass3D runs one estimate-and-triangulate pass.
-func (l *Locator) solvePass3D(present []SpinningTag, selected map[string][]phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec3) ([]TagEstimate, []locate.Candidate, error) {
-	ests, err := estimateAll(present, func(tag SpinningTag) (TagEstimate, error) {
-		return l.estimate3D(tag, selected[tag.EPC.String()], kind, correctAgainst)
-	})
-	if err != nil {
-		return nil, nil, err
-	}
+// solveBearings3D triangulates per-tag (azimuth, polar) estimates into the
+// candidate pair (preferred and z-mirror).
+func solveBearings3D(present []SpinningTag, ests []TagEstimate) ([]locate.Candidate, error) {
 	bearings := make([]locate.Bearing3D, len(present))
 	for i, tag := range present {
 		bearings[i] = locate.Bearing3D{
@@ -426,7 +438,18 @@ func (l *Locator) solvePass3D(present []SpinningTag, selected map[string][]phase
 			Weight:  ests[i].Power,
 		}
 	}
-	cands, err := locate.Solve3D(bearings, locate.Options3D{Policy: locate.ZKeepBoth})
+	return locate.Solve3D(bearings, locate.Options3D{Policy: locate.ZKeepBoth})
+}
+
+// solvePass3D runs one estimate-and-triangulate pass.
+func (l *Locator) solvePass3D(present []SpinningTag, selected map[string][]phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec3) ([]TagEstimate, []locate.Candidate, error) {
+	ests, err := estimateAll(present, func(tag SpinningTag) (TagEstimate, error) {
+		return l.estimate3D(tag, selected[tag.EPC.String()], kind, correctAgainst)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cands, err := solveBearings3D(present, ests)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -450,23 +473,27 @@ func (l *Locator) Locate3DContext(ctx context.Context, registered []SpinningTag,
 	if err := ctxErr(ctx); err != nil {
 		return Result3D{}, err
 	}
-	bootstrapKind := l.cfg.kind()
-	if l.wantsOrientation(present) {
-		bootstrapKind = spectrum.KindQ // see Locate2D
-	}
-	ests, cands, err := l.solvePass3D(present, selected, bootstrapKind, nil)
+	ests, cands, err := l.solvePass3D(present, selected, l.bootstrapKind(present), nil)
 	if err != nil {
 		return Result3D{}, err
 	}
+	return l.finish3D(ctx, present, selected, ests, cands)
+}
+
+// finish3D completes a 3D locate from the bootstrap pass's estimates and
+// candidate pair: orientation-correction passes (the orientation ρ is, to
+// first order, insensitive to the sign of z, so correcting against the
+// preferred candidate is safe even before the mirror ambiguity is
+// resolved), then mirror selection per the Z policy. Shared by the batch
+// and streaming paths like finish2D.
+func (l *Locator) finish3D(ctx context.Context, present []SpinningTag, selected map[string][]phase.Snapshot, ests []TagEstimate, cands []locate.Candidate) (Result3D, error) {
 	if l.wantsOrientation(present) {
-		// The orientation ρ is (to first order) insensitive to the sign
-		// of z, so correcting against the preferred candidate is safe
-		// even before the mirror ambiguity is resolved. Iterate as in 2D.
 		for pass := 0; pass < 3; pass++ {
 			if err := ctxErr(ctx); err != nil {
 				return Result3D{}, err
 			}
 			coarse := cands[0].Position
+			var err error
 			ests, cands, err = l.solvePass3D(present, selected, l.cfg.kind(), &coarse)
 			if err != nil {
 				return Result3D{}, err

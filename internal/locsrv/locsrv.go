@@ -29,6 +29,12 @@ import (
 // return promptly once it is done.
 type CollectFunc func(ctx context.Context, addr string, cfg client.Config) (core.Observations, error)
 
+// CollectStreamFunc is CollectFunc with per-report streaming: start is
+// invoked once per collection attempt and returns the sink that attempt
+// feeds (see client.CollectRetryStream). Tests can substitute a canned
+// streaming collector; the default is the real network client.
+type CollectStreamFunc func(ctx context.Context, addr string, cfg client.Config, start func() client.ReportFunc) (core.Observations, error)
+
 // Config configures the server.
 type Config struct {
 	// Registry is the spinning-tag store. Required.
@@ -40,8 +46,20 @@ type Config struct {
 	// caller-supplied locator carries its own config.
 	FastSpectrum bool
 	// Collect gathers snapshots; nil means client.CollectRetry (the
-	// network client with transient-failure retries).
+	// network client with transient-failure retries). Supplying Collect
+	// without CollectStream pins the server to the batch pipeline, since a
+	// plain collector cannot feed mid-session accumulation.
 	Collect CollectFunc
+	// CollectStream gathers snapshots with per-report streaming, letting
+	// locates overlap spectrum accumulation with collection; nil means
+	// client.CollectRetryStream when Collect is also nil. See
+	// DisableStreaming for when the server streams.
+	CollectStream CollectStreamFunc
+	// DisableStreaming forces the batch pipeline even when a streaming
+	// collector is available. By default locates stream: snapshots are
+	// folded into per-tag accumulators as they arrive, so only the peak
+	// search and solve remain after collection ends.
+	DisableStreaming bool
 	// Client tunes collection sessions (including retry policy:
 	// MaxAttempts, BaseBackoff).
 	Client client.Config
@@ -81,6 +99,11 @@ type Server struct {
 	collect CollectFunc
 	mux     *http.ServeMux
 
+	// collectStream, when non-nil, is the streaming collector locate items
+	// use; streaming reports whether locates take the streaming path.
+	collectStream CollectStreamFunc
+	streaming     bool
+
 	// admit is the admission-control semaphore for locate endpoints: one
 	// buffered slot per admitted request. Nil disables admission control.
 	admit chan struct{}
@@ -88,6 +111,13 @@ type Server struct {
 	locates          atomic.Uint64
 	batches          atomic.Uint64
 	admissionRejects atomic.Uint64
+
+	streamLocates      atomic.Uint64
+	streamFallbackTags atomic.Uint64
+	snapshotsStreamed  atomic.Uint64
+	maxAccumBacklog    atomic.Int64
+	finalizeCount      atomic.Uint64
+	finalizeNsTotal    atomic.Int64
 }
 
 // New builds a Server.
@@ -109,6 +139,16 @@ func New(cfg Config) (*Server, error) {
 	if s.collect == nil {
 		s.collect = client.CollectRetry
 	}
+	// Streaming is the default on the real network client; a caller-supplied
+	// batch Collect (canned fixtures, custom transports) keeps the batch
+	// pipeline unless it also supplies a CollectStream.
+	switch {
+	case cfg.CollectStream != nil:
+		s.collectStream = cfg.CollectStream
+	case cfg.Collect == nil:
+		s.collectStream = client.CollectRetryStream
+	}
+	s.streaming = s.collectStream != nil && !cfg.DisableStreaming
 	if cfg.MaxInFlight >= 0 {
 		slots := cfg.MaxInFlight
 		if slots == 0 {
@@ -203,20 +243,59 @@ type Stats struct {
 	// 0 when admission control is disabled.
 	InFlight    int
 	MaxInFlight int
+	// StreamLocates counts locate items that ran the streaming pipeline;
+	// StreamFallbackTags counts the per-tag batch fallbacks inside them
+	// (disordered arrivals, channel mismatches, bootstrap-kind changes).
+	StreamLocates      uint64
+	StreamFallbackTags uint64
+	// SnapshotsStreamed totals snapshots folded into accumulators while
+	// their collection sessions were still running.
+	SnapshotsStreamed uint64
+	// MaxAccumBacklog is the accumulation queue's high-water mark across
+	// all streamed locates — how far folding ever lagged the wire.
+	MaxAccumBacklog int64
+	// FinalizeCount and FinalizeNsTotal measure the streaming path's
+	// last-snapshot-to-answer latency: total time spent in Finalize
+	// (peak search + solve on pre-accumulated sums) over that many calls.
+	FinalizeCount   uint64
+	FinalizeNsTotal int64
 }
 
 // Stats reports the server's counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Locates:          s.locates.Load(),
-		Batches:          s.batches.Load(),
-		AdmissionRejects: s.admissionRejects.Load(),
+		Locates:            s.locates.Load(),
+		Batches:            s.batches.Load(),
+		AdmissionRejects:   s.admissionRejects.Load(),
+		StreamLocates:      s.streamLocates.Load(),
+		StreamFallbackTags: s.streamFallbackTags.Load(),
+		SnapshotsStreamed:  s.snapshotsStreamed.Load(),
+		MaxAccumBacklog:    s.maxAccumBacklog.Load(),
+		FinalizeCount:      s.finalizeCount.Load(),
+		FinalizeNsTotal:    s.finalizeNsTotal.Load(),
 	}
 	if s.admit != nil {
 		st.InFlight = len(s.admit)
 		st.MaxInFlight = cap(s.admit)
 	}
 	return st
+}
+
+// noteStream folds one finished streamed locate into the server counters.
+func (s *Server) noteStream(finalize time.Duration, st core.StreamStats) {
+	s.streamLocates.Add(1)
+	s.streamFallbackTags.Add(uint64(st.FallbackTags))
+	s.snapshotsStreamed.Add(uint64(st.Snapshots))
+	for {
+		cur := s.maxAccumBacklog.Load()
+		if st.MaxBacklog <= cur || s.maxAccumBacklog.CompareAndSwap(cur, st.MaxBacklog) {
+			break
+		}
+	}
+	if finalize >= 0 {
+		s.finalizeCount.Add(1)
+		s.finalizeNsTotal.Add(int64(finalize))
+	}
 }
 
 // logf logs through the configured sink.
@@ -492,29 +571,89 @@ func (s *Server) locateOne(ctx context.Context, req LocateRequest, spinning []co
 	if req.DurationMillis > 0 {
 		ccfg.Duration = time.Duration(req.DurationMillis) * time.Millisecond
 	}
+	if s.streaming {
+		return s.locateStreaming(ctx, req.ReaderAddr, ccfg, mode, spinning)
+	}
 	obs, err := s.collect(ctx, req.ReaderAddr, ccfg)
 	if err != nil {
 		return nil, &statusError{deadlineStatus(err, http.StatusBadGateway), fmt.Errorf("collect from %s: %w", req.ReaderAddr, err)}
 	}
-	resp := &LocateResponse{Mode: mode}
 	switch mode {
-	case "2d":
-		res, err := s.locator.Locate2DContext(ctx, spinning, obs)
-		if err != nil {
-			return nil, &statusError{deadlineStatus(err, http.StatusUnprocessableEntity), err}
-		}
-		resp.Position = [3]float64{res.Position.X, res.Position.Y, 0}
-		resp.Bearings = bearingResults(res.Bearings)
 	case "3d":
 		res, err := s.locator.Locate3DContext(ctx, spinning, obs)
 		if err != nil {
 			return nil, &statusError{deadlineStatus(err, http.StatusUnprocessableEntity), err}
 		}
-		resp.Position = [3]float64{res.Position.X, res.Position.Y, res.Position.Z}
-		mirror := [3]float64{res.Mirror.X, res.Mirror.Y, res.Mirror.Z}
-		resp.Mirror = &mirror
-		resp.ZSpread = res.ZSpread
-		resp.Bearings = bearingResults(res.Bearings)
+		return respond3D(res), nil
+	default:
+		res, err := s.locator.Locate2DContext(ctx, spinning, obs)
+		if err != nil {
+			return nil, &statusError{deadlineStatus(err, http.StatusUnprocessableEntity), err}
+		}
+		return respond2D(res), nil
 	}
+}
+
+// locateStreaming is locateOne's streaming pipeline: the spectrum grid
+// accumulates while the reader session is still streaming reports, so after
+// collection only the peak search, refinement, and bearing solve remain.
+// Results are bit-identical to the batch pipeline on the same observations.
+func (s *Server) locateStreaming(ctx context.Context, addr string, ccfg client.Config, mode string, spinning []core.SpinningTag) (*LocateResponse, *statusError) {
+	var st *core.Stream
+	if mode == "3d" {
+		st = s.locator.NewStream3D(spinning)
+	} else {
+		st = s.locator.NewStream2D(spinning)
+	}
+	defer st.Close()
+	// Each collection attempt resets the stream: a failed attempt has
+	// already folded a partial prefix that must not leak into the retry.
+	obs, err := s.collectStream(ctx, addr, ccfg, func() client.ReportFunc {
+		st.Reset()
+		return st.Report
+	})
+	if err != nil {
+		return nil, &statusError{deadlineStatus(err, http.StatusBadGateway), fmt.Errorf("collect from %s: %w", addr, err)}
+	}
+	finalize := time.Now()
+	var resp *LocateResponse
+	switch mode {
+	case "3d":
+		res, ferr := st.Finalize3D(ctx, obs)
+		if ferr != nil {
+			s.noteStream(-1, st.Stats())
+			return nil, &statusError{deadlineStatus(ferr, http.StatusUnprocessableEntity), ferr}
+		}
+		resp = respond3D(res)
+	default:
+		res, ferr := st.Finalize2D(ctx, obs)
+		if ferr != nil {
+			s.noteStream(-1, st.Stats())
+			return nil, &statusError{deadlineStatus(ferr, http.StatusUnprocessableEntity), ferr}
+		}
+		resp = respond2D(res)
+	}
+	s.noteStream(time.Since(finalize), st.Stats())
 	return resp, nil
+}
+
+// respond2D shapes a 2D pipeline result for the wire.
+func respond2D(res core.Result2D) *LocateResponse {
+	return &LocateResponse{
+		Mode:     "2d",
+		Position: [3]float64{res.Position.X, res.Position.Y, 0},
+		Bearings: bearingResults(res.Bearings),
+	}
+}
+
+// respond3D shapes a 3D pipeline result for the wire.
+func respond3D(res core.Result3D) *LocateResponse {
+	mirror := [3]float64{res.Mirror.X, res.Mirror.Y, res.Mirror.Z}
+	return &LocateResponse{
+		Mode:     "3d",
+		Position: [3]float64{res.Position.X, res.Position.Y, res.Position.Z},
+		Mirror:   &mirror,
+		ZSpread:  res.ZSpread,
+		Bearings: bearingResults(res.Bearings),
+	}
 }

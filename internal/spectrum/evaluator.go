@@ -84,27 +84,38 @@ func NewEvaluator(snaps []phase.Snapshot, p Params, kind Kind, opts ...EvalOptio
 	if err != nil {
 		return nil, err
 	}
-	e := &Evaluator{
-		terms:      terms,
-		coarse:     strideTerms(terms, coarseTermLimit),
-		kind:       kind,
-		literalRef: p.LiteralReference,
-	}
+	return newEvaluatorFromTerms(terms, p, kind, opts...), nil
+}
+
+// weightSigma returns the Gaussian kernel width the R weights use.
+func (p Params) weightSigma() float64 {
 	if p.LiteralReference {
 		// Definition 4.1 verbatim: residuals are N(0, 2σ²) because they
 		// carry both ε_i and the reference's ε₁.
-		e.weightSigma = p.sigma() * math.Sqrt2
-	} else {
-		// Robust variant: the kernel covers the structured residuals real
-		// sessions carry beyond thermal noise (see evalQR).
-		e.weightSigma = math.Hypot(p.sigma(), modelResidualSigma)
+		return p.sigma() * math.Sqrt2
+	}
+	// Robust variant: the kernel covers the structured residuals real
+	// sessions carry beyond thermal noise (see evalQR).
+	return math.Hypot(p.sigma(), modelResidualSigma)
+}
+
+// newEvaluatorFromTerms builds an Evaluator over already-prepared terms. The
+// streaming Accumulator finalizes through this path so batch and streaming
+// refinement run on the very same engine.
+func newEvaluatorFromTerms(terms []snapshotTerm, p Params, kind Kind, opts ...EvalOption) *Evaluator {
+	e := &Evaluator{
+		terms:       terms,
+		coarse:      strideTerms(terms, coarseTermLimit),
+		kind:        kind,
+		literalRef:  p.LiteralReference,
+		weightSigma: p.weightSigma(),
 	}
 	e.wNorm = 1 / (e.weightSigma * math.Sqrt(mathx.TwoPi))
 	e.wInv2Sig = 1 / (2 * e.weightSigma * e.weightSigma)
 	for _, opt := range opts {
 		opt(e)
 	}
-	return e, nil
+	return e
 }
 
 // Scratch holds the per-evaluation buffers EvalAt and the row kernels write
@@ -335,6 +346,9 @@ func wrapToPiFast(x float64) float64 {
 //     angles at γ = polars[i] into rows[i].
 //   - angles != nil: 1D profile — chunks index candidates; candidate i
 //     evaluates angles[i] at fixed gamma into out[i].
+//   - out != nil (uniform profile): candidate i is φ_i = i·step; with
+//     azCount > 0 chunks are whole polar rows as below. Used by the
+//     Q-prescreen pass, which scans a uniform grid into a dense buffer.
 //   - azCount > 0: 3D coarse argmax — chunks are exactly one polar row of
 //     azCount uniform candidates (φ_k = k·step, γ = polBase +
 //     (i/azCount)·polStep); winners land in bests.
@@ -343,8 +357,9 @@ func wrapToPiFast(x float64) float64 {
 type scanJob struct {
 	ev    *Evaluator // back-reference so RunChunk can reach the kernels
 	terms []snapshotTerm
-	n     int // candidate (or row) count
-	chunk int // chunk size handed to one worker grab
+	kind  Kind // profile formula for this scan (getJob defaults it to ev.kind)
+	n     int  // candidate (or row) count
+	chunk int  // chunk size handed to one worker grab
 
 	// Output: profile scans write out/rows; argmax scans reduce into bests.
 	out   []float64
@@ -374,6 +389,7 @@ func (e *Evaluator) getJob() *scanJob {
 		j = new(scanJob)
 	}
 	j.ev = e
+	j.kind = e.kind
 	return j
 }
 
@@ -389,19 +405,26 @@ func (e *Evaluator) runChunk(j *scanJob, sc *Scratch, lo, hi int) {
 	case j.rows != nil:
 		for i := lo; i < hi; i++ {
 			e.fillAngleTrig(sc, j.angles)
-			e.evalRow(j.terms, sc, j.polars[i], len(j.angles), j.rows[i])
+			e.evalRow(j.kind, j.terms, sc, j.polars[i], len(j.angles), j.rows[i])
 		}
 	case j.angles != nil:
 		e.fillAngleTrig(sc, j.angles[lo:hi])
-		e.evalRow(j.terms, sc, j.gamma, hi-lo, j.out[lo:hi])
+		e.evalRow(j.kind, j.terms, sc, j.gamma, hi-lo, j.out[lo:hi])
+	case j.out != nil && j.azCount > 0:
+		gamma := j.polBase + float64(lo/j.azCount)*j.polStep
+		e.fillUniformTrig(sc, 0, hi-lo, j.step)
+		e.evalRow(j.kind, j.terms, sc, gamma, hi-lo, j.out[lo:hi])
+	case j.out != nil:
+		e.fillUniformTrig(sc, lo, hi-lo, j.step)
+		e.evalRow(j.kind, j.terms, sc, j.gamma, hi-lo, j.out[lo:hi])
 	case j.azCount > 0:
 		gamma := j.polBase + float64(lo/j.azCount)*j.polStep
 		e.fillUniformTrig(sc, 0, hi-lo, j.step)
-		e.evalRow(j.terms, sc, gamma, hi-lo, sc.row[:hi-lo])
+		e.evalRow(j.kind, j.terms, sc, gamma, hi-lo, sc.row[:hi-lo])
 		j.reduceChunk(sc, lo, hi)
 	default:
 		e.fillUniformTrig(sc, lo, hi-lo, j.step)
-		e.evalRow(j.terms, sc, j.gamma, hi-lo, sc.row[:hi-lo])
+		e.evalRow(j.kind, j.terms, sc, j.gamma, hi-lo, sc.row[:hi-lo])
 		j.reduceChunk(sc, lo, hi)
 	}
 }

@@ -174,6 +174,10 @@ func TestEvaluatorConcurrentUse(t *testing.T) {
 	angles := UniformAngles(256)
 	pol := mathx.Linspace(-math.Pi/2, math.Pi/2, 7)
 	want := ev.Profile2DSerial(angles)
+	// Per-goroutine sink slots: writing the shared evalSink global from the
+	// workers would itself be the data race this test exists to rule out of
+	// the engine.
+	sinks := make([]float64, 8)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -181,7 +185,7 @@ func TestEvaluatorConcurrentUse(t *testing.T) {
 			defer wg.Done()
 			sc := ev.NewScratch()
 			for k := 0; k < 50; k++ {
-				evalSink = ev.EvalAt(sc, float64(g)+float64(k)*0.03, 0.1)
+				sinks[g] += ev.EvalAt(sc, float64(g)+float64(k)*0.03, 0.1)
 			}
 			got := ev.Profile2D(angles)
 			for i := range want.Power {
@@ -194,6 +198,7 @@ func TestEvaluatorConcurrentUse(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+	evalSink = sinks[0]
 }
 
 // TestCompute3DParallelSpeedup measures the wall-clock win of the parallel

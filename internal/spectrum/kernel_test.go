@@ -82,7 +82,7 @@ func TestRowKernelMatchesEvalAt(t *testing.T) {
 			for _, gamma := range []float64{0, 0.31} {
 				ev.fillAngleTrig(sc, angles)
 				out := make([]float64, len(angles))
-				ev.evalRow(ev.terms, sc, gamma, len(angles), out)
+				ev.evalRow(ev.kind, ev.terms, sc, gamma, len(angles), out)
 				ref := ev.NewScratch()
 				for k, phi := range angles {
 					want := ev.EvalAt(ref, phi, gamma)
@@ -329,7 +329,7 @@ func benchRow(b *testing.B, kind Kind, opts ...EvalOption) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.fillUniformTrig(sc, 0, rowLen, step)
-		ev.evalRow(ev.terms, sc, 0.1, rowLen, out)
+		ev.evalRow(ev.kind, ev.terms, sc, 0.1, rowLen, out)
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/rowLen, "ns/candidate")
 }

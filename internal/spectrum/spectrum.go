@@ -14,6 +14,7 @@
 package spectrum
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -111,6 +112,10 @@ type Profile3D struct {
 	Power [][]float64
 }
 
+// errNoFrequency reports a snapshot without a carrier frequency; prepare
+// and Accumulator.Add wrap it with their own position context.
+var errNoFrequency = errors.New("has no carrier frequency")
+
 // snapshotTerm caches the per-snapshot quantities every candidate angle
 // reuses: the measured relative phasor, the sin/cos trig table of the disk
 // angle, and the aperture scale 4πr/λ.
@@ -119,6 +124,23 @@ type snapshotTerm struct {
 	cosA     float64 // cos a_i, a_i = ω t_i + θ0
 	sinA     float64 // sin a_i
 	scale    float64 // 4π r / λ_i
+}
+
+// makeTerm converts one snapshot into its cached term, relative to the
+// session's phase reference. Both the batch prepare below and the streaming
+// Accumulator build terms through this single function, so the two paths'
+// per-snapshot arithmetic cannot drift.
+func makeTerm(s, ref phase.Snapshot, p Params) (snapshotTerm, error) {
+	if s.FrequencyHz <= 0 {
+		return snapshotTerm{}, errNoFrequency
+	}
+	sinA, cosA := math.Sincos(p.Disk.Angle(s.Time))
+	return snapshotTerm{
+		relPhase: mathx.WrapToPi(s.Phase - ref.Phase),
+		cosA:     cosA,
+		sinA:     sinA,
+		scale:    4 * math.Pi * p.Disk.Radius / s.Wavelength(),
+	}, nil
 }
 
 // prepare converts snapshots into cached terms. It requires at least two
@@ -133,16 +155,11 @@ func prepare(snaps []phase.Snapshot, p Params) ([]snapshotTerm, error) {
 	ref := snaps[0]
 	terms := make([]snapshotTerm, len(snaps))
 	for i, s := range snaps {
-		if s.FrequencyHz <= 0 {
-			return nil, fmt.Errorf("spectrum: snapshot %d has no carrier frequency", i)
+		t, err := makeTerm(s, ref, p)
+		if err != nil {
+			return nil, fmt.Errorf("spectrum: snapshot %d %w", i, err)
 		}
-		sinA, cosA := math.Sincos(p.Disk.Angle(s.Time))
-		terms[i] = snapshotTerm{
-			relPhase: mathx.WrapToPi(s.Phase - ref.Phase),
-			cosA:     cosA,
-			sinA:     sinA,
-			scale:    4 * math.Pi * p.Disk.Radius / s.Wavelength(),
-		}
+		terms[i] = t
 	}
 	return terms, nil
 }
