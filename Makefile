@@ -36,25 +36,32 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/spectrum/
 
 # bench-json regenerates the machine-readable perf snapshot consumed by
-# trajectory tooling (see cmd/tagspin-bench): schema tagspin-bench/4 —
+# trajectory tooling (see cmd/tagspin-bench): schema tagspin-bench/5 —
 # micro rows, concurrent-load rows (K simultaneous Locate2D pipelines on
-# the shared compute pool) with plan-cache hit rates, and the streaming
-# rows (StreamLocate2D tail-latency pairs, LoadLocate2DStream throughput).
+# the shared compute pool) with plan-cache hit rates, the streaming rows
+# (StreamLocate2D tail-latency pairs, LoadLocate2DStream throughput), and
+# the MLLocate2D/3D grid-vs-ml solve-backend A/B rows with meanErrM.
 bench-json:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_4.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_5.json
 
-# bench-load is bench-json under its serving-path name: the schema-4 report
+# bench-load is bench-json under its serving-path name: the schema-5 report
 # is where the concurrent-load rows live.
 bench-load:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_4.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_5.json
 
-# bench-stream is bench-json under its streaming-path name: the schema-4
+# bench-stream is bench-json under its streaming-path name: the schema-5
 # report is where the StreamLocate2D/LoadLocate2DStream rows live.
 bench-stream:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_4.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_5.json
 
 # bench-compare diffs the two newest BENCH_<n>.json snapshots and fails on
 # any >10% ns/op regression — the pre-merge perf gate for the spectrum
-# engine.
+# engine. `make bench-compare REBASELINE=1` first re-measures the baseline
+# snapshot (the older of the two newest) on this machine, marking it
+# `rebaselined: true` — separating container drift from real regressions
+# when the baseline came from different hardware.
 bench-compare:
+ifdef REBASELINE
+	$(GO) run ./cmd/tagspin-bench -rebaseline auto
+endif
 	$(GO) run ./cmd/tagspin-bench -benchcompare auto

@@ -17,11 +17,18 @@ import (
 	"github.com/tagspin/tagspin/internal/testbed"
 )
 
-// benchSchema is the current report schema. Version 4 keeps every
-// version-3 row and adds the streaming rows: StreamLocate2D/<kind>/{batch,
-// stream} pairs measuring last-snapshot-to-answer latency (the stream row
-// carries speedupVsBatch), and LoadLocate2DStream/K=<k> throughput rows for
-// the full streaming pipeline. Version 3 added concurrent-load rows
+// benchSchema is the current report schema. Version 5 keeps every
+// version-4 row and adds the solve-backend A/B rows — MLLocate2D/{grid,ml}
+// and MLLocate3D/{grid,ml}, full Locate calls through the bearing-grid and
+// joint maximum-likelihood estimators over identical observations, each
+// carrying a meanErrM accuracy field — plus the report-level `rebaselined`
+// marker written by `-rebaseline` (a fresh measurement of the current tree
+// replacing a baseline taken on different hardware, so bench-compare deltas
+// reflect code rather than environment drift). Version 4 added the streaming
+// rows: StreamLocate2D/<kind>/{batch, stream} pairs measuring
+// last-snapshot-to-answer latency (the stream row carries speedupVsBatch),
+// and LoadLocate2DStream/K=<k> throughput rows for the full streaming
+// pipeline. Version 3 added concurrent-load rows
 // (LoadLocate2D/K=<k>: K simultaneous Locate2D pipelines on the shared
 // compute pool, with aggregate locates/sec, p50/p99 latency, and the trig
 // plan-cache hit rate). Version 2 added provenance — runtime.NumCPU at
@@ -29,7 +36,7 @@ import (
 // Version 1 files (report-level GoMaxProcs only, no variants) still parse:
 // rows without a goMaxProcs fall back to the report-level value, and the
 // load-only fields are simply absent from older rows.
-const benchSchema = "tagspin-bench/4"
+const benchSchema = "tagspin-bench/5"
 
 // benchResult is one benchmark row of the machine-readable report.
 type benchResult struct {
@@ -60,6 +67,9 @@ type benchResult struct {
 	// SpeedupVsBatch is how many times lower this row's latency is than its
 	// paired batch row (schema 4+, StreamLocate2D/*/stream rows only).
 	SpeedupVsBatch float64 `json:"speedupVsBatch,omitempty"`
+	// MeanErrM is the mean localization error in meters over the row's
+	// accuracy sweep (schema 5+, MLLocate rows only).
+	MeanErrM float64 `json:"meanErrM,omitempty"`
 }
 
 // benchReport is the BENCH_N.json envelope. The schema string is versioned
@@ -72,8 +82,13 @@ type benchReport struct {
 	NumCPU int `json:"numCPU,omitempty"`
 	// GoMaxProcs is the report-wide setting in schema-1 files; schema 2
 	// records it per row and sets this to the value main ran under.
-	GoMaxProcs int           `json:"goMaxProcs"`
-	Benchmarks []benchResult `json:"benchmarks"`
+	GoMaxProcs int `json:"goMaxProcs"`
+	// Rebaselined marks a report written by -rebaseline: a fresh
+	// measurement of the current tree replacing a baseline file recorded
+	// on different hardware (schema 5+). bench-compare calls it out so a
+	// same-container diff isn't mistaken for a historical one.
+	Rebaselined bool          `json:"rebaselined,omitempty"`
+	Benchmarks  []benchResult `json:"benchmarks"`
 }
 
 // benchCase is one entry of the micro-benchmark suite.
@@ -105,7 +120,8 @@ func benchProcs() []int {
 // FindPeak2DR the full peak search (since schema 2 measured on a prebuilt
 // Evaluator, which is the serving-path shape). *Fast rows are the same ops
 // on the WithFastTrig kernel.
-func writeBenchJSON(path string) error {
+// rebaselined additionally stamps the report as a -rebaseline product.
+func writeBenchJSON(path string, rebaselined bool) error {
 	rng := rand.New(rand.NewSource(9))
 	sc := testbed.DefaultScenario(0, rng)
 	sc.Installs = sc.Installs[:1]
@@ -199,10 +215,11 @@ func writeBenchJSON(path string) error {
 	}
 
 	report := benchReport{
-		Schema:     benchSchema,
-		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Schema:      benchSchema,
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Rebaselined: rebaselined,
 	}
 	prevProcs := runtime.GOMAXPROCS(0)
 	prevWorkers := sched.Workers()
@@ -250,6 +267,11 @@ func writeBenchJSON(path string) error {
 		return err
 	}
 	report.Benchmarks = append(report.Benchmarks, streamRows...)
+	mlRows, err := mlBenchRows()
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, mlRows...)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

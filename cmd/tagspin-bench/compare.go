@@ -83,6 +83,58 @@ func latestBenchFiles(dir string) (older, newer string, err error) {
 	return found[len(found)-2].path, found[len(found)-1].path, nil
 }
 
+// newestBenchFile returns the highest-numbered BENCH_<n>.json in dir.
+func newestBenchFile(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchFilePattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			best, bestN = filepath.Join(dir, e.Name()), n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<n>.json files in %s", dir)
+	}
+	return best, nil
+}
+
+// rebaselineBench re-measures the full benchmark suite on the current
+// machine and overwrites the chosen baseline file, marking the report
+// `rebaselined: true`. This separates environment drift from real
+// regressions: when the baseline snapshot was recorded on different
+// hardware, a plain compare against it gates on the container change, not
+// the code change — refreshing the baseline makes the compare same-machine
+// on both sides. spec is a path or "auto": the comparison baseline, i.e.
+// the older of the two newest BENCH_<n>.json in the working directory
+// (drift lives on the baseline side), or the single newest when only one
+// exists.
+func rebaselineBench(spec string) error {
+	path := spec
+	if spec == "auto" {
+		older, _, err := latestBenchFiles(".")
+		if err != nil {
+			older, err = newestBenchFile(".")
+			if err != nil {
+				return err
+			}
+		}
+		path = older
+	}
+	fmt.Fprintf(os.Stderr, "tagspin-bench: rebaselining %s on this machine\n", path)
+	return writeBenchJSON(path, true)
+}
+
 // compareBenchJSON diffs two bench reports and returns an error when any
 // benchmark present in both regressed by more than regressionTolerance in
 // ns/op. spec is either "old.json,new.json" or "auto" (the two
@@ -117,6 +169,15 @@ func compareBenchJSON(spec string) error {
 		oldRows[benchKey{b.Name, b.GoMaxProcs}] = b
 	}
 	fmt.Printf("bench-compare: %s (%s) -> %s (%s)\n", oldPath, oldRep.Schema, newPath, newRep.Schema)
+	if oldRep.Rebaselined || newRep.Rebaselined {
+		sides := "old side was"
+		if newRep.Rebaselined && oldRep.Rebaselined {
+			sides = "both sides were"
+		} else if newRep.Rebaselined {
+			sides = "new side was"
+		}
+		fmt.Printf("bench-compare: note: %s rebaselined on this machine — deltas reflect code, not environment drift\n", sides)
+	}
 	var regressions []string
 	matched := 0
 	for _, nb := range newRep.Benchmarks {

@@ -7,9 +7,10 @@
 //	tagspin-bench -run F10a,T2    # run selected experiments
 //	tagspin-bench -list           # list experiment ids
 //	tagspin-bench -trials 100     # override per-experiment trial counts
-//	tagspin-bench -benchjson BENCH_4.json  # machine-readable spectrum perf
+//	tagspin-bench -benchjson BENCH_5.json  # machine-readable spectrum perf
 //	tagspin-bench -benchcompare auto       # regression-gate the two newest BENCH_*.json
-//	tagspin-bench -cpuprofile cpu.pprof -benchjson BENCH_4.json  # profile the run
+//	tagspin-bench -rebaseline auto         # re-measure the comparison baseline on this machine
+//	tagspin-bench -cpuprofile cpu.pprof -benchjson BENCH_5.json  # profile the run
 //	tagspin-bench -memprofile mem.pprof -run T2                  # heap profile at exit
 package main
 
@@ -41,6 +42,7 @@ func run(args []string) error {
 		trials       = fs.Int("trials", 0, "override per-experiment trial counts (0 = defaults)")
 		benchJSON    = fs.String("benchjson", "", "write spectrum micro-benchmark results (ns/op, allocs/op) as JSON to this file and exit")
 		benchCompare = fs.String("benchcompare", "", "compare two bench reports ('old.json,new.json', or 'auto' for the two newest BENCH_<n>.json here) and fail on >10% ns/op regressions")
+		rebaseline   = fs.String("rebaseline", "", "re-measure the benchmark suite on this machine and overwrite the given baseline file ('auto' = the older of the two newest BENCH_<n>.json here, the -benchcompare baseline), marking it rebaselined so bench-compare deltas reflect code rather than environment drift")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile   = fs.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
@@ -73,7 +75,10 @@ func run(args []string) error {
 		}()
 	}
 	if *benchJSON != "" {
-		return writeBenchJSON(*benchJSON)
+		return writeBenchJSON(*benchJSON, false)
+	}
+	if *rebaseline != "" {
+		return rebaselineBench(*rebaseline)
 	}
 	if *benchCompare != "" {
 		return compareBenchJSON(*benchCompare)

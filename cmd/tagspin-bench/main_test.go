@@ -170,3 +170,59 @@ func TestBenchCompare(t *testing.T) {
 		t.Error("malformed spec accepted")
 	}
 }
+
+// TestNewestBenchFile pins -rebaseline auto's target resolution: the
+// highest-numbered BENCH_<n>.json in the directory.
+func TestNewestBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_3.json", "BENCH_10.json", "BENCH_9.json", "notes.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := newestBenchFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_10.json"); got != want {
+		t.Errorf("newestBenchFile = %q, want %q", got, want)
+	}
+	if _, err := newestBenchFile(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+// TestBenchCompareRebaselinedMarker verifies a report stamped by
+// -rebaseline round-trips and still compares cleanly: the marker is
+// informational, not a schema break.
+func TestBenchCompareRebaselinedMarker(t *testing.T) {
+	dir := t.TempDir()
+	base := benchReport{
+		Schema:      benchSchema,
+		GoVersion:   "go1.24.0",
+		NumCPU:      1,
+		GoMaxProcs:  1,
+		Rebaselined: true,
+		Benchmarks: []benchResult{
+			{Name: "EvalAtR", Iterations: 100, NsPerOp: 20000, GoMaxProcs: 1, Variant: "serial/exact"},
+			{Name: "MLLocate2D/ml", Iterations: 10, NsPerOp: 5_000_000, GoMaxProcs: 1, Variant: "ml", MeanErrM: 0.05},
+		},
+	}
+	next := base
+	next.Rebaselined = false
+	oldPath := writeReport(t, dir, "BENCH_5.json", base)
+	newPath := writeReport(t, dir, "BENCH_6.json", next)
+	if err := compareBenchJSON(oldPath + "," + newPath); err != nil {
+		t.Errorf("rebaselined baseline failed to compare: %v", err)
+	}
+	parsed, err := readBenchReport(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Rebaselined {
+		t.Error("rebaselined marker lost in round-trip")
+	}
+	if parsed.Benchmarks[1].MeanErrM != 0.05 {
+		t.Errorf("meanErrM lost: %+v", parsed.Benchmarks[1])
+	}
+}

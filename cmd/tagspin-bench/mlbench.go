@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/estimate"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/testbed"
+)
+
+// mlTrials is the size of the accuracy sweep behind each MLLocate row's
+// meanErrM. Small on purpose: the rows exist to pin the grid-vs-ML A/B over
+// time, not to re-run the EXPERIMENTS error study (see experiment X2).
+const mlTrials = 8
+
+// mlBenchRows measures the grid and joint-ML solve backends end to end
+// (schema 5): MLLocate2D/{grid,ml} and MLLocate3D/{grid,ml} rows time a full
+// Locate call — shared spectrum peak search plus backend solve — over the
+// same observations, and carry the mean localization error of a small
+// multi-placement sweep so the A/B covers accuracy as well as cost.
+func mlBenchRows() ([]benchResult, error) {
+	rng := rand.New(rand.NewSource(11))
+	sc := testbed.DefaultScenario(0, rng)
+	sc.PlaceReader(geom.V3(-1.9, 1.4, 0))
+	registered, err := sc.CalibratedSpinningTags(rng)
+	if err != nil {
+		return nil, err
+	}
+	col, err := sc.Collect(rng)
+	if err != nil {
+		return nil, err
+	}
+
+	grid := core.NewLocator(core.Config{})
+	ml := grid.WithEstimator(estimate.NewML(estimate.Config{}))
+	backends := []struct {
+		name string
+		loc  *core.Locator
+	}{{"grid", grid}, {"ml", ml}}
+
+	// Accuracy sweep: the same placements and observations for both
+	// backends, 2D targets in the survey plane and 3D targets above it
+	// (where the default grid z-policy is on its home turf).
+	errs2D := map[string][]float64{}
+	errs3D := map[string][]float64{}
+	for i := 0; i < mlTrials; i++ {
+		target := geom.V3(-2.5+rng.Float64()*5, 1.0+rng.Float64()*1.5, 0)
+		sc.PlaceReader(target)
+		tcol, err := sc.Collect(rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, be := range backends {
+			res, err := be.loc.Locate2D(registered, tcol.Obs)
+			if err != nil {
+				return nil, err
+			}
+			errs2D[be.name] = append(errs2D[be.name], res.Position.DistanceTo(target.XY()))
+		}
+		target3 := geom.V3(-2+rng.Float64()*4, 1.2+rng.Float64()*1.2, 0.3+rng.Float64()*0.8)
+		sc.PlaceReader(target3)
+		tcol, err = sc.Collect(rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, be := range backends {
+			res, err := be.loc.Locate3D(registered, tcol.Obs)
+			if err != nil {
+				return nil, err
+			}
+			errs3D[be.name] = append(errs3D[be.name], res.Position.DistanceTo(target3))
+		}
+	}
+
+	var rows []benchResult
+	procs := runtime.GOMAXPROCS(0)
+	for _, be := range backends {
+		loc := be.loc
+		res2 := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := loc.Locate2D(registered, col.Obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, benchResult{
+			Name:        "MLLocate2D/" + be.name,
+			Iterations:  res2.N,
+			NsPerOp:     float64(res2.T.Nanoseconds()) / float64(res2.N),
+			AllocsPerOp: res2.AllocsPerOp(),
+			BytesPerOp:  res2.AllocedBytesPerOp(),
+			GoMaxProcs:  procs,
+			Variant:     be.name,
+			MeanErrM:    mean(errs2D[be.name]),
+		})
+		res3 := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := loc.Locate3D(registered, col.Obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, benchResult{
+			Name:        "MLLocate3D/" + be.name,
+			Iterations:  res3.N,
+			NsPerOp:     float64(res3.T.Nanoseconds()) / float64(res3.N),
+			AllocsPerOp: res3.AllocsPerOp(),
+			BytesPerOp:  res3.AllocedBytesPerOp(),
+			GoMaxProcs:  procs,
+			Variant:     be.name,
+			MeanErrM:    mean(errs3D[be.name]),
+		})
+	}
+	for _, r := range rows {
+		fmt.Fprintf(os.Stderr, "tagspin-bench: %-28s %14s procs=%-2d %12.0f ns/op  meanErr %.1f cm\n",
+			r.Name, r.Variant, r.GoMaxProcs, r.NsPerOp, r.MeanErrM*100)
+	}
+	return rows, nil
+}
+
+// mean averages xs; zero for an empty slice.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

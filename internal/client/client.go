@@ -236,7 +236,7 @@ func CollectRetryStream(ctx context.Context, addr string, cfg Config, start func
 		}
 		// Jitter the schedule to [backoff/2, 3·backoff/2) so a batch of
 		// clients retrying the same reader doesn't stampede in lockstep.
-		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		sleep := retryJitter(backoff)
 		backoff *= 2
 		select {
 		case <-ctx.Done():
@@ -245,6 +245,22 @@ func CollectRetryStream(ctx context.Context, addr string, cfg Config, start func
 		}
 	}
 	return nil, fmt.Errorf("client: %d attempts failed: %w", attempts, last)
+}
+
+// retryJitterFloor is the smallest schedule retryJitter works from. It keeps
+// rand.Int63n's argument positive when a caller hands CollectRetryStream a
+// zero or negative backoff (BaseBackoff bypassing baseBackoff, or repeated
+// doubling overflowing int64) instead of letting it panic mid-retry.
+const retryJitterFloor = time.Millisecond
+
+// retryJitter maps a backoff schedule to a concrete sleep in
+// [backoff/2, 3·backoff/2), clamping non-positive schedules to
+// retryJitterFloor first so the jitter draw is always well defined.
+func retryJitter(backoff time.Duration) time.Duration {
+	if backoff < retryJitterFloor {
+		backoff = retryJitterFloor
+	}
+	return backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
 }
 
 // collect runs the session protocol over an established connection,

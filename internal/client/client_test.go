@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"os"
 	"sync/atomic"
@@ -449,5 +450,52 @@ func TestCollectRetryStreamFreshSinkPerAttempt(t *testing.T) {
 	}
 	if starts != 2 {
 		t.Errorf("start() called %d times, want once per attempt (2)", starts)
+	}
+}
+
+// TestRetryJitterClampsNonPositive covers the schedules that used to panic
+// inside rand.Int63n: an explicit zero, a negative value, and the negative
+// product of int64 doubling overflow. All must yield a positive sleep.
+func TestRetryJitterClampsNonPositive(t *testing.T) {
+	big := time.Duration(math.MaxInt64)/2 + 1
+	overflowed := big + big // doubled past MaxInt64, wrapping negative
+	if overflowed > 0 {
+		t.Fatalf("test setup: overflowed backoff %v is not negative", overflowed)
+	}
+	for _, backoff := range []time.Duration{0, -time.Second, overflowed, retryJitterFloor / 2} {
+		for i := 0; i < 100; i++ {
+			sleep := retryJitter(backoff)
+			if sleep < retryJitterFloor/2 || sleep >= 3*retryJitterFloor/2 {
+				t.Fatalf("retryJitter(%v) = %v, want in [%v, %v)",
+					backoff, sleep, retryJitterFloor/2, 3*retryJitterFloor/2)
+			}
+		}
+	}
+}
+
+// TestRetryJitterRange checks a healthy schedule stays within the documented
+// [backoff/2, 3·backoff/2) stampede-avoidance window.
+func TestRetryJitterRange(t *testing.T) {
+	const backoff = 80 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		sleep := retryJitter(backoff)
+		if sleep < backoff/2 || sleep >= 3*backoff/2 {
+			t.Fatalf("retryJitter(%v) = %v out of [%v, %v)",
+				backoff, sleep, backoff/2, 3*backoff/2)
+		}
+	}
+}
+
+// TestCollectRetryZeroBaseBackoff runs the full retry loop with BaseBackoff
+// left at zero — the configuration that used to reach rand.Int63n(0) — and
+// verifies it retries to success instead of panicking.
+func TestCollectRetryZeroBaseBackoff(t *testing.T) {
+	addr, sessions := rejectingReader(t, 1)
+	cfg := Config{MaxAttempts: 2, BaseBackoff: 0}
+	if _, err := CollectRetry(context.Background(), addr, cfg); err != nil {
+		t.Fatalf("retry with zero BaseBackoff failed: %v", err)
+	}
+	if got := sessions.Load(); got != 2 {
+		t.Errorf("sessions = %d, want 2", got)
 	}
 }

@@ -84,6 +84,11 @@ type Config struct {
 	// wins. Zero leaves the pool at its current width (TAGSPIN_WORKERS or
 	// GOMAXPROCS by default). Results are identical at any width.
 	Workers int
+	// Estimator is the solve backend that fuses per-tag spectrum peaks
+	// into a position; nil means the GridEstimator (bearing-line
+	// intersection with ZPolicy mirror resolution). See internal/estimate
+	// for the joint maximum-likelihood backend.
+	Estimator Estimator
 }
 
 // evalOpts returns the spectrum.NewEvaluator options the config implies.
@@ -113,6 +118,7 @@ func (c Config) minSnapshots() int {
 // Locator runs the Tagspin pipeline.
 type Locator struct {
 	cfg Config
+	est Estimator
 }
 
 // NewLocator builds a Locator.
@@ -120,7 +126,22 @@ func NewLocator(cfg Config) *Locator {
 	if cfg.Workers > 0 {
 		sched.SetWorkers(cfg.Workers)
 	}
-	return &Locator{cfg: cfg}
+	est := cfg.Estimator
+	if est == nil {
+		est = GridEstimator{Policy: cfg.ZPolicy}
+	}
+	return &Locator{cfg: cfg, est: est}
+}
+
+// WithEstimator returns a copy of the Locator that solves through est,
+// sharing every other setting. It lets a server keep one configuration and
+// swap the solve backend per request.
+func (l *Locator) WithEstimator(est Estimator) *Locator {
+	cp := &Locator{cfg: l.cfg, est: est}
+	if est == nil {
+		cp.est = GridEstimator{Policy: l.cfg.ZPolicy}
+	}
+	return cp
 }
 
 // TagEstimate is the per-tag intermediate result: the angle spectrum peak.
@@ -143,18 +164,29 @@ type Result2D struct {
 	Position geom.Vec2
 	// Bearings holds the per-tag spectrum peaks that were fused.
 	Bearings []TagEstimate
+	// Backend names the estimator that produced Position ("grid", "ml").
+	Backend string
+	// Confidence, when the backend reports uncertainty (the ML backend),
+	// carries the covariance and 1σ ellipse; nil otherwise.
+	Confidence *Confidence
 }
 
 // Result3D is the output of Locate3D.
 type Result3D struct {
 	// Position is the selected reader position estimate.
 	Position geom.Vec3
-	// Mirror is the z-mirrored second candidate (§V-B).
+	// Mirror is the rejected mirror candidate, reflected about the disk
+	// planes (§V-B).
 	Mirror geom.Vec3
 	// ZSpread is the disagreement between per-tag height estimates.
 	ZSpread float64
 	// Bearings holds the per-tag spectrum peaks that were fused.
 	Bearings []TagEstimate
+	// Backend names the estimator that produced Position ("grid", "ml").
+	Backend string
+	// Confidence, when the backend reports uncertainty (the ML backend),
+	// carries the covariance, 1σ ellipse, and mirror likelihood margin.
+	Confidence *Confidence
 }
 
 // Observations maps each spinning tag's EPC to its snapshot series for one
@@ -206,8 +238,10 @@ func applyOrientation(tag SpinningTag, snaps []phase.Snapshot, readerPos geom.Ve
 
 // estimate2D runs the per-tag 2D spectrum. When correctAgainst is non-nil
 // and the tag has an orientation calibration, the fitted offset is removed
-// against that reader-position estimate first.
-func (l *Locator) estimate2D(tag SpinningTag, selected []phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec2) (TagEstimate, error) {
+// against that reader-position estimate first. The returned EstimatorTag
+// carries the (possibly corrected) input snapshots so a model-based solve
+// backend can rebuild its likelihood from exactly what the peak saw.
+func (l *Locator) estimate2D(tag SpinningTag, selected []phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec2) (EstimatorTag, error) {
 	params := spectrum.Params{Disk: tag.Disk, Sigma: l.cfg.Sigma, LiteralReference: l.cfg.LiteralReference}
 	input := selected
 	if correctAgainst != nil && tag.Orientation != nil && !l.cfg.DisableOrientation {
@@ -215,19 +249,23 @@ func (l *Locator) estimate2D(tag SpinningTag, selected []phase.Snapshot, kind sp
 	}
 	ev, err := spectrum.NewEvaluator(input, params, kind, l.cfg.evalOpts()...)
 	if err != nil {
-		return TagEstimate{}, fmt.Errorf("tag %s: %w", tag.EPC, err)
+		return EstimatorTag{}, fmt.Errorf("tag %s: %w", tag.EPC, err)
 	}
 	az, power := spectrum.FindPeak2DEval(ev, l.cfg.Search)
-	return TagEstimate{
-		EPC:       tag.EPC,
-		Azimuth:   az,
-		Power:     power,
-		Snapshots: len(selected),
+	return EstimatorTag{
+		Tag:   tag,
+		Snaps: input,
+		Est: TagEstimate{
+			EPC:       tag.EPC,
+			Azimuth:   az,
+			Power:     power,
+			Snapshots: len(selected),
+		},
 	}, nil
 }
 
 // estimate3D is the 3D analogue of estimate2D.
-func (l *Locator) estimate3D(tag SpinningTag, selected []phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec3) (TagEstimate, error) {
+func (l *Locator) estimate3D(tag SpinningTag, selected []phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec3) (EstimatorTag, error) {
 	params := spectrum.Params{Disk: tag.Disk, Sigma: l.cfg.Sigma, LiteralReference: l.cfg.LiteralReference}
 	input := selected
 	if correctAgainst != nil && tag.Orientation != nil && !l.cfg.DisableOrientation {
@@ -235,15 +273,19 @@ func (l *Locator) estimate3D(tag SpinningTag, selected []phase.Snapshot, kind sp
 	}
 	ev, err := spectrum.NewEvaluator(input, params, kind, l.cfg.evalOpts()...)
 	if err != nil {
-		return TagEstimate{}, fmt.Errorf("tag %s: %w", tag.EPC, err)
+		return EstimatorTag{}, fmt.Errorf("tag %s: %w", tag.EPC, err)
 	}
 	pk := spectrum.FindPeak3DEval(ev, l.cfg.Search)
-	return TagEstimate{
-		EPC:       tag.EPC,
-		Azimuth:   pk.Azimuth,
-		Polar:     pk.Polar,
-		Power:     pk.Power,
-		Snapshots: len(selected),
+	return EstimatorTag{
+		Tag:   tag,
+		Snaps: input,
+		Est: TagEstimate{
+			EPC:       tag.EPC,
+			Azimuth:   pk.Azimuth,
+			Polar:     pk.Polar,
+			Power:     pk.Power,
+			Snapshots: len(selected),
+		},
 	}, nil
 }
 
@@ -271,15 +313,15 @@ func orderTags(registered []SpinningTag, obs Observations) []SpinningTag {
 // bounds the latter. Results land in tag-index slots and the first error
 // *in tag order* is returned, so the output is deterministic regardless of
 // goroutine scheduling.
-func estimateAll(present []SpinningTag, fn func(tag SpinningTag) (TagEstimate, error)) ([]TagEstimate, error) {
-	ests := make([]TagEstimate, len(present))
+func estimateAll(present []SpinningTag, fn func(tag SpinningTag) (EstimatorTag, error)) ([]EstimatorTag, error) {
+	etags := make([]EstimatorTag, len(present))
 	errs := make([]error, len(present))
 	var wg sync.WaitGroup
 	wg.Add(len(present))
 	for i, tag := range present {
 		go func(i int, tag SpinningTag) {
 			defer wg.Done()
-			ests[i], errs[i] = fn(tag)
+			etags[i], errs[i] = fn(tag)
 		}(i, tag)
 	}
 	wg.Wait()
@@ -288,35 +330,23 @@ func estimateAll(present []SpinningTag, fn func(tag SpinningTag) (TagEstimate, e
 			return nil, err
 		}
 	}
-	return ests, nil
+	return etags, nil
 }
 
-// solveBearings2D intersects per-tag azimuth estimates into a position.
-func solveBearings2D(present []SpinningTag, ests []TagEstimate) (geom.Vec2, error) {
-	bearings := make([]locate.Bearing2D, len(present))
-	for i, tag := range present {
-		bearings[i] = locate.Bearing2D{
-			Origin:  tag.Disk.Center.XY(),
-			Azimuth: ests[i].Azimuth,
-			Weight:  ests[i].Power,
-		}
-	}
-	return locate.Solve2D(bearings)
-}
-
-// solvePass2D runs one estimate-and-intersect pass.
-func (l *Locator) solvePass2D(present []SpinningTag, selected map[string][]phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec2) ([]TagEstimate, geom.Vec2, error) {
-	ests, err := estimateAll(present, func(tag SpinningTag) (TagEstimate, error) {
+// solvePass2D runs one estimate-and-solve pass through the configured
+// estimator backend.
+func (l *Locator) solvePass2D(present []SpinningTag, selected map[string][]phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec2) ([]EstimatorTag, Solution2D, error) {
+	etags, err := estimateAll(present, func(tag SpinningTag) (EstimatorTag, error) {
 		return l.estimate2D(tag, selected[tag.EPC.String()], kind, correctAgainst)
 	})
 	if err != nil {
-		return nil, geom.Vec2{}, err
+		return nil, Solution2D{}, err
 	}
-	pos, err := solveBearings2D(present, ests)
+	sol, err := l.est.Solve2D(etags)
 	if err != nil {
-		return nil, geom.Vec2{}, err
+		return nil, Solution2D{}, err
 	}
-	return ests, pos, nil
+	return etags, sol, nil
 }
 
 // Locate2D estimates the reader position in the plane from the observations
@@ -350,11 +380,11 @@ func (l *Locator) Locate2DContext(ctx context.Context, registered []SpinningTag,
 	if err := ctxErr(ctx); err != nil {
 		return Result2D{}, err
 	}
-	ests, pos, err := l.solvePass2D(present, selected, l.bootstrapKind(present), nil)
+	etags, sol, err := l.solvePass2D(present, selected, l.bootstrapKind(present), nil)
 	if err != nil {
 		return Result2D{}, err
 	}
-	return l.finish2D(ctx, present, selected, ests, pos)
+	return l.finish2D(ctx, present, selected, etags, sol)
 }
 
 // bootstrapKind returns the profile kind of the first solve pass. The
@@ -376,24 +406,29 @@ func (l *Locator) bootstrapKind(present []SpinningTag) spectrum.Kind {
 // movement changes ρ by well under a degree at operating distances. Both
 // the batch Locate2DContext and the streaming Finalize2D end here, so the
 // two paths share everything after the bootstrap estimates.
-func (l *Locator) finish2D(ctx context.Context, present []SpinningTag, selected map[string][]phase.Snapshot, ests []TagEstimate, pos geom.Vec2) (Result2D, error) {
+func (l *Locator) finish2D(ctx context.Context, present []SpinningTag, selected map[string][]phase.Snapshot, etags []EstimatorTag, sol Solution2D) (Result2D, error) {
 	if l.wantsOrientation(present) {
 		for pass := 0; pass < 3; pass++ {
 			if err := ctxErr(ctx); err != nil {
 				return Result2D{}, err
 			}
-			coarse := pos
+			coarse := sol.Position
 			var err error
-			ests, pos, err = l.solvePass2D(present, selected, l.cfg.kind(), &coarse)
+			etags, sol, err = l.solvePass2D(present, selected, l.cfg.kind(), &coarse)
 			if err != nil {
 				return Result2D{}, err
 			}
-			if pos.DistanceTo(coarse) < 0.01 {
+			if sol.Position.DistanceTo(coarse) < 0.01 {
 				break
 			}
 		}
 	}
-	return Result2D{Position: pos, Bearings: ests}, nil
+	return Result2D{
+		Position:   sol.Position,
+		Bearings:   tagEstimates(etags),
+		Backend:    l.est.Name(),
+		Confidence: sol.Confidence,
+	}, nil
 }
 
 // selectAll validates and channel-filters every present tag's snapshots.
@@ -426,34 +461,20 @@ func (l *Locator) wantsOrientation(present []SpinningTag) bool {
 	return false
 }
 
-// solveBearings3D triangulates per-tag (azimuth, polar) estimates into the
-// candidate pair (preferred and z-mirror).
-func solveBearings3D(present []SpinningTag, ests []TagEstimate) ([]locate.Candidate, error) {
-	bearings := make([]locate.Bearing3D, len(present))
-	for i, tag := range present {
-		bearings[i] = locate.Bearing3D{
-			Origin:  tag.Disk.Center,
-			Azimuth: ests[i].Azimuth,
-			Polar:   ests[i].Polar,
-			Weight:  ests[i].Power,
-		}
-	}
-	return locate.Solve3D(bearings, locate.Options3D{Policy: locate.ZKeepBoth})
-}
-
-// solvePass3D runs one estimate-and-triangulate pass.
-func (l *Locator) solvePass3D(present []SpinningTag, selected map[string][]phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec3) ([]TagEstimate, []locate.Candidate, error) {
-	ests, err := estimateAll(present, func(tag SpinningTag) (TagEstimate, error) {
+// solvePass3D runs one estimate-and-solve pass through the configured
+// estimator backend.
+func (l *Locator) solvePass3D(present []SpinningTag, selected map[string][]phase.Snapshot, kind spectrum.Kind, correctAgainst *geom.Vec3) ([]EstimatorTag, Solution3D, error) {
+	etags, err := estimateAll(present, func(tag SpinningTag) (EstimatorTag, error) {
 		return l.estimate3D(tag, selected[tag.EPC.String()], kind, correctAgainst)
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, Solution3D{}, err
 	}
-	cands, err := solveBearings3D(present, ests)
+	sol, err := l.est.Solve3D(etags)
 	if err != nil {
-		return nil, nil, err
+		return nil, Solution3D{}, err
 	}
-	return ests, cands, nil
+	return etags, sol, nil
 }
 
 // Locate3D estimates the reader position in space from the observations of
@@ -473,47 +494,45 @@ func (l *Locator) Locate3DContext(ctx context.Context, registered []SpinningTag,
 	if err := ctxErr(ctx); err != nil {
 		return Result3D{}, err
 	}
-	ests, cands, err := l.solvePass3D(present, selected, l.bootstrapKind(present), nil)
+	etags, sol, err := l.solvePass3D(present, selected, l.bootstrapKind(present), nil)
 	if err != nil {
 		return Result3D{}, err
 	}
-	return l.finish3D(ctx, present, selected, ests, cands)
+	return l.finish3D(ctx, present, selected, etags, sol)
 }
 
 // finish3D completes a 3D locate from the bootstrap pass's estimates and
-// candidate pair: orientation-correction passes (the orientation ρ is, to
-// first order, insensitive to the sign of z, so correcting against the
-// preferred candidate is safe even before the mirror ambiguity is
-// resolved), then mirror selection per the Z policy. Shared by the batch
-// and streaming paths like finish2D.
-func (l *Locator) finish3D(ctx context.Context, present []SpinningTag, selected map[string][]phase.Snapshot, ests []TagEstimate, cands []locate.Candidate) (Result3D, error) {
+// solution: orientation-correction passes iterate against the selected
+// candidate (the orientation ρ is, to first order, insensitive to the sign
+// of z, so correcting against it is safe even when the backend resolved the
+// mirror by policy rather than evidence). Mirror selection itself belongs to
+// the estimator backend. Shared by the batch and streaming paths like
+// finish2D.
+func (l *Locator) finish3D(ctx context.Context, present []SpinningTag, selected map[string][]phase.Snapshot, etags []EstimatorTag, sol Solution3D) (Result3D, error) {
 	if l.wantsOrientation(present) {
 		for pass := 0; pass < 3; pass++ {
 			if err := ctxErr(ctx); err != nil {
 				return Result3D{}, err
 			}
-			coarse := cands[0].Position
+			coarse := sol.Position
 			var err error
-			ests, cands, err = l.solvePass3D(present, selected, l.cfg.kind(), &coarse)
+			etags, sol, err = l.solvePass3D(present, selected, l.cfg.kind(), &coarse)
 			if err != nil {
 				return Result3D{}, err
 			}
-			if cands[0].Position.DistanceTo(coarse) < 0.01 {
+			if sol.Position.DistanceTo(coarse) < 0.01 {
 				break
 			}
 		}
 	}
-	var res Result3D
-	res.Bearings = ests
-	best, mirror := cands[0], cands[1]
-	if l.cfg.ZPolicy == locate.ZPreferNonPositive && best.Position.Z > 0 ||
-		(l.cfg.ZPolicy == 0 || l.cfg.ZPolicy == locate.ZPreferNonNegative) && best.Position.Z < 0 {
-		best, mirror = mirror, best
-	}
-	res.Position = best.Position
-	res.Mirror = mirror.Position
-	res.ZSpread = best.ZSpread
-	return res, nil
+	return Result3D{
+		Position:   sol.Position,
+		Mirror:     sol.Mirror,
+		ZSpread:    sol.ZSpread,
+		Bearings:   tagEstimates(etags),
+		Backend:    l.est.Name(),
+		Confidence: sol.Confidence,
+	}, nil
 }
 
 // Diagnosis reports how well a tag's snapshots fit its registered disk

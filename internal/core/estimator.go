@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/locate"
+	"github.com/tagspin/tagspin/internal/phase"
+)
+
+// EstimatorTag is one tag's input to the solve stage: the registered tag,
+// the snapshots behind the spectrum pass (channel-filtered, time-sorted,
+// and orientation-corrected when a correction pass produced them), and the
+// spectrum peak. Grid backends consume only Est; model-based backends
+// (internal/estimate) rebuild their own likelihood from Snaps.
+type EstimatorTag struct {
+	// Tag is the registered spinning tag.
+	Tag SpinningTag
+	// Snaps are the snapshots the estimate was computed from.
+	Snaps []phase.Snapshot
+	// Est is the per-tag spectrum peak.
+	Est TagEstimate
+}
+
+// Confidence is an estimator's uncertainty report for a position estimate.
+// Backends that cannot quantify uncertainty (the grid backend) return nil
+// instead.
+type Confidence struct {
+	// Cov is the position covariance in m²; 2D solutions populate the
+	// upper-left 2×2 block and leave the z row/column zero.
+	Cov [3][3]float64
+	// SemiMajorM, SemiMinorM, and OrientationRad describe the horizontal
+	// 1σ confidence ellipse: semi-axes in meters and the semi-major axis
+	// direction CCW from +x. A 2D Gaussian puts ≈39.3% of its mass inside
+	// the 1σ contour.
+	SemiMajorM     float64
+	SemiMinorM     float64
+	OrientationRad float64
+	// SigmaZM is the 1σ height uncertainty (3D solutions only).
+	SigmaZM float64
+	// LogLikelihood is the joint log-likelihood at the optimum.
+	LogLikelihood float64
+	// MirrorLogLikelihood is the rejected ±z mirror candidate's
+	// log-likelihood (3D only): the margin to LogLikelihood is how
+	// decisively the likelihood resolved the ambiguity.
+	MirrorLogLikelihood float64
+}
+
+// Solution2D is an estimator's 2D output.
+type Solution2D struct {
+	// Position is the estimated reader position in the plane.
+	Position geom.Vec2
+	// Confidence, when non-nil, quantifies the estimate's uncertainty.
+	Confidence *Confidence
+}
+
+// Solution3D is an estimator's 3D output.
+type Solution3D struct {
+	// Position is the selected reader position estimate.
+	Position geom.Vec3
+	// Mirror is the rejected ±z mirror candidate (§V-B).
+	Mirror geom.Vec3
+	// ZSpread is the disagreement between the selected candidate's
+	// per-tag height estimates.
+	ZSpread float64
+	// Confidence, when non-nil, quantifies the estimate's uncertainty.
+	Confidence *Confidence
+}
+
+// Estimator turns per-tag spectrum estimates into a position. It is the
+// pluggable solve stage of the pipeline: the default GridEstimator
+// intersects bearing lines exactly as §V of the paper describes, while
+// internal/estimate provides a joint maximum-likelihood backend with
+// covariance output. Both the batch and streaming pipelines route every
+// solve pass (bootstrap and orientation-correction iterations alike)
+// through the configured Estimator.
+//
+// Implementations must be safe for concurrent use by multiple locates.
+type Estimator interface {
+	// Name identifies the backend ("grid", "ml") in results and stats.
+	Name() string
+	// Solve2D fuses the tags' azimuth estimates into a planar position.
+	Solve2D(tags []EstimatorTag) (Solution2D, error)
+	// Solve3D fuses the tags' (azimuth, polar) estimates into a spatial
+	// position and its ±z mirror.
+	Solve3D(tags []EstimatorTag) (Solution3D, error)
+}
+
+// GridEstimator is the default solve backend: weighted bearing-line
+// intersection (locate.Solve2D/Solve3D) with the ±z mirror resolved by the
+// configured dead-space policy.
+type GridEstimator struct {
+	// Policy resolves the 3D mirror ambiguity; zero means
+	// locate.ZPreferNonNegative.
+	Policy locate.ZPolicy
+}
+
+// Name implements Estimator.
+func (GridEstimator) Name() string { return "grid" }
+
+// liveTags drops tags whose spectrum peak carries no weight evidence: a
+// dead tag's all-zero profile reports Power 0, and locate's Weight-0
+// sentinel would silently fuse it at full strength (Weight 0 means 1
+// there). At least two live tags must remain.
+func liveTags(tags []EstimatorTag) ([]EstimatorTag, error) {
+	live := make([]EstimatorTag, 0, len(tags))
+	for _, t := range tags {
+		if t.Est.Power > 0 {
+			live = append(live, t)
+		}
+	}
+	if len(live) < 2 {
+		return nil, fmt.Errorf("core: only %d of %d tags have a usable (power > 0) spectrum peak: %w",
+			len(live), len(tags), locate.ErrTooFewBearings)
+	}
+	return live, nil
+}
+
+// Solve2D implements Estimator.
+func (GridEstimator) Solve2D(tags []EstimatorTag) (Solution2D, error) {
+	live, err := liveTags(tags)
+	if err != nil {
+		return Solution2D{}, err
+	}
+	bearings := make([]locate.Bearing2D, len(live))
+	for i, t := range live {
+		bearings[i] = locate.Bearing2D{
+			Origin:  t.Tag.Disk.Center.XY(),
+			Azimuth: t.Est.Azimuth,
+			Weight:  t.Est.Power,
+		}
+	}
+	pos, err := locate.Solve2D(bearings)
+	if err != nil {
+		return Solution2D{}, err
+	}
+	return Solution2D{Position: pos}, nil
+}
+
+// Solve3D implements Estimator.
+func (g GridEstimator) Solve3D(tags []EstimatorTag) (Solution3D, error) {
+	live, err := liveTags(tags)
+	if err != nil {
+		return Solution3D{}, err
+	}
+	bearings := make([]locate.Bearing3D, len(live))
+	for i, t := range live {
+		bearings[i] = locate.Bearing3D{
+			Origin:  t.Tag.Disk.Center,
+			Azimuth: t.Est.Azimuth,
+			Polar:   t.Est.Polar,
+			Weight:  t.Est.Power,
+		}
+	}
+	cands, err := locate.Solve3D(bearings, locate.Options3D{Policy: locate.ZKeepBoth})
+	if err != nil {
+		return Solution3D{}, err
+	}
+	best, mirror := cands[0], cands[1] // above-planes first
+	if g.Policy == locate.ZPreferNonPositive {
+		best, mirror = mirror, best
+	}
+	return Solution3D{
+		Position: best.Position,
+		Mirror:   mirror.Position,
+		ZSpread:  best.ZSpread,
+	}, nil
+}
+
+// tagEstimates extracts the per-tag peaks for a result's Bearings field.
+func tagEstimates(tags []EstimatorTag) []TagEstimate {
+	out := make([]TagEstimate, len(tags))
+	for i, t := range tags {
+		out[i] = t.Est
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/locate"
+	"github.com/tagspin/tagspin/internal/spindisk"
+	"github.com/tagspin/tagspin/internal/tags"
+)
+
+// bearingTag builds an EstimatorTag whose peak points from origin toward
+// target (exact azimuth/polar, unit power).
+func bearingTag(id byte, origin, target geom.Vec3, power float64) EstimatorTag {
+	d := target.Sub(origin)
+	horiz := math.Hypot(d.X, d.Y)
+	epc := tags.EPC{id}
+	return EstimatorTag{
+		Tag: SpinningTag{
+			EPC:  epc,
+			Disk: spindisk.Disk{Center: origin, Radius: 0.10, Omega: math.Pi},
+		},
+		Est: TagEstimate{
+			EPC:     epc,
+			Azimuth: math.Atan2(d.Y, d.X),
+			Polar:   math.Atan2(d.Z, horiz),
+			Power:   power,
+		},
+	}
+}
+
+func TestGridEstimatorSolve2D(t *testing.T) {
+	target := geom.V3(1.3, -0.8, 0)
+	etags := []EstimatorTag{
+		bearingTag(1, geom.V3(-0.25, 0, 0), target, 1),
+		bearingTag(2, geom.V3(0.25, 0, 0), target, 1),
+	}
+	sol, err := GridEstimator{}.Solve2D(etags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sol.Position.DistanceTo(target.XY()); d > 1e-9 {
+		t.Errorf("position %v, want %v (err %g)", sol.Position, target.XY(), d)
+	}
+	if sol.Confidence != nil {
+		t.Errorf("grid backend should not report confidence")
+	}
+}
+
+func TestGridEstimatorDropsZeroPowerTags(t *testing.T) {
+	target := geom.V3(1.3, -0.8, 0)
+	good1 := bearingTag(1, geom.V3(-0.25, 0, 0), target, 1)
+	good2 := bearingTag(2, geom.V3(0.25, 0, 0), target, 1)
+	// A dead tag's all-zero profile: Power 0 and a wildly wrong azimuth.
+	// Before the liveTags filter this fused at full weight (locate's
+	// Weight-0 sentinel means 1) and dragged the fix away from the target.
+	dead := bearingTag(3, geom.V3(0, 0.25, 0), geom.V3(-5, 5, 0), 0)
+
+	sol, err := GridEstimator{}.Solve2D([]EstimatorTag{good1, good2, dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sol.Position.DistanceTo(target.XY()); d > 1e-9 {
+		t.Errorf("zero-power tag was not dropped: position %v, want %v", sol.Position, target.XY())
+	}
+
+	sol3, err := GridEstimator{}.Solve3D([]EstimatorTag{good1, good2, dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sol3.Position.DistanceTo(target); d > 1e-9 {
+		t.Errorf("3D: zero-power tag was not dropped: position %v, want %v", sol3.Position, target)
+	}
+
+	// With fewer than two live tags the solve must refuse, wrapping the
+	// locate sentinel.
+	_, err = GridEstimator{}.Solve2D([]EstimatorTag{good1, dead})
+	if !errors.Is(err, locate.ErrTooFewBearings) {
+		t.Errorf("err = %v, want ErrTooFewBearings", err)
+	}
+}
+
+func TestGridEstimatorSolve3DPolicy(t *testing.T) {
+	planeZ := 0.5
+	target := geom.V3(1.1, 0.7, 1.3)
+	etags := []EstimatorTag{
+		bearingTag(1, geom.V3(-0.25, 0, planeZ), target, 1),
+		bearingTag(2, geom.V3(0.25, 0, planeZ), target, 1),
+	}
+	sol, err := GridEstimator{}.Solve3D(etags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sol.Position.DistanceTo(target); d > 1e-9 {
+		t.Errorf("position %v, want %v", sol.Position, target)
+	}
+	mirrorZ := 2*planeZ - target.Z
+	if math.Abs(sol.Mirror.Z-mirrorZ) > 1e-9 {
+		t.Errorf("mirror z = %v, want %v (reflection about the disk planes)", sol.Mirror.Z, mirrorZ)
+	}
+
+	below, err := GridEstimator{Policy: locate.ZPreferNonPositive}.Solve3D(etags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(below.Position.Z-mirrorZ) > 1e-9 {
+		t.Errorf("ZPreferNonPositive position z = %v, want %v", below.Position.Z, mirrorZ)
+	}
+	if math.Abs(below.Mirror.Z-target.Z) > 1e-9 {
+		t.Errorf("ZPreferNonPositive mirror z = %v, want %v", below.Mirror.Z, target.Z)
+	}
+}
+
+func TestWithEstimatorSwapsBackend(t *testing.T) {
+	l := NewLocator(Config{ZPolicy: locate.ZPreferNonPositive})
+	if l.est.Name() != "grid" {
+		t.Fatalf("default backend = %q, want grid", l.est.Name())
+	}
+	if g, ok := l.est.(GridEstimator); !ok || g.Policy != locate.ZPreferNonPositive {
+		t.Fatalf("default backend does not carry the configured ZPolicy: %#v", l.est)
+	}
+	swapped := l.WithEstimator(fakeEstimator{})
+	if swapped.est.Name() != "fake" {
+		t.Errorf("swapped backend = %q, want fake", swapped.est.Name())
+	}
+	if l.est.Name() != "grid" {
+		t.Errorf("original locator mutated by WithEstimator")
+	}
+	back := swapped.WithEstimator(nil)
+	if g, ok := back.est.(GridEstimator); !ok || g.Policy != locate.ZPreferNonPositive {
+		t.Errorf("WithEstimator(nil) should restore the configured grid backend, got %#v", back.est)
+	}
+}
+
+type fakeEstimator struct{}
+
+func (fakeEstimator) Name() string { return "fake" }
+func (fakeEstimator) Solve2D(tags []EstimatorTag) (Solution2D, error) {
+	return Solution2D{}, nil
+}
+func (fakeEstimator) Solve3D(tags []EstimatorTag) (Solution3D, error) {
+	return Solution3D{}, nil
+}

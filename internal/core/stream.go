@@ -290,13 +290,17 @@ func (s *Stream) Finalize2D(ctx context.Context, obs Observations) (Result2D, er
 	}
 	kind := l.bootstrapKind(present)
 	streamable := kind == s.kind && !s.threeD
-	ests, err := estimateAll(present, func(tag SpinningTag) (TagEstimate, error) {
+	etags, err := estimateAll(present, func(tag SpinningTag) (EstimatorTag, error) {
 		sel := selected[tag.EPC.String()]
 		if streamable {
 			if fa := s.usableAcc(tag, sel); fa != nil {
 				if az, pow, err := fa.acc.FindPeak2D(); err == nil {
 					s.streamed.Add(1)
-					return TagEstimate{EPC: tag.EPC, Azimuth: az, Power: pow, Snapshots: len(sel)}, nil
+					return EstimatorTag{
+						Tag:   tag,
+						Snaps: sel,
+						Est:   TagEstimate{EPC: tag.EPC, Azimuth: az, Power: pow, Snapshots: len(sel)},
+					}, nil
 				}
 			}
 		}
@@ -306,11 +310,11 @@ func (s *Stream) Finalize2D(ctx context.Context, obs Observations) (Result2D, er
 	if err != nil {
 		return Result2D{}, err
 	}
-	pos, err := solveBearings2D(present, ests)
+	sol, err := l.est.Solve2D(etags)
 	if err != nil {
 		return Result2D{}, err
 	}
-	return l.finish2D(ctx, present, selected, ests, pos)
+	return l.finish2D(ctx, present, selected, etags, sol)
 }
 
 // Finalize3D is Finalize2D for a 3D locate; bit-identical to
@@ -327,18 +331,22 @@ func (s *Stream) Finalize3D(ctx context.Context, obs Observations) (Result3D, er
 	}
 	kind := l.bootstrapKind(present)
 	streamable := kind == s.kind && s.threeD
-	ests, err := estimateAll(present, func(tag SpinningTag) (TagEstimate, error) {
+	etags, err := estimateAll(present, func(tag SpinningTag) (EstimatorTag, error) {
 		sel := selected[tag.EPC.String()]
 		if streamable {
 			if fa := s.usableAcc(tag, sel); fa != nil {
 				if pk, err := fa.acc.FindPeak3D(); err == nil {
 					s.streamed.Add(1)
-					return TagEstimate{
-						EPC:       tag.EPC,
-						Azimuth:   pk.Azimuth,
-						Polar:     pk.Polar,
-						Power:     pk.Power,
-						Snapshots: len(sel),
+					return EstimatorTag{
+						Tag:   tag,
+						Snaps: sel,
+						Est: TagEstimate{
+							EPC:       tag.EPC,
+							Azimuth:   pk.Azimuth,
+							Polar:     pk.Polar,
+							Power:     pk.Power,
+							Snapshots: len(sel),
+						},
 					}, nil
 				}
 			}
@@ -349,11 +357,11 @@ func (s *Stream) Finalize3D(ctx context.Context, obs Observations) (Result3D, er
 	if err != nil {
 		return Result3D{}, err
 	}
-	cands, err := solveBearings3D(present, ests)
+	sol, err := l.est.Solve3D(etags)
 	if err != nil {
 		return Result3D{}, err
 	}
-	return l.finish3D(ctx, present, selected, ests, cands)
+	return l.finish3D(ctx, present, selected, etags, sol)
 }
 
 // Locate2DStream runs a 2D locate with collection and accumulation

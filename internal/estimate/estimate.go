@@ -1,0 +1,327 @@
+// Package estimate implements the joint maximum-likelihood position backend:
+// instead of collapsing each spinning tag's angle spectrum to a single peak
+// and intersecting bearing lines (§V, the grid backend), it searches the
+// reader position (x, y[, z]) directly and scores every candidate by the
+// joint phase likelihood across *all* disks at once. Each disk's Q profile
+// is a coherence measure — Q ≈ exp(−s²/2) for residual phase variance s² —
+// so n·log Q is, up to a constant, the Gaussian log-likelihood of that
+// disk's phase residuals, and summing over disks fuses the full shape of
+// every spectrum rather than just its argmax.
+//
+// The search is seeded by the existing bearing solve and refined by
+// Nelder–Mead; the Hessian of the negative log-likelihood at the optimum
+// yields a position covariance and 1σ confidence ellipse. In 3D, both ±z
+// mirror candidates (§V-B) are refined and the ambiguity is resolved by
+// likelihood instead of policy: disks at different heights break the mirror
+// symmetry, and the margin between the two likelihoods is reported.
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tagspin/tagspin/internal/antenna"
+	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/locate"
+	"github.com/tagspin/tagspin/internal/spectrum"
+)
+
+// qFloor clips the per-disk profile value before the log so a candidate that
+// completely decoheres one disk (Q → 1/√n fluctuation floor) contributes a
+// large-but-finite penalty instead of −Inf, keeping the refinement surface
+// smooth enough for simplex steps and finite differences.
+const qFloor = 1e-4
+
+// hessianStep is the central-difference step (meters) for the Hessian at the
+// optimum. The likelihood is built on exact-trig evaluators (noise ~1e-16),
+// so 2 mm balances truncation against cancellation; it is also well inside
+// the several-centimeter scale the likelihood varies on.
+const hessianStep = 0.002
+
+// mirrorMargin is the log-likelihood advantage the below-planes mirror
+// candidate must show before it overrides the above-planes default. The Q
+// profiles are exactly even in the polar angle, so with coplanar disks the
+// two refined candidates tie up to optimizer wiggle and a bare comparison
+// degenerates to a coin flip — flipping the sign of z on half the solves.
+// Disks at distinct heights break the symmetry by far more than this margin
+// (hundreds of log-units in the staggered-plane tests), while ties stay well
+// under it, so 2 log-units (a ~7× likelihood ratio, the usual "substantial
+// evidence" line) cleanly separates the two regimes.
+const mirrorMargin = 2.0
+
+// Config tunes the ML backend.
+type Config struct {
+	// Sigma is the assumed per-read phase noise (radians) that calibrates
+	// the likelihood — and therefore the covariance. Zero means
+	// spectrum.DefaultSigma.
+	Sigma float64
+	// Antenna, when non-nil, enables radiation-pattern weighting: the
+	// pattern is evaluated from the seed position toward each disk center
+	// and disks in the pattern's skirts are down-weighted (they carry less
+	// SNR, so their spectra are noisier). Position and Boresight are
+	// overridden per solve; only the pattern shape (GainDBi,
+	// PatternExponent) is used.
+	Antenna *antenna.Antenna
+	// MaxIter bounds the Nelder–Mead iterations per refinement; zero
+	// means 200.
+	MaxIter int
+}
+
+// sigma returns the effective phase noise.
+func (c Config) sigma() float64 {
+	if c.Sigma <= 0 {
+		return spectrum.DefaultSigma
+	}
+	return c.Sigma
+}
+
+// maxIter returns the effective iteration bound.
+func (c Config) maxIter() int {
+	if c.MaxIter <= 0 {
+		return 200
+	}
+	return c.MaxIter
+}
+
+// ML is the joint maximum-likelihood estimator. It implements
+// core.Estimator; construct with NewML and plug into core.Config.Estimator
+// or Locator.WithEstimator. The zero Config is a good default.
+type ML struct {
+	cfg Config
+}
+
+// NewML builds the backend.
+func NewML(cfg Config) *ML { return &ML{cfg: cfg} }
+
+// Name implements core.Estimator.
+func (*ML) Name() string { return "ml" }
+
+// tagScene is one disk's contribution to the joint likelihood: an
+// exact-trig Q evaluator over the tag's snapshots plus the fusion weight.
+// Exact trig is deliberate — the fast kernel's ~1e-6 profile noise is far
+// below any physical effect but would dominate the 4h² denominator of the
+// finite-difference Hessian.
+type tagScene struct {
+	center geom.Vec3
+	ev     *spectrum.Evaluator
+	sc     *spectrum.Scratch
+	w      float64
+}
+
+// scenes builds the per-disk evaluators for the live tags (Power > 0; dead
+// tags carry no directional evidence, mirroring the grid backend's filter).
+func (m *ML) scenes(tags []core.EstimatorTag) ([]*tagScene, []core.EstimatorTag, error) {
+	live := make([]core.EstimatorTag, 0, len(tags))
+	for _, t := range tags {
+		if t.Est.Power > 0 && len(t.Snaps) > 0 {
+			live = append(live, t)
+		}
+	}
+	if len(live) < 2 {
+		return nil, nil, fmt.Errorf("estimate: only %d of %d tags have a usable spectrum and snapshots: %w",
+			len(live), len(tags), locate.ErrTooFewBearings)
+	}
+	sigma := m.cfg.sigma()
+	out := make([]*tagScene, len(live))
+	for i, t := range live {
+		params := spectrum.Params{Disk: t.Tag.Disk, Sigma: sigma}
+		ev, err := spectrum.NewEvaluator(t.Snaps, params, spectrum.KindQ)
+		if err != nil {
+			return nil, nil, fmt.Errorf("estimate: tag %s: %w", t.Tag.EPC, err)
+		}
+		// n/σ²: n·log Q ≈ −½Σ(ε−ε̄)², so dividing by σ² makes the sum the
+		// Gaussian log-likelihood kernel −½Σ((ε−ε̄)/σ)². That calibration
+		// is what makes the Hessian the Fisher information and the 1σ
+		// ellipse contain the truth at the nominal ≈39% rate.
+		out[i] = &tagScene{
+			center: t.Tag.Disk.Center,
+			ev:     ev,
+			sc:     ev.NewScratch(),
+			w:      float64(len(t.Snaps)) / (sigma * sigma),
+		}
+	}
+	return out, live, nil
+}
+
+// applyPatternWeights scales each scene's weight by the antenna pattern's
+// linear gain from the seed position toward that disk, normalized to the
+// best-lit disk and floored at 0.05 so no disk is silenced entirely.
+func (m *ML) applyPatternWeights(seed geom.Vec3, scenes []*tagScene) {
+	if m.cfg.Antenna == nil {
+		return
+	}
+	ant := *m.cfg.Antenna
+	ant.Position = seed
+	var centroid geom.Vec3
+	for _, s := range scenes {
+		centroid = centroid.Add(s.center)
+	}
+	centroid = centroid.Scale(1 / float64(len(scenes)))
+	ant.Boresight = centroid.Sub(seed).Azimuth()
+	gains := make([]float64, len(scenes))
+	maxGain := math.Inf(-1)
+	for i, s := range scenes {
+		gains[i] = math.Pow(10, ant.GainTowards(s.center)/10)
+		if gains[i] > maxGain {
+			maxGain = gains[i]
+		}
+	}
+	for i, s := range scenes {
+		w := gains[i] / maxGain
+		if w < 0.05 {
+			w = 0.05
+		}
+		s.w *= w
+	}
+}
+
+// logL2D is the joint log-likelihood of a planar reader position: the
+// candidate's azimuth toward each disk, evaluated on that disk's Q profile
+// at γ = 0 (the grid 2D solve makes the same planar assumption).
+func logL2D(scenes []*tagScene, p geom.Vec2) float64 {
+	var sum float64
+	for _, s := range scenes {
+		d := p.Sub(s.center.XY())
+		phi := math.Atan2(d.Y, d.X)
+		q := s.ev.EvalAt(s.sc, phi, 0)
+		if q < qFloor {
+			q = qFloor
+		}
+		sum += s.w * math.Log(q)
+	}
+	return sum
+}
+
+// logL3D is the joint log-likelihood of a spatial reader position.
+func logL3D(scenes []*tagScene, p geom.Vec3) float64 {
+	var sum float64
+	for _, s := range scenes {
+		d := p.Sub(s.center)
+		phi := math.Atan2(d.Y, d.X)
+		gamma := math.Atan2(d.Z, math.Hypot(d.X, d.Y))
+		q := s.ev.EvalAt(s.sc, phi, gamma)
+		if q < qFloor {
+			q = qFloor
+		}
+		sum += s.w * math.Log(q)
+	}
+	return sum
+}
+
+// Solve2D implements core.Estimator: seed from the bearing intersection,
+// refine (x, y) by Nelder–Mead on the joint likelihood, report the
+// covariance from the Hessian at the optimum.
+func (m *ML) Solve2D(tags []core.EstimatorTag) (core.Solution2D, error) {
+	scenes, live, err := m.scenes(tags)
+	if err != nil {
+		return core.Solution2D{}, err
+	}
+	bearings := make([]locate.Bearing2D, len(live))
+	for i, t := range live {
+		bearings[i] = locate.Bearing2D{
+			Origin:  t.Tag.Disk.Center.XY(),
+			Azimuth: t.Est.Azimuth,
+			Weight:  t.Est.Power,
+		}
+	}
+	seed, err := locate.Solve2D(bearings)
+	if err != nil {
+		return core.Solution2D{}, err
+	}
+	m.applyPatternWeights(geom.V3(seed.X, seed.Y, 0), scenes)
+
+	neg := func(x []float64) float64 { return -logL2D(scenes, geom.V2(x[0], x[1])) }
+	opt, negL := nelderMead(neg, []float64{seed.X, seed.Y}, m.cfg.maxIter())
+	pos := geom.V2(opt[0], opt[1])
+
+	conf := &core.Confidence{LogLikelihood: -negL}
+	if cov, ok := covariance(neg, opt); ok {
+		conf.Cov[0][0], conf.Cov[0][1] = cov[0][0], cov[0][1]
+		conf.Cov[1][0], conf.Cov[1][1] = cov[1][0], cov[1][1]
+		fillEllipse(conf)
+	}
+	return core.Solution2D{Position: pos, Confidence: conf}, nil
+}
+
+// Solve3D implements core.Estimator: both ±z mirror candidates from the
+// bearing solve are refined independently and the winner is chosen by
+// likelihood — the evidence-based resolution of §V-B's ambiguity. The
+// below-planes candidate must win by mirrorMargin: with exactly coplanar
+// disks the two likelihoods tie (the geometry genuinely cannot distinguish
+// the sides) and the above-planes candidate is kept, matching the paper's
+// dead-space default.
+func (m *ML) Solve3D(tags []core.EstimatorTag) (core.Solution3D, error) {
+	scenes, live, err := m.scenes(tags)
+	if err != nil {
+		return core.Solution3D{}, err
+	}
+	bearings := make([]locate.Bearing3D, len(live))
+	for i, t := range live {
+		bearings[i] = locate.Bearing3D{
+			Origin:  t.Tag.Disk.Center,
+			Azimuth: t.Est.Azimuth,
+			Polar:   t.Est.Polar,
+			Weight:  t.Est.Power,
+		}
+	}
+	cands, err := locate.Solve3D(bearings, locate.Options3D{Policy: locate.ZKeepBoth})
+	if err != nil {
+		return core.Solution3D{}, err
+	}
+	m.applyPatternWeights(cands[0].Position, scenes)
+
+	neg := func(x []float64) float64 { return -logL3D(scenes, geom.V3(x[0], x[1], x[2])) }
+	type refined struct {
+		x    []float64
+		negL float64
+		seed locate.Candidate
+	}
+	refs := make([]refined, len(cands))
+	for i, c := range cands {
+		x, negL := nelderMead(neg, []float64{c.Position.X, c.Position.Y, c.Position.Z}, m.cfg.maxIter())
+		refs[i] = refined{x: x, negL: negL, seed: c}
+	}
+	best, mirror := refs[0], refs[1] // refs[0] is the above-planes candidate
+	if mirror.negL < best.negL-mirrorMargin {
+		best, mirror = mirror, best
+	}
+
+	conf := &core.Confidence{
+		LogLikelihood:       -best.negL,
+		MirrorLogLikelihood: -mirror.negL,
+	}
+	if cov, ok := covariance(neg, best.x); ok {
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				conf.Cov[a][b] = cov[a][b]
+			}
+		}
+		conf.SigmaZM = math.Sqrt(cov[2][2])
+		fillEllipse(conf)
+	}
+	return core.Solution3D{
+		Position:   geom.V3(best.x[0], best.x[1], best.x[2]),
+		Mirror:     geom.V3(mirror.x[0], mirror.x[1], mirror.x[2]),
+		ZSpread:    best.seed.ZSpread,
+		Confidence: conf,
+	}, nil
+}
+
+// fillEllipse derives the horizontal 1σ ellipse from the covariance's
+// upper-left 2×2 block by eigendecomposition.
+func fillEllipse(c *core.Confidence) {
+	c11, c22, c12 := c.Cov[0][0], c.Cov[1][1], c.Cov[0][1]
+	tr, diff := (c11+c22)/2, (c11-c22)/2
+	disc := math.Sqrt(diff*diff + c12*c12)
+	lMaj, lMin := tr+disc, tr-disc
+	if lMaj < 0 {
+		lMaj = 0
+	}
+	if lMin < 0 {
+		lMin = 0
+	}
+	c.SemiMajorM = math.Sqrt(lMaj)
+	c.SemiMinorM = math.Sqrt(lMin)
+	c.OrientationRad = 0.5 * math.Atan2(2*c12, c11-c22)
+}

@@ -1,0 +1,333 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/antenna"
+	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/phase"
+	"github.com/tagspin/tagspin/internal/spindisk"
+	"github.com/tagspin/tagspin/internal/tags"
+	"github.com/tagspin/tagspin/internal/testbed"
+)
+
+const testFreqHz = 920.625e6
+
+// synthTag generates one disk's snapshots under the exact far-field phase
+// model the Q profile assumes — θ_j = C − (4πr/λ)·cos(a_j−φ*)·cos γ* + ε —
+// toward a reader at p, with Gaussian phase noise. Est carries the true
+// direction as the seed bearing (unit power).
+func synthTag(id byte, disk spindisk.Disk, p geom.Vec3, sigma float64, n int, rng *rand.Rand) core.EstimatorTag {
+	d := p.Sub(disk.Center)
+	phiStar := math.Atan2(d.Y, d.X)
+	gammaStar := math.Atan2(d.Z, math.Hypot(d.X, d.Y))
+	wavelength := 299792458.0 / testFreqHz
+	scale := 4 * math.Pi * disk.Radius / wavelength
+	c0 := rng.Float64() * 2 * math.Pi
+
+	duration := 2 * float64(disk.Period())
+	snaps := make([]phase.Snapshot, n)
+	for j := range snaps {
+		t := time.Duration(float64(j) / float64(n) * duration)
+		a := disk.Angle(t)
+		snaps[j] = phase.Snapshot{
+			Time:        t,
+			Phase:       c0 - scale*math.Cos(a-phiStar)*math.Cos(gammaStar) + rng.NormFloat64()*sigma,
+			FrequencyHz: testFreqHz,
+		}
+	}
+	epc := tags.EPC{id}
+	return core.EstimatorTag{
+		Tag:   core.SpinningTag{EPC: epc, Disk: disk},
+		Snaps: snaps,
+		Est: core.TagEstimate{
+			EPC:       epc,
+			Azimuth:   phiStar,
+			Polar:     gammaStar,
+			Power:     1,
+			Snapshots: n,
+		},
+	}
+}
+
+func defaultDisks(z float64) []spindisk.Disk {
+	return []spindisk.Disk{
+		{Center: geom.V3(-0.25, 0, z), Radius: 0.10, Omega: math.Pi},
+		{Center: geom.V3(0.25, 0, z), Radius: 0.10, Omega: math.Pi, Theta0: math.Pi / 3},
+		{Center: geom.V3(0, 0.3, z), Radius: 0.10, Omega: math.Pi, Theta0: 2 * math.Pi / 3},
+	}
+}
+
+func TestMLSolve2DRecoversSyntheticTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	target := geom.V3(-1.6, 1.2, 0)
+	var etags []core.EstimatorTag
+	for i, d := range defaultDisks(0) {
+		etags = append(etags, synthTag(byte(i+1), d, target, 0.1, 160, rng))
+	}
+	sol, err := NewML(Config{}).Solve2D(etags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sol.Position.DistanceTo(target.XY()); d > 0.02 {
+		t.Errorf("position error %.1f mm, want < 20 mm (%v vs %v)", d*1000, sol.Position, target.XY())
+	}
+	if sol.Confidence == nil {
+		t.Fatal("no confidence reported")
+	}
+	c := sol.Confidence
+	if c.SemiMajorM <= 0 || c.SemiMinorM <= 0 || c.SemiMajorM < c.SemiMinorM {
+		t.Errorf("bad ellipse: major %v minor %v", c.SemiMajorM, c.SemiMinorM)
+	}
+	if c.SemiMajorM > 0.05 {
+		t.Errorf("1σ semi-major %.1f cm, want well under 5 cm for 3 disks × 160 reads", c.SemiMajorM*100)
+	}
+	if c.LogLikelihood >= 0 {
+		t.Errorf("log-likelihood %v, want negative (log Q < 0)", c.LogLikelihood)
+	}
+}
+
+// TestMLCoverageCalibration2D checks the covariance is calibrated: under
+// Gaussian phase noise matching the assumed σ, the 1σ confidence ellipse
+// must contain the true position at roughly the nominal 2D Gaussian rate of
+// 1 − e^(−1/2) ≈ 39.3%.
+func TestMLCoverageCalibration2D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage calibration needs many trials")
+	}
+	rng := rand.New(rand.NewSource(23))
+	target := geom.V3(-1.4, 1.1, 0)
+	ml := NewML(Config{})
+	const trials = 150
+	hits, ok := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		var etags []core.EstimatorTag
+		for i, d := range defaultDisks(0) {
+			etags = append(etags, synthTag(byte(i+1), d, target, 0.1, 160, rng))
+		}
+		sol, err := ml.Solve2D(etags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := sol.Confidence
+		if c == nil || c.SemiMinorM <= 0 {
+			continue
+		}
+		ok++
+		dx := sol.Position.X - target.X
+		dy := sol.Position.Y - target.Y
+		c11, c22, c12 := c.Cov[0][0], c.Cov[1][1], c.Cov[0][1]
+		det := c11*c22 - c12*c12
+		mahal := (dx*dx*c22 - 2*dx*dy*c12 + dy*dy*c11) / det
+		if mahal <= 1 {
+			hits++
+		}
+	}
+	if ok < trials*9/10 {
+		t.Fatalf("only %d/%d trials produced a covariance", ok, trials)
+	}
+	cov := float64(hits) / float64(ok)
+	if cov < 0.28 || cov > 0.55 {
+		t.Errorf("1σ coverage %.2f over %d trials, want ≈0.39 (accept [0.28, 0.55])", cov, ok)
+	}
+}
+
+// TestMLSolve3DResolvesMirrorByLikelihood puts the disks at two different
+// heights and the reader below both planes. The grid backend's default
+// dead-space policy keeps the above-planes candidate — wrong here — while
+// the joint likelihood identifies the true side because the staggered disk
+// planes break the mirror symmetry.
+func TestMLSolve3DResolvesMirrorByLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	disks := []spindisk.Disk{
+		{Center: geom.V3(-0.25, 0, 0), Radius: 0.10, Omega: math.Pi},
+		{Center: geom.V3(0.25, 0, 0.4), Radius: 0.10, Omega: math.Pi, Theta0: math.Pi / 3},
+		{Center: geom.V3(0, 0.3, 0.2), Radius: 0.10, Omega: math.Pi, Theta0: 2 * math.Pi / 3},
+	}
+	target := geom.V3(-1.5, 1.0, -0.3)
+	var etags []core.EstimatorTag
+	for i, d := range disks {
+		etags = append(etags, synthTag(byte(i+1), d, target, 0.05, 200, rng))
+	}
+
+	grid, err := core.GridEstimator{}.Solve3D(etags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Position.Z < 0 {
+		t.Fatalf("test premise broken: grid default policy picked z=%.2f < 0", grid.Position.Z)
+	}
+
+	sol, err := NewML(Config{}).Solve3D(etags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sol.Position.DistanceTo(target); d > 0.05 {
+		t.Errorf("ML position error %.1f cm, want < 5 cm (%v vs %v)", d*100, sol.Position, target)
+	}
+	if sol.Position.Z >= 0 {
+		t.Errorf("ML kept the wrong mirror side: z = %.2f, want < 0", sol.Position.Z)
+	}
+	c := sol.Confidence
+	if c == nil {
+		t.Fatal("no confidence reported")
+	}
+	if c.LogLikelihood <= c.MirrorLogLikelihood {
+		t.Errorf("selected likelihood %v not above mirror %v", c.LogLikelihood, c.MirrorLogLikelihood)
+	}
+	if c.SigmaZM <= 0 || c.SigmaZM > 0.2 {
+		t.Errorf("σ_z = %v m, want in (0, 0.2]", c.SigmaZM)
+	}
+}
+
+// TestMLMatchesGridOnTestbed runs both backends through the full pipeline
+// on a simulated testbed session: the ML position must agree with the grid
+// position to within the coarse-step tolerance and both must be near the
+// true reader.
+func TestMLMatchesGridOnTestbed(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sc := testbed.DefaultScenario(0, rng)
+	target := geom.V3(-1.8, 1.4, 0)
+	sc.PlaceReader(target)
+	registered, err := sc.CalibratedSpinningTags(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := sc.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gridLoc := core.NewLocator(core.Config{})
+	mlLoc := gridLoc.WithEstimator(NewML(Config{}))
+
+	gridRes, err := gridLoc.Locate2D(registered, col.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlRes, err := mlLoc.Locate2D(registered, col.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gridRes.Backend != "grid" || mlRes.Backend != "ml" {
+		t.Errorf("backends = %q, %q; want grid, ml", gridRes.Backend, mlRes.Backend)
+	}
+	if gridRes.Confidence != nil {
+		t.Errorf("grid backend reported confidence")
+	}
+	if mlRes.Confidence == nil {
+		t.Errorf("ml backend reported no confidence")
+	}
+	if d := mlRes.Position.DistanceTo(gridRes.Position); d > 0.05 {
+		t.Errorf("ml and grid disagree by %.1f cm, want < 5 cm (ml %v grid %v)",
+			d*100, mlRes.Position, gridRes.Position)
+	}
+	if d := mlRes.Position.DistanceTo(target.XY()); d > 0.15 {
+		t.Errorf("ml error %.1f cm, want < 15 cm", d*100)
+	}
+}
+
+// TestMLMatchesGridOnTestbed3D is the 3D analogue with an elevated reader.
+func TestMLMatchesGridOnTestbed3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sc := testbed.DefaultScenario(0, rng)
+	target := geom.V3(-1.5, 1.2, 0.9)
+	sc.PlaceReader(target)
+	registered, err := sc.CalibratedSpinningTags(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := sc.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gridLoc := core.NewLocator(core.Config{})
+	mlLoc := gridLoc.WithEstimator(NewML(Config{}))
+
+	gridRes, err := gridLoc.Locate3D(registered, col.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlRes, err := mlLoc.Locate3D(registered, col.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mlRes.Position.DistanceTo(gridRes.Position); d > 0.10 {
+		t.Errorf("ml and grid disagree by %.1f cm, want < 10 cm (ml %v grid %v)",
+			d*100, mlRes.Position, gridRes.Position)
+	}
+	if mlRes.Confidence == nil || mlRes.Confidence.SigmaZM <= 0 {
+		t.Errorf("ml 3D confidence missing or without σ_z: %+v", mlRes.Confidence)
+	}
+	if mlRes.Backend != "ml" {
+		t.Errorf("backend = %q, want ml", mlRes.Backend)
+	}
+}
+
+// TestMLAntennaWeighting checks the optional pattern weighting still
+// recovers the target (it reweights, never silences, disks).
+func TestMLAntennaWeighting(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	target := geom.V3(-1.6, 1.2, 0)
+	var etags []core.EstimatorTag
+	for i, d := range defaultDisks(0) {
+		etags = append(etags, synthTag(byte(i+1), d, target, 0.1, 160, rng))
+	}
+	plain, err := NewML(Config{}).Solve2D(etags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ant := antennaForTest()
+	sol, err := NewML(Config{Antenna: &ant}).Solve2D(etags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The disks subtend a small angle from the reader, so the pattern
+	// weights are nearly equal and must not move the optimum much; and
+	// reweighting must never silence a disk outright.
+	if d := sol.Position.DistanceTo(plain.Position); d > 0.03 {
+		t.Errorf("pattern weighting moved the fix by %.1f cm vs unweighted, want < 3 cm", d*100)
+	}
+	if d := sol.Position.DistanceTo(target.XY()); d > 0.10 {
+		t.Errorf("pattern-weighted position error %.1f cm, want < 10 cm", d*100)
+	}
+}
+
+// antennaForTest returns a directive panel for the weighting test.
+func antennaForTest() antenna.Antenna {
+	return antenna.Antenna{ID: 1, GainDBi: 8, PatternExponent: 2}
+}
+
+// TestMLSolve3DCoplanarTieKeepsAbovePlanes pins the mirror tie-break: with
+// every disk in one plane the likelihood is exactly symmetric in z, so the
+// "resolve by likelihood" rule has no evidence to go on and must fall back
+// to the above-planes (dead-space) default instead of coin-flipping on
+// optimizer noise — the failure mode that showed up as meter-scale mean
+// error in the MLLocate3D bench sweep.
+func TestMLSolve3DCoplanarTieKeepsAbovePlanes(t *testing.T) {
+	ml := NewML(Config{Sigma: 0.1})
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		target := geom.V3(-1.5+0.3*float64(seed), 1.4, 0.5+0.1*float64(seed))
+		var tags []core.EstimatorTag
+		for i, disk := range defaultDisks(0) { // all disks at z = 0
+			tags = append(tags, synthTag(byte(i+1), disk, target, 0.1, 160, rng))
+		}
+		sol, err := ml.Solve3D(tags)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sol.Position.Z < 0 {
+			t.Errorf("seed %d: coplanar tie resolved below the plane: z = %.3f (target %.3f)",
+				seed, sol.Position.Z, target.Z)
+		}
+		if e := sol.Position.DistanceTo(target); e > 0.15 {
+			t.Errorf("seed %d: position error %.1f cm", seed, e*100)
+		}
+	}
+}

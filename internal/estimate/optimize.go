@@ -1,0 +1,204 @@
+package estimate
+
+import (
+	"math"
+
+	"github.com/tagspin/tagspin/internal/mathx"
+)
+
+// initStep is the initial simplex edge (meters). The bearing seed is
+// typically within a few centimeters of the optimum, so 5 cm brackets it
+// while staying inside the likelihood's basin.
+const initStep = 0.05
+
+// convergeDiam is the simplex diameter at which refinement stops; well
+// below the millimeter scale anything downstream can resolve.
+const convergeDiam = 1e-6
+
+// nelderMead minimizes f from x0 with the standard downhill-simplex
+// coefficients (reflect 1, expand 2, contract 0.5, shrink 0.5). It returns
+// the best vertex and its value. Derivative-free on purpose: the likelihood
+// is smooth near the optimum but the Q profiles make it cheap to evaluate
+// and awkward to differentiate analytically.
+func nelderMead(f func([]float64) float64, x0 []float64, maxIter int) ([]float64, float64) {
+	n := len(x0)
+	verts := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	for i := range verts {
+		v := append([]float64(nil), x0...)
+		if i > 0 {
+			v[i-1] += initStep
+		}
+		verts[i] = v
+		vals[i] = f(v)
+	}
+	centroid := make([]float64, n)
+	trial := make([]float64, n)
+
+	order := func() {
+		for i := 1; i < len(verts); i++ {
+			for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+				verts[j], verts[j-1] = verts[j-1], verts[j]
+			}
+		}
+	}
+	order()
+
+	for iter := 0; iter < maxIter; iter++ {
+		var diam float64
+		for i := 1; i <= n; i++ {
+			for d := 0; d < n; d++ {
+				if dd := math.Abs(verts[i][d] - verts[0][d]); dd > diam {
+					diam = dd
+				}
+			}
+		}
+		if diam < convergeDiam {
+			break
+		}
+
+		for d := 0; d < n; d++ {
+			var s float64
+			for i := 0; i < n; i++ { // all but the worst vertex
+				s += verts[i][d]
+			}
+			centroid[d] = s / float64(n)
+		}
+		worst := n
+		at := func(scale float64) float64 {
+			for d := 0; d < n; d++ {
+				trial[d] = centroid[d] + scale*(verts[worst][d]-centroid[d])
+			}
+			return f(trial)
+		}
+
+		fr := at(-1) // reflection
+		switch {
+		case fr < vals[0]:
+			fe := at(-2) // expansion
+			if fe < fr {
+				copyFrom(verts[worst], centroid, -2)
+				vals[worst] = fe
+			} else {
+				copyFrom(verts[worst], centroid, -1)
+				vals[worst] = fr
+			}
+		case fr < vals[n-1]:
+			copyFrom(verts[worst], centroid, -1)
+			vals[worst] = fr
+		default:
+			fc := at(0.5) // contraction toward the worst vertex
+			if fc < vals[worst] {
+				copyFrom(verts[worst], centroid, 0.5)
+				vals[worst] = fc
+			} else {
+				for i := 1; i <= n; i++ { // shrink toward the best
+					for d := 0; d < n; d++ {
+						verts[i][d] = verts[0][d] + 0.5*(verts[i][d]-verts[0][d])
+					}
+					vals[i] = f(verts[i])
+				}
+			}
+		}
+		order()
+	}
+	return verts[0], vals[0]
+}
+
+// copyFrom sets dst to centroid + scale·(dst − centroid) — the accepted
+// trial point, recomputed in place exactly as `at` evaluated it.
+func copyFrom(dst, centroid []float64, scale float64) {
+	for d := range dst {
+		dst[d] = centroid[d] + scale*(dst[d]-centroid[d])
+	}
+}
+
+// covariance inverts the central-difference Hessian of f (the negative
+// log-likelihood) at x. It returns ok = false when the Hessian is not
+// positive definite — a saddle or degenerate geometry where a Gaussian
+// approximation would mislead.
+func covariance(f func([]float64) float64, x []float64) ([][]float64, bool) {
+	n := len(x)
+	h := hessianStep
+	fx := f(x)
+	pert := func(deltas ...[2]float64) float64 {
+		p := append([]float64(nil), x...)
+		for _, d := range deltas {
+			p[int(d[0])] += d[1]
+		}
+		return f(p)
+	}
+	hess := make([][]float64, n)
+	for a := range hess {
+		hess[a] = make([]float64, n)
+	}
+	for a := 0; a < n; a++ {
+		hess[a][a] = (pert([2]float64{float64(a), h}) - 2*fx + pert([2]float64{float64(a), -h})) / (h * h)
+		for b := a + 1; b < n; b++ {
+			v := (pert([2]float64{float64(a), h}, [2]float64{float64(b), h}) -
+				pert([2]float64{float64(a), h}, [2]float64{float64(b), -h}) -
+				pert([2]float64{float64(a), -h}, [2]float64{float64(b), h}) +
+				pert([2]float64{float64(a), -h}, [2]float64{float64(b), -h})) / (4 * h * h)
+			hess[a][b], hess[b][a] = v, v
+		}
+	}
+	// Positive-definiteness check via leading principal minors (n ≤ 3).
+	if !posDefinite(hess) {
+		return nil, false
+	}
+	// Covariance = H⁻¹, column by column.
+	cov := make([][]float64, n)
+	for a := range cov {
+		cov[a] = make([]float64, n)
+	}
+	for col := 0; col < n; col++ {
+		aCopy := make([][]float64, n)
+		for i := range aCopy {
+			aCopy[i] = append([]float64(nil), hess[i]...)
+		}
+		e := make([]float64, n)
+		e[col] = 1
+		sol, err := mathx.SolveLinear(aCopy, e)
+		if err != nil {
+			return nil, false
+		}
+		for row := 0; row < n; row++ {
+			cov[row][col] = sol[row]
+		}
+	}
+	// Symmetrize away the last bits of finite-difference asymmetry.
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			v := (cov[a][b] + cov[b][a]) / 2
+			cov[a][b], cov[b][a] = v, v
+		}
+		if cov[a][a] <= 0 {
+			return nil, false
+		}
+	}
+	return cov, true
+}
+
+// posDefinite checks Sylvester's criterion for a symmetric matrix of
+// dimension ≤ 3.
+func posDefinite(m [][]float64) bool {
+	n := len(m)
+	if m[0][0] <= 0 {
+		return false
+	}
+	if n >= 2 {
+		if m[0][0]*m[1][1]-m[0][1]*m[1][0] <= 0 {
+			return false
+		}
+	}
+	if n >= 3 {
+		det := m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+			m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+			m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+		if det <= 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -99,6 +99,7 @@ func All() []Runner {
 		{ID: "A8", Title: "Ablation: angle spectrum vs holographic search", Run: RunA8},
 		{ID: "A9", Title: "Ablation: Gen2 MAC timing vs uniform sampling", Run: RunA9},
 		{ID: "X1", Title: "Extension: vertical disk resolves the z-mirror ambiguity", Run: RunX1},
+		{ID: "X2", Title: "Extension: joint ML estimator vs bearing grid, with confidence", Run: RunX2},
 	}
 }
 

@@ -207,3 +207,21 @@ func TestA7RBeatsQUnderOutliers(t *testing.T) {
 			res.Values["meanR@0.20"], res.Values["meanQ@0.20"])
 	}
 }
+
+func TestX2MLBackendResolvesSignAndMatchesGrid(t *testing.T) {
+	res, err := RunX2(Options{Seed: 1, Trials: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["signAccML"] < 0.9 {
+		t.Errorf("ML z-sign accuracy %v", res.Values["signAccML"])
+	}
+	if res.Values["mean3DML"] >= res.Values["mean3DGrid"] {
+		t.Errorf("likelihood did not beat the dead-space default on staggered planes: %+v", res.Values)
+	}
+	// 2D accuracy must stay in the grid's league (same observations,
+	// different fusion; neither should dominate at testbed noise).
+	if res.Values["mean2DML"] > 2*res.Values["mean2DGrid"]+0.02 {
+		t.Errorf("ML 2D error %v far above grid %v", res.Values["mean2DML"], res.Values["mean2DGrid"])
+	}
+}

@@ -20,7 +20,10 @@ type Line2D struct {
 	Origin  Vec2
 	Bearing float64
 	// Weight scales this line's contribution in least-squares fusion.
-	// Zero means weight 1.
+	// Zero is a sentinel for "unweighted" and is treated as 1, NOT as
+	// zero influence — callers that want to drop a bearing (e.g. one
+	// whose spectrum peak carried no power) must filter it out before
+	// building the line, as locate's solvers do.
 	Weight float64
 }
 
@@ -103,7 +106,8 @@ type Line3D struct {
 	Origin Vec3
 	Dir    Vec3
 	// Weight scales this line's contribution in least-squares fusion.
-	// Zero means weight 1.
+	// Zero is a sentinel for "unweighted" and is treated as 1, NOT as
+	// zero influence — filter out lines that should not contribute.
 	Weight float64
 }
 

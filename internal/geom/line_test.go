@@ -241,3 +241,80 @@ func TestSolve3x3Property(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLeastSquaresPoint2DAgreesWithIntersection is the property tying the
+// two-line special case of the normal-equation solver to the direct Eqn. 9
+// intersection: away from degeneracy they are the same point. Sampling stays
+// clear of near-parallel pairs (|sin Δ| > 1e-3), where both solvers refuse
+// rather than return garbage — see TestNearParallelLinesRefuseCleanly.
+func TestLeastSquaresPoint2DAgreesWithIntersection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		a := Line2D{
+			Origin:  V2(rng.Float64()*6-3, rng.Float64()*6-3),
+			Bearing: rng.Float64()*2*math.Pi - math.Pi,
+		}
+		b := Line2D{
+			Origin:  V2(rng.Float64()*6-3, rng.Float64()*6-3),
+			Bearing: rng.Float64()*2*math.Pi - math.Pi,
+		}
+		if math.Abs(math.Sin(a.Bearing-b.Bearing)) <= 1e-3 {
+			continue
+		}
+		direct, errA := IntersectLines2D(a, b)
+		fused, errB := LeastSquaresPoint2D([]Line2D{a, b})
+		if errA != nil || errB != nil {
+			t.Fatalf("trial %d: non-degenerate pair rejected: %v / %v (a=%v b=%v)",
+				trial, errA, errB, a, b)
+		}
+		tol := 1e-6 * (1 + direct.Norm())
+		if d := direct.DistanceTo(fused); d > tol {
+			t.Fatalf("trial %d: solvers disagree by %g m (tol %g)\n  a=%v\n  b=%v\n  direct=%v fused=%v",
+				trial, d, tol, a, b, direct, fused)
+		}
+	}
+}
+
+// TestNearParallelLinesRefuseCleanly pins the degenerate-geometry contract:
+// bearings split by 1e-13 rad must yield ErrParallelLines from the 2D
+// intersection, the 2D least-squares fusion, and the 3D least-squares
+// fusion alike — never a NaN/Inf coordinate.
+func TestNearParallelLinesRefuseCleanly(t *testing.T) {
+	const delta = 1e-13
+	a2 := Line2D{Origin: V2(0, 0), Bearing: 0.3}
+	b2 := Line2D{Origin: V2(1, -2), Bearing: 0.3 + delta}
+
+	p, err := IntersectLines2D(a2, b2)
+	if !errors.Is(err, ErrParallelLines) {
+		t.Errorf("IntersectLines2D err = %v, want ErrParallelLines", err)
+	}
+	checkFinite2D(t, "IntersectLines2D", p)
+
+	p, err = LeastSquaresPoint2D([]Line2D{a2, b2})
+	if !errors.Is(err, ErrParallelLines) {
+		t.Errorf("LeastSquaresPoint2D err = %v, want ErrParallelLines", err)
+	}
+	checkFinite2D(t, "LeastSquaresPoint2D", p)
+
+	dir := V3(math.Cos(0.3), math.Sin(0.3), 0.4).Unit()
+	tilted := V3(math.Cos(0.3+delta), math.Sin(0.3+delta), 0.4).Unit()
+	q, err := LeastSquaresPoint3D([]Line3D{
+		{Origin: V3(0, 0, 0), Dir: dir},
+		{Origin: V3(1, -2, 0.5), Dir: tilted},
+	})
+	if !errors.Is(err, ErrParallelLines) {
+		t.Errorf("LeastSquaresPoint3D err = %v, want ErrParallelLines", err)
+	}
+	if math.IsNaN(q.X) || math.IsInf(q.X, 0) ||
+		math.IsNaN(q.Y) || math.IsInf(q.Y, 0) ||
+		math.IsNaN(q.Z) || math.IsInf(q.Z, 0) {
+		t.Errorf("LeastSquaresPoint3D returned non-finite point %v", q)
+	}
+}
+
+func checkFinite2D(t *testing.T, name string, p Vec2) {
+	t.Helper()
+	if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+		t.Errorf("%s returned non-finite point %v", name, p)
+	}
+}

@@ -26,7 +26,10 @@ type Bearing2D struct {
 	// Azimuth is the estimated direction φ toward the reader.
 	Azimuth float64
 	// Weight optionally scales this bearing's influence (e.g. by profile
-	// peak power). Zero means 1.
+	// peak power). Zero means 1 — the zero value is a sentinel for
+	// "unweighted", not "worthless", so callers fusing genuinely
+	// zero-confidence bearings (a dead tag's all-zero profile) must drop
+	// them before the solve rather than pass Weight 0.
 	Weight float64
 }
 
@@ -58,7 +61,9 @@ type Bearing3D struct {
 	Azimuth float64
 	// Polar is the estimated polar angle γ; its sign is ambiguous.
 	Polar float64
-	// Weight optionally scales this bearing's influence. Zero means 1.
+	// Weight optionally scales this bearing's influence. Zero means 1 —
+	// the same "unweighted" sentinel as Bearing2D.Weight: zero-confidence
+	// bearings must be dropped by the caller, not passed with Weight 0.
 	Weight float64
 }
 
@@ -108,13 +113,42 @@ type Candidate struct {
 	ZSpread float64
 }
 
+// weightedMeanSpread combines per-bearing height estimates into a weighted
+// mean and the weighted standard deviation around it.
+func weightedMeanSpread(zs, weights []float64) (mean, spread float64) {
+	var zSum, wSum float64
+	for i, z := range zs {
+		zSum += weights[i] * z
+		wSum += weights[i]
+	}
+	mean = zSum / wSum
+	for i, z := range zs {
+		spread += weights[i] * (z - mean) * (z - mean)
+	}
+	return mean, math.Sqrt(spread / wSum)
+}
+
 // Solve3D estimates the reader position from two or more 3D bearings.
 //
 // The horizontal fix uses the azimuths exactly as in 2D. The height is then
-// estimated per bearing as dist_i·tan|γ_i| (Eqn. 14a/14b) and combined as a
-// weighted mean — the paper's "comparing and balancing" step. The returned
-// slice has one candidate under ZPreferNonNegative/ZPreferNonPositive and
-// two (preferred first) under ZKeepBoth.
+// estimated per bearing as dist_i·tan|γ_i| above OR below that bearing's
+// disk plane (Eqn. 14a/14b; the sign of γ is what a horizontal disk cannot
+// observe), and each sign's per-bearing heights are combined as a weighted
+// mean with its own ZSpread — the paper's "comparing and balancing" step.
+// The mirror of the above-planes candidate is therefore the reflection of
+// each height about its own disk plane (Origin.Z − dist·tan|γ|), not the
+// negation of the combined mean; the two coincide only when every disk
+// plane sits at z = 0. With disks at different heights the two candidates'
+// ZSpreads also differ — the true side's per-bearing heights agree while
+// the mirror side's disagree — which is itself a (weak) disambiguation
+// signal.
+//
+// ZPreferNonNegative keeps the above-planes candidate and
+// ZPreferNonPositive the below-planes one: in the paper's frame (disk
+// planes at z = 0) these are exactly the z ≥ 0 / z ≤ 0 candidates, and
+// with elevated planes "the mirror is inside the furniture the disks sit
+// on" is the faithful reading of the dead-space argument. ZKeepBoth
+// returns both, above-planes first.
 func Solve3D(bearings []Bearing3D, opts Options3D) ([]Candidate, error) {
 	if len(bearings) < 2 {
 		return nil, ErrTooFewBearings
@@ -128,41 +162,29 @@ func Solve3D(bearings []Bearing3D, opts Options3D) ([]Candidate, error) {
 		return nil, err
 	}
 
-	// Per-bearing height above each disk plane, Eqn. 14.
-	var zs []float64
-	var weights []float64
+	// Per-bearing height above/below each disk plane, Eqn. 14.
+	ups := make([]float64, 0, len(bearings))
+	downs := make([]float64, 0, len(bearings))
+	weights := make([]float64, 0, len(bearings))
 	for _, b := range bearings {
 		horiz := b.Origin.XY().DistanceTo(xy)
-		zs = append(zs, b.Origin.Z+horiz*math.Tan(math.Abs(b.Polar)))
+		dz := horiz * math.Tan(math.Abs(b.Polar))
+		ups = append(ups, b.Origin.Z+dz)
+		downs = append(downs, b.Origin.Z-dz)
 		weights = append(weights, b.weight())
 	}
-	var zSum, wSum float64
-	for i, z := range zs {
-		zSum += weights[i] * z
-		wSum += weights[i]
-	}
-	zMean := zSum / wSum
-	var spread float64
-	for i, z := range zs {
-		spread += weights[i] * (z - zMean) * (z - zMean)
-	}
-	spread = math.Sqrt(spread / wSum)
+	upMean, upSpread := weightedMeanSpread(ups, weights)
+	downMean, downSpread := weightedMeanSpread(downs, weights)
 
-	up := Candidate{Position: geom.V3(xy.X, xy.Y, zMean), ZSpread: spread}
-	down := Candidate{Position: geom.V3(xy.X, xy.Y, -zMean), ZSpread: spread}
+	up := Candidate{Position: geom.V3(xy.X, xy.Y, upMean), ZSpread: upSpread}
+	down := Candidate{Position: geom.V3(xy.X, xy.Y, downMean), ZSpread: downSpread}
 	switch opts.policy() {
 	case ZPreferNonPositive:
-		if zMean <= 0 {
-			return []Candidate{up}, nil
-		}
 		return []Candidate{down}, nil
 	case ZKeepBoth:
 		return []Candidate{up, down}, nil
 	default: // ZPreferNonNegative
-		if zMean >= 0 {
-			return []Candidate{up}, nil
-		}
-		return []Candidate{down}, nil
+		return []Candidate{up}, nil
 	}
 }
 

@@ -224,3 +224,83 @@ func TestSolve3DWeighting(t *testing.T) {
 		t.Errorf("down-weighted bad polar still moved z: %v", cands[0].Position.Z)
 	}
 }
+
+func TestSolve3DMirrorReflectsAboutDiskPlanes(t *testing.T) {
+	// Regression: with elevated disk origins the mirror candidate must be
+	// the reflection of the reader about the disk planes (z = 2·planeZ −
+	// z_true), not the negation of the combined mean. The old code
+	// returned z = −z_true here, off by 2·planeZ.
+	planeZ := 0.095
+	target := geom.V3(-2.2, 0.4, 1.1)
+	bs := []Bearing3D{
+		bearingTo3D(geom.V3(-0.25, 0, planeZ), target),
+		bearingTo3D(geom.V3(0.25, 0, planeZ), target),
+	}
+	cands, err := Solve3D(bs, Options3D{Policy: ZKeepBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("ZKeepBoth returned %d candidates", len(cands))
+	}
+	wantMirror := 2*planeZ - target.Z
+	if got := cands[1].Position.Z; math.Abs(got-wantMirror) > 1e-6 {
+		t.Errorf("mirror z = %v, want reflection about plane %v", got, wantMirror)
+	}
+	if cands[0].Position.DistanceTo(target) > 1e-6 {
+		t.Errorf("preferred = %v, want %v", cands[0].Position, target)
+	}
+}
+
+func TestSolve3DPerCandidateZSpread(t *testing.T) {
+	// Disks at different heights: the true side's per-bearing heights
+	// agree exactly (spread 0) while the mirror side's are reflections
+	// about two different planes and must disagree — ZSpread is a
+	// per-candidate quantity.
+	target := geom.V3(-1.8, 0.9, 1.4)
+	bs := []Bearing3D{
+		bearingTo3D(geom.V3(-0.25, 0, 0), target),
+		bearingTo3D(geom.V3(0.25, 0, 0.4), target),
+	}
+	cands, err := Solve3D(bs, Options3D{Policy: ZKeepBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0].ZSpread > 1e-9 {
+		t.Errorf("true-side spread = %v, want 0", cands[0].ZSpread)
+	}
+	if cands[1].ZSpread < 0.1 {
+		t.Errorf("mirror-side spread = %v, want > 0 (planes at different heights)", cands[1].ZSpread)
+	}
+	// Mirror mean: average of the two per-plane reflections.
+	wantMirror := ((2*0-target.Z)+(2*0.4-target.Z))/2 + 0
+	if got := cands[1].Position.Z; math.Abs(got-wantMirror) > 1e-6 {
+		t.Errorf("mirror z = %v, want %v", got, wantMirror)
+	}
+}
+
+func TestSolve3DPoliciesPickPlaneSides(t *testing.T) {
+	// With elevated planes the policies select the above-planes /
+	// below-planes candidate; a reader below elevated planes but above
+	// z = 0 stays selectable via ZPreferNonPositive's mirror.
+	planeZ := 1.0
+	target := geom.V3(-1.5, 0.8, 1.6) // above the planes
+	bs := []Bearing3D{
+		bearingTo3D(geom.V3(-0.25, 0, planeZ), target),
+		bearingTo3D(geom.V3(0.25, 0, planeZ), target),
+	}
+	up, err := Solve3D(bs, Options3D{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up[0].Position.DistanceTo(target) > 1e-6 {
+		t.Errorf("above-planes candidate = %v, want %v", up[0].Position, target)
+	}
+	down, err := Solve3D(bs, Options3D{Policy: ZPreferNonPositive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2*planeZ - target.Z; math.Abs(down[0].Position.Z-want) > 1e-6 {
+		t.Errorf("below-planes candidate z = %v, want %v", down[0].Position.Z, want)
+	}
+}

@@ -1,0 +1,147 @@
+package locsrv_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/client"
+	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/geom"
+	"github.com/tagspin/tagspin/internal/locsrv"
+	"github.com/tagspin/tagspin/internal/registry"
+	"github.com/tagspin/tagspin/internal/testbed"
+)
+
+// backendFixture is fixture with the *locsrv.Server exposed for Stats.
+func backendFixture(t *testing.T) (*httptest.Server, *locsrv.Server, geom.Vec3) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	sc := testbed.DefaultScenario(0, rng)
+	target := geom.V3(-1.7, 1.3, 0)
+	sc.PlaceReader(target)
+	registered, err := sc.CalibratedSpinningTags(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := sc.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	for _, st := range registered {
+		if err := reg.Add(registry.EntryFromSpinningTag(st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := locsrv.New(locsrv.Config{
+		Registry: reg,
+		Collect: func(_ context.Context, _ string, _ client.Config) (core.Observations, error) {
+			return col.Obs, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv, target
+}
+
+func TestLocateMLBackend(t *testing.T) {
+	ts, srv, target := backendFixture(t)
+
+	grid := postJSON(t, ts.URL+"/v1/locate", locsrv.LocateRequest{ReaderAddr: "reader:5084"})
+	if grid.StatusCode != http.StatusOK {
+		t.Fatalf("grid status = %d", grid.StatusCode)
+	}
+	var gridOut locsrv.LocateResponse
+	if err := json.NewDecoder(grid.Body).Decode(&gridOut); err != nil {
+		t.Fatal(err)
+	}
+	if gridOut.Backend != "grid" {
+		t.Errorf("default backend = %q, want grid", gridOut.Backend)
+	}
+	if gridOut.Confidence != nil {
+		t.Errorf("grid response carries confidence")
+	}
+
+	ml := postJSON(t, ts.URL+"/v1/locate", locsrv.LocateRequest{ReaderAddr: "reader:5084", Backend: "ml"})
+	if ml.StatusCode != http.StatusOK {
+		t.Fatalf("ml status = %d", ml.StatusCode)
+	}
+	var mlOut locsrv.LocateResponse
+	if err := json.NewDecoder(ml.Body).Decode(&mlOut); err != nil {
+		t.Fatal(err)
+	}
+	if mlOut.Backend != "ml" {
+		t.Errorf("backend = %q, want ml", mlOut.Backend)
+	}
+	if mlOut.Confidence == nil {
+		t.Fatal("ml response has no confidence block")
+	}
+	if mlOut.Confidence.SemiMajorM <= 0 || mlOut.Confidence.SemiMinorM <= 0 {
+		t.Errorf("degenerate ellipse: %+v", mlOut.Confidence)
+	}
+	if mlOut.Confidence.LogLikelihood >= 0 {
+		t.Errorf("logLikelihood = %v, want negative", mlOut.Confidence.LogLikelihood)
+	}
+	got := geom.V2(mlOut.Position[0], mlOut.Position[1])
+	if e := got.DistanceTo(target.XY()); e > 0.15 {
+		t.Errorf("ml 2D error %.1f cm", e*100)
+	}
+	gridPos := geom.V2(gridOut.Position[0], gridOut.Position[1])
+	if d := got.DistanceTo(gridPos); d > 0.05 {
+		t.Errorf("ml and grid disagree by %.1f cm over the same observations", d*100)
+	}
+
+	st := srv.Stats()
+	if st.Locates != 2 {
+		t.Errorf("Locates = %d, want 2", st.Locates)
+	}
+	if st.MLLocates != 1 {
+		t.Errorf("MLLocates = %d, want 1", st.MLLocates)
+	}
+}
+
+func TestLocateML3DConfidence(t *testing.T) {
+	ts, _, _ := backendFixture(t)
+	resp := postJSON(t, ts.URL+"/v1/locate", locsrv.LocateRequest{ReaderAddr: "reader:5084", Mode: "3d", Backend: "ml"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out locsrv.LocateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Confidence == nil {
+		t.Fatal("no confidence block")
+	}
+	if out.Confidence.SigmaZM <= 0 {
+		t.Errorf("sigmaZM = %v, want > 0", out.Confidence.SigmaZM)
+	}
+	// The fixture's disks are coplanar, so the two mirror likelihoods tie;
+	// the chosen (above-planes) candidate may trail the mirror by up to the
+	// estimator's tie-break margin, but never meaningfully more.
+	if out.Confidence.LogLikelihood < out.Confidence.MirrorLogLikelihood-2.5 {
+		t.Errorf("selected likelihood %v below mirror %v",
+			out.Confidence.LogLikelihood, out.Confidence.MirrorLogLikelihood)
+	}
+	if out.Mirror == nil {
+		t.Errorf("3D response lost the mirror candidate")
+	}
+}
+
+func TestLocateUnknownBackendRejected(t *testing.T) {
+	ts, srv, _ := backendFixture(t)
+	resp := postJSON(t, ts.URL+"/v1/locate", locsrv.LocateRequest{ReaderAddr: "reader:5084", Backend: "banana"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+	if st := srv.Stats(); st.MLLocates != 0 {
+		t.Errorf("MLLocates = %d after rejected request, want 0", st.MLLocates)
+	}
+}

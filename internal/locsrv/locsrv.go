@@ -19,6 +19,7 @@ import (
 
 	"github.com/tagspin/tagspin/internal/client"
 	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/estimate"
 	"github.com/tagspin/tagspin/internal/registry"
 	"github.com/tagspin/tagspin/internal/sched"
 )
@@ -96,8 +97,12 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	locator *core.Locator
-	collect CollectFunc
-	mux     *http.ServeMux
+	// mlLocator shares the locator's configuration with the joint
+	// maximum-likelihood solve backend swapped in; requests select it with
+	// "backend": "ml".
+	mlLocator *core.Locator
+	collect   CollectFunc
+	mux       *http.ServeMux
 
 	// collectStream, when non-nil, is the streaming collector locate items
 	// use; streaming reports whether locates take the streaming path.
@@ -109,6 +114,7 @@ type Server struct {
 	admit chan struct{}
 
 	locates          atomic.Uint64
+	mlLocates        atomic.Uint64
 	batches          atomic.Uint64
 	admissionRejects atomic.Uint64
 
@@ -136,6 +142,7 @@ func New(cfg Config) (*Server, error) {
 	if s.locator == nil {
 		s.locator = core.NewLocator(core.Config{FastSpectrum: cfg.FastSpectrum})
 	}
+	s.mlLocator = s.locator.WithEstimator(estimate.NewML(estimate.Config{}))
 	if s.collect == nil {
 		s.collect = client.CollectRetry
 	}
@@ -237,6 +244,9 @@ type Stats struct {
 	// their eventual outcome).
 	Locates uint64
 	Batches uint64
+	// MLLocates counts locate items solved by the maximum-likelihood
+	// backend ("backend": "ml"); the rest used the grid backend.
+	MLLocates uint64
 	// AdmissionRejects counts requests shed with 503.
 	AdmissionRejects uint64
 	// InFlight and MaxInFlight describe the admission semaphore; both are
@@ -265,6 +275,7 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	st := Stats{
 		Locates:            s.locates.Load(),
+		MLLocates:          s.mlLocates.Load(),
 		Batches:            s.batches.Load(),
 		AdmissionRejects:   s.admissionRejects.Load(),
 		StreamLocates:      s.streamLocates.Load(),
@@ -369,6 +380,10 @@ type LocateRequest struct {
 	ReaderAddr string `json:"readerAddr"`
 	// Mode is "2d" or "3d"; empty means "2d".
 	Mode string `json:"mode,omitempty"`
+	// Backend selects the solve backend: "grid" (bearing intersection,
+	// the default) or "ml" (joint maximum likelihood with confidence
+	// output). Empty means "grid".
+	Backend string `json:"backend,omitempty"`
 	// DurationMillis overrides the session length in simulated
 	// milliseconds.
 	DurationMillis int `json:"durationMillis,omitempty"`
@@ -383,13 +398,36 @@ type BearingResult struct {
 	Snapshots  int     `json:"snapshots"`
 }
 
+// ConfidenceResult is the uncertainty block of a localization response,
+// present when the solve backend quantifies uncertainty (the ml backend).
+type ConfidenceResult struct {
+	// CovM2 is the position covariance in m² (2D responses use the
+	// upper-left 2×2 block).
+	CovM2 [3][3]float64 `json:"covM2"`
+	// SemiMajorM/SemiMinorM/OrientationRad describe the horizontal 1σ
+	// confidence ellipse (≈39% mass for a 2D Gaussian).
+	SemiMajorM     float64 `json:"semiMajorM"`
+	SemiMinorM     float64 `json:"semiMinorM"`
+	OrientationRad float64 `json:"orientationRad"`
+	// SigmaZM is the 1σ height uncertainty (3D only).
+	SigmaZM float64 `json:"sigmaZM,omitempty"`
+	// LogLikelihood is the joint log-likelihood at the optimum;
+	// MirrorLogLikelihood (3D only) is the rejected ±z candidate's — the
+	// margin says how decisively the ambiguity was resolved.
+	LogLikelihood       float64 `json:"logLikelihood"`
+	MirrorLogLikelihood float64 `json:"mirrorLogLikelihood,omitempty"`
+}
+
 // LocateResponse carries a localization result.
 type LocateResponse struct {
 	Mode     string          `json:"mode"`
+	Backend  string          `json:"backend,omitempty"`
 	Position [3]float64      `json:"positionM"`
 	Mirror   *[3]float64     `json:"mirrorM,omitempty"`
 	ZSpread  float64         `json:"zSpreadM,omitempty"`
 	Bearings []BearingResult `json:"bearings"`
+	// Confidence is present when the backend reports uncertainty.
+	Confidence *ConfidenceResult `json:"confidence,omitempty"`
 }
 
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
@@ -567,12 +605,21 @@ func (s *Server) locateOne(ctx context.Context, req LocateRequest, spinning []co
 	if req.DurationMillis < 0 {
 		return nil, &statusError{http.StatusBadRequest, fmt.Errorf("negative durationMillis %d", req.DurationMillis)}
 	}
+	loc := s.locator
+	switch req.Backend {
+	case "", "grid":
+	case "ml":
+		loc = s.mlLocator
+		s.mlLocates.Add(1)
+	default:
+		return nil, &statusError{http.StatusBadRequest, fmt.Errorf("unknown backend %q (want \"grid\" or \"ml\")", req.Backend)}
+	}
 	ccfg := s.cfg.Client
 	if req.DurationMillis > 0 {
 		ccfg.Duration = time.Duration(req.DurationMillis) * time.Millisecond
 	}
 	if s.streaming {
-		return s.locateStreaming(ctx, req.ReaderAddr, ccfg, mode, spinning)
+		return s.locateStreaming(ctx, loc, req.ReaderAddr, ccfg, mode, spinning)
 	}
 	obs, err := s.collect(ctx, req.ReaderAddr, ccfg)
 	if err != nil {
@@ -580,13 +627,13 @@ func (s *Server) locateOne(ctx context.Context, req LocateRequest, spinning []co
 	}
 	switch mode {
 	case "3d":
-		res, err := s.locator.Locate3DContext(ctx, spinning, obs)
+		res, err := loc.Locate3DContext(ctx, spinning, obs)
 		if err != nil {
 			return nil, &statusError{deadlineStatus(err, http.StatusUnprocessableEntity), err}
 		}
 		return respond3D(res), nil
 	default:
-		res, err := s.locator.Locate2DContext(ctx, spinning, obs)
+		res, err := loc.Locate2DContext(ctx, spinning, obs)
 		if err != nil {
 			return nil, &statusError{deadlineStatus(err, http.StatusUnprocessableEntity), err}
 		}
@@ -598,12 +645,12 @@ func (s *Server) locateOne(ctx context.Context, req LocateRequest, spinning []co
 // accumulates while the reader session is still streaming reports, so after
 // collection only the peak search, refinement, and bearing solve remain.
 // Results are bit-identical to the batch pipeline on the same observations.
-func (s *Server) locateStreaming(ctx context.Context, addr string, ccfg client.Config, mode string, spinning []core.SpinningTag) (*LocateResponse, *statusError) {
+func (s *Server) locateStreaming(ctx context.Context, loc *core.Locator, addr string, ccfg client.Config, mode string, spinning []core.SpinningTag) (*LocateResponse, *statusError) {
 	var st *core.Stream
 	if mode == "3d" {
-		st = s.locator.NewStream3D(spinning)
+		st = loc.NewStream3D(spinning)
 	} else {
-		st = s.locator.NewStream2D(spinning)
+		st = loc.NewStream2D(spinning)
 	}
 	defer st.Close()
 	// Each collection attempt resets the stream: a failed attempt has
@@ -637,12 +684,30 @@ func (s *Server) locateStreaming(ctx context.Context, addr string, ccfg client.C
 	return resp, nil
 }
 
+// confidenceResult shapes a pipeline confidence block for the wire.
+func confidenceResult(c *core.Confidence) *ConfidenceResult {
+	if c == nil {
+		return nil
+	}
+	return &ConfidenceResult{
+		CovM2:               c.Cov,
+		SemiMajorM:          c.SemiMajorM,
+		SemiMinorM:          c.SemiMinorM,
+		OrientationRad:      c.OrientationRad,
+		SigmaZM:             c.SigmaZM,
+		LogLikelihood:       c.LogLikelihood,
+		MirrorLogLikelihood: c.MirrorLogLikelihood,
+	}
+}
+
 // respond2D shapes a 2D pipeline result for the wire.
 func respond2D(res core.Result2D) *LocateResponse {
 	return &LocateResponse{
-		Mode:     "2d",
-		Position: [3]float64{res.Position.X, res.Position.Y, 0},
-		Bearings: bearingResults(res.Bearings),
+		Mode:       "2d",
+		Backend:    res.Backend,
+		Position:   [3]float64{res.Position.X, res.Position.Y, 0},
+		Bearings:   bearingResults(res.Bearings),
+		Confidence: confidenceResult(res.Confidence),
 	}
 }
 
@@ -650,10 +715,12 @@ func respond2D(res core.Result2D) *LocateResponse {
 func respond3D(res core.Result3D) *LocateResponse {
 	mirror := [3]float64{res.Mirror.X, res.Mirror.Y, res.Mirror.Z}
 	return &LocateResponse{
-		Mode:     "3d",
-		Position: [3]float64{res.Position.X, res.Position.Y, res.Position.Z},
-		Mirror:   &mirror,
-		ZSpread:  res.ZSpread,
-		Bearings: bearingResults(res.Bearings),
+		Mode:       "3d",
+		Backend:    res.Backend,
+		Position:   [3]float64{res.Position.X, res.Position.Y, res.Position.Z},
+		Mirror:     &mirror,
+		ZSpread:    res.ZSpread,
+		Bearings:   bearingResults(res.Bearings),
+		Confidence: confidenceResult(res.Confidence),
 	}
 }
