@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-json bench-load bench-stream bench-compare
+.PHONY: check build test race vet bench bench-json bench-load bench-stream bench-sublin bench-compare
 
 .DEFAULT_GOAL := check
 
@@ -36,23 +36,31 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/spectrum/
 
 # bench-json regenerates the machine-readable perf snapshot consumed by
-# trajectory tooling (see cmd/tagspin-bench): schema tagspin-bench/5 —
+# trajectory tooling (see cmd/tagspin-bench): schema tagspin-bench/6 —
 # micro rows, concurrent-load rows (K simultaneous Locate2D pipelines on
-# the shared compute pool) with plan-cache hit rates, the streaming rows
-# (StreamLocate2D tail-latency pairs, LoadLocate2DStream throughput), and
-# the MLLocate2D/3D grid-vs-ml solve-backend A/B rows with meanErrM.
+# the shared compute pool, grid and ml solve backends) with plan-cache hit
+# rates, the streaming rows (StreamLocate2D tail-latency pairs,
+# LoadLocate2DStream throughput), the MLLocate2D/3D grid-vs-ml
+# solve-backend A/B rows with meanErrM, and the sub-linear coarse-scan
+# rows (SubLinLocate2D/3D vs their dense Locate2D/3D baselines).
 bench-json:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_5.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_6.json
 
-# bench-load is bench-json under its serving-path name: the schema-5 report
+# bench-load is bench-json under its serving-path name: the schema-6 report
 # is where the concurrent-load rows live.
 bench-load:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_5.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_6.json
 
-# bench-stream is bench-json under its streaming-path name: the schema-5
+# bench-stream is bench-json under its streaming-path name: the schema-6
 # report is where the StreamLocate2D/LoadLocate2DStream rows live.
 bench-stream:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_5.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_6.json
+
+# bench-sublin is bench-json under its sub-linear-search name: the schema-6
+# report is where the SubLinLocate2D/3D rows (and their ≥5x 2D speedup
+# floor) live.
+bench-sublin:
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_6.json
 
 # bench-compare diffs the two newest BENCH_<n>.json snapshots and fails on
 # any >10% ns/op regression — the pre-merge perf gate for the spectrum

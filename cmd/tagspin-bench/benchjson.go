@@ -17,8 +17,14 @@ import (
 	"github.com/tagspin/tagspin/internal/testbed"
 )
 
-// benchSchema is the current report schema. Version 5 keeps every
-// version-4 row and adds the solve-backend A/B rows — MLLocate2D/{grid,ml}
+// benchSchema is the current report schema. Version 6 keeps every
+// version-5 row and adds the sub-linear coarse-scan rows —
+// Locate2D/SubLinLocate2D and Locate3D/SubLinLocate3D, coarse-only peak
+// searches pairing each dense grid scan with its harmonic/hierarchical
+// replacement, the SubLin rows carrying speedupVsBatch against their dense
+// baseline — plus the estimator-backend load A/B (LoadLocate2D/ml/K=<k>
+// next to the schema-3 LoadLocate2D/K=<k> rows). Version 5 added the
+// solve-backend A/B rows — MLLocate2D/{grid,ml}
 // and MLLocate3D/{grid,ml}, full Locate calls through the bearing-grid and
 // joint maximum-likelihood estimators over identical observations, each
 // carrying a meanErrM accuracy field — plus the report-level `rebaselined`
@@ -36,7 +42,7 @@ import (
 // Version 1 files (report-level GoMaxProcs only, no variants) still parse:
 // rows without a goMaxProcs fall back to the report-level value, and the
 // load-only fields are simply absent from older rows.
-const benchSchema = "tagspin-bench/5"
+const benchSchema = "tagspin-bench/6"
 
 // benchResult is one benchmark row of the machine-readable report.
 type benchResult struct {
@@ -65,7 +71,8 @@ type benchResult struct {
 	// cache reset at row start (schema 3+, load rows only).
 	PlanCacheHitRate float64 `json:"planCacheHitRate,omitempty"`
 	// SpeedupVsBatch is how many times lower this row's latency is than its
-	// paired batch row (schema 4+, StreamLocate2D/*/stream rows only).
+	// paired batch/dense row (schema 4+ StreamLocate2D/*/stream rows;
+	// schema 6+ SubLinLocate2D/3D rows, against Locate2D/3D).
 	SpeedupVsBatch float64 `json:"speedupVsBatch,omitempty"`
 	// MeanErrM is the mean localization error in meters over the row's
 	// accuracy sweep (schema 5+, MLLocate rows only).
@@ -272,6 +279,11 @@ func writeBenchJSON(path string, rebaselined bool) error {
 		return err
 	}
 	report.Benchmarks = append(report.Benchmarks, mlRows...)
+	subLinRows, err := subLinBenchRows()
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, subLinRows...)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -26,11 +26,12 @@ type benchKey struct {
 }
 
 // readBenchReport parses a BENCH_*.json of any schema version (1 through
-// 4). Schema-1 rows carry no per-row GOMAXPROCS; they inherit the
+// 6). Schema-1 rows carry no per-row GOMAXPROCS; they inherit the
 // report-level value so cross-schema keys align. Schema-3 load rows
-// (concurrency, locates/sec, percentiles, plan-cache hit rate) and schema-4
-// streaming rows decode into the same row struct; their extra fields are
-// zero in older files.
+// (concurrency, locates/sec, percentiles, plan-cache hit rate), schema-4
+// streaming rows, schema-5 backend rows, and schema-6 sub-linear rows all
+// decode into the same row struct; their extra fields are zero in older
+// files.
 func readBenchReport(path string) (benchReport, error) {
 	var report benchReport
 	data, err := os.ReadFile(path)
@@ -139,8 +140,13 @@ func rebaselineBench(spec string) error {
 // benchmark present in both regressed by more than regressionTolerance in
 // ns/op. spec is either "old.json,new.json" or "auto" (the two
 // highest-numbered BENCH_<n>.json in the working directory). Benchmarks
-// present on only one side — new variants, retired paths — are reported but
-// never gate.
+// present on only one side — rows a newer schema added, retired paths —
+// warn but never fail: an older baseline simply predates them, and gating
+// would force every schema bump through a rebaseline. The SubLinLocate2D
+// row additionally gates on its recorded speedupVsBatch staying at or above
+// subLinMinSpeedup, so a sub-linear path that silently decays toward the
+// dense scan fails the compare even when its own ns/op is stable (the 3D
+// hierarchical row reports its ratio but only the row generator bounds it).
 func compareBenchJSON(spec string) error {
 	var oldPath, newPath string
 	if spec == "auto" || spec == "" {
@@ -181,10 +187,15 @@ func compareBenchJSON(spec string) error {
 	var regressions []string
 	matched := 0
 	for _, nb := range newRep.Benchmarks {
+		if nb.Name == "SubLinLocate2D" && nb.SpeedupVsBatch > 0 && nb.SpeedupVsBatch < subLinMinSpeedup {
+			regressions = append(regressions,
+				fmt.Sprintf("%s (procs=%d): %.1fx vs dense, below the %.0fx floor",
+					nb.Name, nb.GoMaxProcs, nb.SpeedupVsBatch, subLinMinSpeedup))
+		}
 		key := benchKey{nb.Name, nb.GoMaxProcs}
 		ob, ok := oldRows[key]
 		if !ok {
-			fmt.Printf("  %-28s procs=%-2d %12.0f ns/op  (new)\n", nb.Name, nb.GoMaxProcs, nb.NsPerOp)
+			fmt.Printf("  %-28s procs=%-2d %12.0f ns/op  (warn: not in baseline, not gated)\n", nb.Name, nb.GoMaxProcs, nb.NsPerOp)
 			continue
 		}
 		matched++

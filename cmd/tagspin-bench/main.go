@@ -7,10 +7,10 @@
 //	tagspin-bench -run F10a,T2    # run selected experiments
 //	tagspin-bench -list           # list experiment ids
 //	tagspin-bench -trials 100     # override per-experiment trial counts
-//	tagspin-bench -benchjson BENCH_5.json  # machine-readable spectrum perf
+//	tagspin-bench -benchjson BENCH_6.json  # machine-readable spectrum perf
 //	tagspin-bench -benchcompare auto       # regression-gate the two newest BENCH_*.json
 //	tagspin-bench -rebaseline auto         # re-measure the comparison baseline on this machine
-//	tagspin-bench -cpuprofile cpu.pprof -benchjson BENCH_5.json  # profile the run
+//	tagspin-bench -cpuprofile cpu.pprof -benchjson BENCH_6.json  # profile the run
 //	tagspin-bench -memprofile mem.pprof -run T2                  # heap profile at exit
 package main
 

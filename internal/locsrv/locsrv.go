@@ -22,6 +22,7 @@ import (
 	"github.com/tagspin/tagspin/internal/estimate"
 	"github.com/tagspin/tagspin/internal/registry"
 	"github.com/tagspin/tagspin/internal/sched"
+	"github.com/tagspin/tagspin/internal/spectrum"
 )
 
 // CollectFunc gathers snapshots from a reader; it exists so tests can
@@ -46,6 +47,11 @@ type Config struct {
 	// (core.Config.FastSpectrum). Ignored when Locator is non-nil — a
 	// caller-supplied locator carries its own config.
 	FastSpectrum bool
+	// Search tunes the default locator's peak search (core.Config.Search):
+	// hierarchical scanning, the harmonic azimuth evaluator, prescreen
+	// width, and grid steps. The zero value keeps the defaults (harmonic +
+	// hierarchical auto-on for Q spectra). Ignored when Locator is non-nil.
+	Search spectrum.SearchOptions
 	// Collect gathers snapshots; nil means client.CollectRetry (the
 	// network client with transient-failure retries). Supplying Collect
 	// without CollectStream pins the server to the batch pipeline, since a
@@ -140,7 +146,7 @@ func New(cfg Config) (*Server, error) {
 		collect: cfg.Collect,
 	}
 	if s.locator == nil {
-		s.locator = core.NewLocator(core.Config{FastSpectrum: cfg.FastSpectrum})
+		s.locator = core.NewLocator(core.Config{FastSpectrum: cfg.FastSpectrum, Search: cfg.Search})
 	}
 	s.mlLocator = s.locator.WithEstimator(estimate.NewML(estimate.Config{}))
 	if s.collect == nil {

@@ -21,6 +21,7 @@ import (
 	"github.com/tagspin/tagspin/internal/locsrv"
 	"github.com/tagspin/tagspin/internal/readersim"
 	"github.com/tagspin/tagspin/internal/registry"
+	"github.com/tagspin/tagspin/internal/spectrum"
 	"github.com/tagspin/tagspin/internal/testbed"
 )
 
@@ -457,5 +458,68 @@ func TestLocateBatchValidation(t *testing.T) {
 	}
 	if out.Items[0].Error == "" || out.Items[1].Error == "" {
 		t.Errorf("invalid items should carry errors: %+v", out.Items)
+	}
+}
+
+// TestSearchOptionsPlumbing pins that Config.Search reaches the default
+// locator: a server built with a non-default search configuration must
+// return exactly what a core.Locator carrying the same core.Config returns
+// over the same canned observations. A dropped Search field would fall back
+// to the default coarse grid and (almost surely) different refined bits.
+func TestSearchOptionsPlumbing(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sc := testbed.DefaultScenario(0, rng)
+	target := geom.V3(-1.7, 1.3, 0)
+	sc.PlaceReader(target)
+	registered, err := sc.CalibratedSpinningTags(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := sc.Collect(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	for _, st := range registered {
+		if err := reg.Add(registry.EntryFromSpinningTag(st)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	search := spectrum.SearchOptions{
+		CoarseStep:   geom.Radians(2),
+		Hierarchical: spectrum.ToggleOff,
+		HarmonicEval: spectrum.ToggleOff,
+	}
+	srv, err := locsrv.New(locsrv.Config{
+		Registry: reg,
+		Search:   search,
+		Collect: func(context.Context, string, client.Config) (core.Observations, error) {
+			return col.Obs, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/v1/locate", locsrv.LocateRequest{ReaderAddr: "reader:5084"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out locsrv.LocateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := core.NewLocator(core.Config{Search: search}).Locate2D(registered, col.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Position[0] != want.Position.X || out.Position[1] != want.Position.Y {
+		t.Errorf("server position %v != direct locator %v", out.Position, want.Position)
+	}
+	if e := geom.V2(out.Position[0], out.Position[1]).DistanceTo(target.XY()); e > 0.15 {
+		t.Errorf("2D error %.1f cm", e*100)
 	}
 }

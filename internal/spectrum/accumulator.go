@@ -47,6 +47,7 @@ type Accumulator struct {
 	evalOpts []EvalOption
 	fastTrig bool
 	trackQ   bool // accumulate Q sums alongside robust-R pass-1 (prescreen)
+	harmonic bool // fold harmonic coefficients instead of per-cell Q sums
 
 	// Hoisted R-weight constants, mirroring Evaluator.
 	weightSigma float64
@@ -69,6 +70,11 @@ type Accumulator struct {
 	wRe, wIm       []float64 // literal-R weighted phasor sums
 	resSin, resCos []float64 // robust-R residual circular sums
 	refAper        []float64 // reference aperture per cell (KindR)
+
+	// Harmonic-mode state (HarmonicEval == ToggleOn, KindQ 2D): the
+	// O(harmonics) coefficient fold replaces the O(cells) per-cell fold.
+	hcoeffs harmonicCoeffs
+	hbess   []float64
 
 	terms   []snapshotTerm
 	ref     phase.Snapshot
@@ -142,7 +148,15 @@ func newAccumulator(p Params, kind Kind, opts SearchOptions, threeD bool, evalOp
 		a.cosG[r] = math.Cos(a.polBase + float64(r)*a.polStep)
 	}
 
-	a.trackQ = kind != KindR || opts.PrescreenTopK > 0
+	// Harmonic streaming is explicit opt-in (ToggleOn, not auto): the
+	// default per-cell fold keeps CoarseProfile bit-identical to the batch
+	// Profile2D, which the equivalence suite pins. With the harmonic fold,
+	// Add costs O(harmonics) instead of O(cells) and CoarseProfile is
+	// synthesized from the coefficients (within harmonicSlack of batch);
+	// the finalize argmax still rescores exactly, so FindPeak2D returns the
+	// batch search's bits either way.
+	a.harmonic = !threeD && kind != KindR && opts.HarmonicEval == ToggleOn
+	a.trackQ = (kind != KindR || opts.PrescreenTopK > 0) && !a.harmonic
 	if a.trackQ {
 		a.qRe = make([]float64, a.n)
 		a.qIm = make([]float64, a.n)
@@ -200,6 +214,10 @@ func (a *Accumulator) Add(s phase.Snapshot) error {
 		}
 	}
 	a.terms = append(a.terms, t)
+	if a.harmonic {
+		a.foldHarmonic(t)
+		return nil
+	}
 	if a.n >= addChunkMin && sched.Workers() > 1 {
 		// Chunks write disjoint cell ranges; order never enters the
 		// arithmetic (each cell's sum gets exactly one contribution per
@@ -209,6 +227,22 @@ func (a *Accumulator) Add(s phase.Snapshot) error {
 		a.foldRange(0, a.n)
 	}
 	return nil
+}
+
+// foldHarmonic folds one term into the harmonic coefficients — O(harmonics)
+// instead of O(cells). The fold mirrors foldTermsHarmonic at γ = 0 term for
+// term (w = scale·cos 0 = scale, same bits), so after n ≤ coarseTermLimit
+// Adds the coefficients are bit-identical to the batch fold over ev.coarse.
+func (a *Accumulator) foldHarmonic(t snapshotTerm) {
+	w := t.scale
+	need := harmonicsNeeded(w)
+	a.hcoeffs.ensure(need)
+	if cap(a.hbess) < need+1 {
+		a.hbess = make([]float64, need+1)
+	}
+	bess := a.hbess[:need+1]
+	besselJArray(w, bess)
+	a.hcoeffs.foldTerm(t.relPhase, t.cosA, t.sinA, bess)
 }
 
 // cell resolves a cell index to its azimuth-table index and cos γ.
@@ -355,6 +389,12 @@ func (c *accFinishChunk) RunChunk(lo, hi int) { c.a.finishRange(c.out, lo, hi) }
 // branch is the expensive one (one weighting pass over all terms per cell);
 // Q and literal-R are O(1) per cell.
 func (a *Accumulator) finish(out []float64) {
+	if a.harmonic {
+		// Harmonic mode has no per-cell sums; synthesize from the
+		// coefficients (within harmonicSlack of the batch profile).
+		a.hcoeffs.synthesize(out, a.sinPhi, a.cosPhi)
+		return
+	}
 	heavy := a.kind == KindR && !a.params.LiteralReference
 	if (heavy || a.n >= addChunkMin) && sched.Workers() > 1 {
 		c := accFinishChunk{a: a, out: out}
@@ -450,7 +490,9 @@ func (a *Accumulator) finishQ(out []float64) {
 
 // CoarseProfile returns the accumulated 2D profile over the uniform coarse
 // grid (angles φ_i = i·step). Exact-trig values are bit-identical to
-// Evaluator.Profile2D over the same angles and full term set.
+// Evaluator.Profile2D over the same angles and full term set — except in
+// harmonic mode (HarmonicEval ToggleOn), where the profile is synthesized
+// from the streamed coefficients and lands within harmonicSlack of batch.
 func (a *Accumulator) CoarseProfile() (Profile, error) {
 	if a.threeD {
 		return Profile{}, fmt.Errorf("spectrum: 3D accumulator has no 2D profile")
@@ -500,6 +542,28 @@ func (a *Accumulator) CoarseProfile3D() (Profile3D, error) {
 // configured — but on the streamed sums, so the expensive grid scan the
 // batch path runs after the session is already paid for.
 func (a *Accumulator) coarseArgmaxAccum(ev *Evaluator) int {
+	if a.harmonic {
+		// Replay the batch harmonicArgmax2D selection on the streamed
+		// coefficients: synthesize, shortlist within 2·harmonicSlack of the
+		// synthesized maximum, exact-rescore the shortlist. Coefficients,
+		// trig tables, and rescore terms all match the batch pass bit for
+		// bit for sessions within coarseTermLimit, so the pick does too.
+		vals := make([]float64, a.n)
+		a.hcoeffs.synthesize(vals, a.sinPhi, a.cosPhi)
+		maxV := math.Inf(-1)
+		for _, v := range vals {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var cand []int
+		for k, v := range vals {
+			if v >= maxV-2*harmonicSlack {
+				cand = append(cand, k)
+			}
+		}
+		return ev.rescoreTopK(ev.coarse, cand, a.step, 0, 0, 0)
+	}
 	if a.kind == KindR && a.opts.PrescreenTopK > 0 {
 		// Batch R searches with prescreen shortlist by Q then rescore with
 		// the full R formula; replaying that selection on the streamed Q

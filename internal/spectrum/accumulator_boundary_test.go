@@ -1,0 +1,194 @@
+package spectrum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/geom"
+)
+
+// TestAccumulatorCoarseTermLimitBoundary walks the streamed-vs-batch
+// contract across the coarseTermLimit seam for every streaming mode: one
+// under the limit and exactly at it the streamed sums ARE the batch coarse
+// scan (the strided subset is the full term set), one past it and beyond the
+// finalize must hand off to the batch fallback — and all four session sizes
+// must return the batch search's bits.
+func TestAccumulatorCoarseTermLimitBoundary(t *testing.T) {
+	p := testParams()
+	counts := []int{coarseTermLimit - 1, coarseTermLimit, coarseTermLimit + 1, coarseTermLimit + 16}
+	for i, tc := range accumKinds {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(60 + int64(i)))
+			for _, n := range counts {
+				snaps := synth(p, geom.V3(-2.2, 1.3, 0), n, 0.8, 0.05, rng)
+				pp := p
+				pp.LiteralReference = tc.literal
+				so := SearchOptions{PrescreenTopK: tc.prescreen}
+				a, err := NewAccumulator2D(pp, tc.kind, so)
+				if err != nil {
+					t.Fatal(err)
+				}
+				feedAccumulator(t, a, snaps)
+				gotAz, gotPow, err := a.FindPeak2D()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ev, err := NewEvaluator(snaps, pp, tc.kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantAz, wantPow := FindPeak2DEval(ev, so)
+				if gotAz != wantAz || gotPow != wantPow {
+					t.Fatalf("%d snapshots: streamed (%v, %v) != batch (%v, %v)",
+						n, gotAz, gotPow, wantAz, wantPow)
+				}
+			}
+		})
+	}
+}
+
+// TestAccumulator3DCoarseTermLimitBoundary is the 3D seam walk, on the
+// enlarged test grid to keep the dense reference scans quick.
+func TestAccumulator3DCoarseTermLimitBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	p := testParams()
+	so := SearchOptions{CoarseStep: geom.Radians(1), CoarsePolarStep: geom.Radians(5)}
+	for _, n := range []int{coarseTermLimit, coarseTermLimit + 1} {
+		snaps := synth3D(p, geom.V3(-2.1, 0.4, 0.98), n, 0.05, rng)
+		for _, kind := range []Kind{KindQ, KindR} {
+			a, err := NewAccumulator3D(p, kind, so)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feedAccumulator(t, a, snaps)
+			got, err := a.FindPeak3D()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev, err := NewEvaluator(snaps, p, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := FindPeak3DEval(ev, so); got != want {
+				t.Fatalf("%v, %d snapshots: streamed %+v != batch %+v", kind, n, got, want)
+			}
+		}
+	}
+}
+
+// TestAccumulatorFallbackEngagesMidSession pins the crossing itself: a
+// session finalized at exactly coarseTermLimit gives the streamed answer,
+// and one more Add must invalidate it and route the next finalize through
+// the batch fallback — both answers matching their batch counterparts.
+func TestAccumulatorFallbackEngagesMidSession(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	p := testParams()
+	snaps := synth(p, geom.V3(1.9, -1.4, 0), coarseTermLimit+1, 0.8, 0.05, rng)
+	a, err := NewAccumulator2D(p, KindQ, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAccumulator(t, a, snaps[:coarseTermLimit])
+	gotAz, gotPow, err := a.FindPeak2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evAt, err := NewEvaluator(snaps[:coarseTermLimit], p, KindQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAz, wantPow := FindPeak2DEval(evAt, SearchOptions{})
+	if gotAz != wantAz || gotPow != wantPow {
+		t.Fatalf("at the limit: streamed (%v, %v) != batch (%v, %v)", gotAz, gotPow, wantAz, wantPow)
+	}
+
+	if err := a.Add(snaps[coarseTermLimit]); err != nil {
+		t.Fatal(err)
+	}
+	gotAz, gotPow, err = a.FindPeak2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	evPast, err := NewEvaluator(snaps, p, KindQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAz, wantPow = FindPeak2DEval(evPast, SearchOptions{})
+	if gotAz != wantAz || gotPow != wantPow {
+		t.Fatalf("past the limit: streamed (%v, %v) != batch (%v, %v)", gotAz, gotPow, wantAz, wantPow)
+	}
+}
+
+// TestAccumulatorHarmonicStreaming pins the opt-in O(harmonics) streaming
+// fold: with HarmonicEval forced on, the accumulator allocates no per-cell
+// Q sums at all, yet FindPeak2D still returns the batch search's bits — the
+// finalize synthesizes, shortlists within 2·harmonicSlack, and
+// exact-rescores exactly like the batch harmonic pass — and CoarseProfile
+// stays within the documented harmonicSlack of the batch profile.
+func TestAccumulatorHarmonicStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	p := testParams()
+	so := SearchOptions{HarmonicEval: ToggleOn}
+	dense := SearchOptions{HarmonicEval: ToggleOff, Hierarchical: ToggleOff}
+	for trial := 0; trial < 20; trial++ {
+		snaps := synth(p, randReader(rng, true), 8+rng.Intn(coarseTermLimit-7), rng.Float64()*2, rng.Float64()*0.15, rng)
+		a, err := NewAccumulator2D(p, KindQ, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.qRe != nil {
+			t.Fatal("harmonic mode must not allocate per-cell Q sums")
+		}
+		feedAccumulator(t, a, snaps)
+		gotAz, gotPow, err := a.FindPeak2D()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := NewEvaluator(snaps, p, KindQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAz, wantPow := FindPeak2DEval(ev, so)
+		if gotAz != wantAz || gotPow != wantPow {
+			t.Fatalf("trial %d: streamed harmonic (%v, %v) != batch harmonic (%v, %v)",
+				trial, gotAz, gotPow, wantAz, wantPow)
+		}
+		denseAz, densePow := FindPeak2DEval(ev, dense)
+		if gotAz != denseAz || gotPow != densePow {
+			t.Fatalf("trial %d: streamed harmonic (%v, %v) != dense (%v, %v)",
+				trial, gotAz, gotPow, denseAz, densePow)
+		}
+		prof, err := a.CoarseProfile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ev.Profile2D(prof.Angles)
+		for i := range prof.Power {
+			if d := math.Abs(prof.Power[i] - want.Power[i]); d > harmonicSlack {
+				t.Fatalf("trial %d cell %d: synthesized %v vs batch %v (Δ=%v)",
+					trial, i, prof.Power[i], want.Power[i], d)
+			}
+		}
+	}
+
+	// Past coarseTermLimit the harmonic finalize hands off to the batch
+	// search like every other mode.
+	snaps := synth(p, randReader(rng, true), coarseTermLimit+10, 0.8, 0.05, rng)
+	a, err := NewAccumulator2D(p, KindQ, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAccumulator(t, a, snaps)
+	gotAz, gotPow, err := a.FindPeak2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(snaps, p, KindQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantAz, wantPow := FindPeak2DEval(ev, so); gotAz != wantAz || gotPow != wantPow {
+		t.Fatalf("fallback: streamed (%v, %v) != batch (%v, %v)", gotAz, gotPow, wantAz, wantPow)
+	}
+}

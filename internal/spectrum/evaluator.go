@@ -45,8 +45,8 @@ const chunkTarget = 64
 // state lives in a Scratch, which must be owned by exactly one goroutine at
 // a time.
 type Evaluator struct {
-	terms       []snapshotTerm
-	coarse      []snapshotTerm // strided subset (≤coarseTermLimit) for coarse scans
+	terms       termSlices
+	coarse      termSlices // strided subset (≤coarseTermLimit) for coarse scans
 	kind        Kind
 	literalRef  bool
 	weightSigma float64 // Gaussian kernel width for the R weights
@@ -103,9 +103,10 @@ func (p Params) weightSigma() float64 {
 // streaming Accumulator finalizes through this path so batch and streaming
 // refinement run on the very same engine.
 func newEvaluatorFromTerms(terms []snapshotTerm, p Params, kind Kind, opts ...EvalOption) *Evaluator {
+	ts := makeTermSlices(terms)
 	e := &Evaluator{
-		terms:       terms,
-		coarse:      strideTerms(terms, coarseTermLimit),
+		terms:       ts,
+		coarse:      ts.stride(coarseTermLimit),
 		kind:        kind,
 		literalRef:  p.LiteralReference,
 		weightSigma: p.weightSigma(),
@@ -137,8 +138,8 @@ type Scratch struct {
 // NewScratch returns a Scratch sized for this Evaluator's snapshot set.
 func (e *Evaluator) NewScratch() *Scratch {
 	return &Scratch{
-		residuals: make([]float64, len(e.terms)),
-		apertures: make([]float64, len(e.terms)),
+		residuals: make([]float64, e.terms.n()),
+		apertures: make([]float64, e.terms.n()),
 	}
 }
 
@@ -189,7 +190,7 @@ func (e *Evaluator) EvalCoarse(sc *Scratch, phi, gamma float64) float64 {
 // kernels in kernel.go amortize the candidate trig across uniform grids;
 // this single-candidate form remains for refinement loops and callers off
 // the grid.
-func (e *Evaluator) evalTerms(terms []snapshotTerm, sc *Scratch, phi, gamma float64) float64 {
+func (e *Evaluator) evalTerms(terms termSlices, sc *Scratch, phi, gamma float64) float64 {
 	sinPhi, cosPhi := math.Sincos(phi)
 	cg := math.Cos(gamma)
 	if e.kind != KindR {
@@ -207,47 +208,50 @@ func (e *Evaluator) evalTerms(terms []snapshotTerm, sc *Scratch, phi, gamma floa
 // evalQExact is the exact-trig Q profile for one candidate; its arithmetic
 // (expression shapes and accumulation order) is the bit-exactness reference
 // every other Q path must reproduce.
-func evalQExact(terms []snapshotTerm, sinPhi, cosPhi, cg float64) float64 {
+func evalQExact(terms termSlices, sinPhi, cosPhi, cg float64) float64 {
 	var sumRe, sumIm float64
-	for _, t := range terms {
-		aperture := t.scale * (t.cosA*cosPhi + t.sinA*sinPhi) * cg
-		s, c := math.Sincos(t.relPhase + aperture)
+	relPhase, cosA, sinA, scale := terms.relPhase, terms.cosA, terms.sinA, terms.scale
+	for i := range scale {
+		aperture := scale[i] * (cosA[i]*cosPhi + sinA[i]*sinPhi) * cg
+		s, c := math.Sincos(relPhase[i] + aperture)
 		sumRe += c
 		sumIm += s
 	}
-	return math.Hypot(sumRe, sumIm) / float64(len(terms))
+	return math.Hypot(sumRe, sumIm) / float64(len(scale))
 }
 
 // evalQFast is evalQExact with the per-snapshot sincos replaced by the
 // bounded-error fast kernel (and Hypot by a plain sqrt — the sums are
 // bounded by the term count, so overflow protection buys nothing).
-func evalQFast(terms []snapshotTerm, sinPhi, cosPhi, cg float64) float64 {
+func evalQFast(terms termSlices, sinPhi, cosPhi, cg float64) float64 {
 	var sumRe, sumIm float64
-	for _, t := range terms {
-		aperture := t.scale * (t.cosA*cosPhi + t.sinA*sinPhi) * cg
-		s, c := mathx.FastSincos(t.relPhase + aperture)
+	relPhase, cosA, sinA, scale := terms.relPhase, terms.cosA, terms.sinA, terms.scale
+	for i := range scale {
+		aperture := scale[i] * (cosA[i]*cosPhi + sinA[i]*sinPhi) * cg
+		s, c := mathx.FastSincos(relPhase[i] + aperture)
 		sumRe += c
 		sumIm += s
 	}
-	return math.Sqrt(sumRe*sumRe+sumIm*sumIm) / float64(len(terms))
+	return math.Sqrt(sumRe*sumRe+sumIm*sumIm) / float64(len(scale))
 }
 
 // evalRExact is the exact-trig R profile for one candidate: residual of
 // each snapshot's relative phase against the candidate direction's
 // prediction, Gaussian-weighted phasor stack (Definition 4.1 / 5.1).
-func (e *Evaluator) evalRExact(terms []snapshotTerm, sc *Scratch, sinPhi, cosPhi, cg float64) float64 {
+func (e *Evaluator) evalRExact(terms termSlices, sc *Scratch, sinPhi, cosPhi, cg float64) float64 {
 	// c_i(φ,γ) = scale·(cos(a_1−φ) − cos(a_i−φ))·cos γ with the reference
 	// term folded in per snapshot below.
-	t0 := terms[0]
-	refAperture := t0.scale * (t0.cosA*cosPhi + t0.sinA*sinPhi) * cg
-	residuals := sc.residuals[:len(terms)]
-	apertures := sc.apertures[:len(terms)]
+	relPhase, cosA, sinA, scale := terms.relPhase, terms.cosA, terms.sinA, terms.scale
+	n := len(scale)
+	refAperture := scale[0] * (cosA[0]*cosPhi + sinA[0]*sinPhi) * cg
+	residuals := sc.residuals[:n]
+	apertures := sc.apertures[:n]
 	var rs, rc float64
-	for i, t := range terms {
-		aperture := t.scale * (t.cosA*cosPhi + t.sinA*sinPhi) * cg
+	for i := 0; i < n; i++ {
+		aperture := scale[i] * (cosA[i]*cosPhi + sinA[i]*sinPhi) * cg
 		apertures[i] = aperture
 		ci := refAperture - aperture // ϑ_i − ϑ_1 under candidate (φ,γ)
-		res := mathx.WrapToPi(t.relPhase - ci)
+		res := mathx.WrapToPi(relPhase[i] - ci)
 		residuals[i] = res
 		s, c := math.Sincos(res)
 		rs += s
@@ -265,7 +269,7 @@ func (e *Evaluator) evalRExact(terms []snapshotTerm, sc *Scratch, sinPhi, cosPhi
 	var sumRe, sumIm float64
 	for i, res := range residuals {
 		w := mathx.GaussPDF(mathx.WrapToPi(res-mu), 0, e.weightSigma)
-		s, c := math.Sincos(terms[i].relPhase + apertures[i])
+		s, c := math.Sincos(relPhase[i] + apertures[i])
 		sumRe += w * c
 		sumIm += w * s
 	}
@@ -274,23 +278,24 @@ func (e *Evaluator) evalRExact(terms []snapshotTerm, sc *Scratch, sinPhi, cosPhi
 	// peaks near the Gaussian kernel's mode. Normalizing by Σw instead
 	// would let a single accidentally-agreeing snapshot dominate at wrong
 	// angles.
-	return math.Hypot(sumRe, sumIm) / float64(len(terms))
+	return math.Hypot(sumRe, sumIm) / float64(n)
 }
 
 // evalRFast is evalRExact on the fast kernel: FastSincos phasors, an
 // additive phase wrap (arguments are bounded by π + 2·4πr/λ, so the mod in
 // WrapToPi is overkill), and the Gaussian weight with the normalization and
 // 1/2σ² hoisted into the Evaluator.
-func (e *Evaluator) evalRFast(terms []snapshotTerm, sc *Scratch, sinPhi, cosPhi, cg float64) float64 {
-	t0 := terms[0]
-	refAperture := t0.scale * (t0.cosA*cosPhi + t0.sinA*sinPhi) * cg
-	residuals := sc.residuals[:len(terms)]
-	apertures := sc.apertures[:len(terms)]
+func (e *Evaluator) evalRFast(terms termSlices, sc *Scratch, sinPhi, cosPhi, cg float64) float64 {
+	relPhase, cosA, sinA, scale := terms.relPhase, terms.cosA, terms.sinA, terms.scale
+	n := len(scale)
+	refAperture := scale[0] * (cosA[0]*cosPhi + sinA[0]*sinPhi) * cg
+	residuals := sc.residuals[:n]
+	apertures := sc.apertures[:n]
 	var rs, rc float64
-	for i, t := range terms {
-		aperture := t.scale * (t.cosA*cosPhi + t.sinA*sinPhi) * cg
+	for i := 0; i < n; i++ {
+		aperture := scale[i] * (cosA[i]*cosPhi + sinA[i]*sinPhi) * cg
 		apertures[i] = aperture
-		res := wrapToPiFast(t.relPhase - (refAperture - aperture))
+		res := wrapToPiFast(relPhase[i] - (refAperture - aperture))
 		residuals[i] = res
 		s, c := mathx.FastSincos(res)
 		rs += s
@@ -304,11 +309,11 @@ func (e *Evaluator) evalRFast(terms []snapshotTerm, sc *Scratch, sinPhi, cosPhi,
 	for i, res := range residuals {
 		d := wrapToPiFast(res - mu)
 		w := e.wNorm * math.Exp(-d*d*e.wInv2Sig)
-		s, c := mathx.FastSincos(terms[i].relPhase + apertures[i])
+		s, c := mathx.FastSincos(relPhase[i] + apertures[i])
 		sumRe += w * c
 		sumIm += w * s
 	}
-	return math.Sqrt(sumRe*sumRe+sumIm*sumIm) / float64(len(terms))
+	return math.Sqrt(sumRe*sumRe+sumIm*sumIm) / float64(n)
 }
 
 // inv2Pi is 1/2π for the rounded phase wrap below.
@@ -356,7 +361,7 @@ func wrapToPiFast(x float64) float64 {
 //     gamma; winners land in bests.
 type scanJob struct {
 	ev    *Evaluator // back-reference so RunChunk can reach the kernels
-	terms []snapshotTerm
+	terms termSlices
 	kind  Kind // profile formula for this scan (getJob defaults it to ev.kind)
 	n     int  // candidate (or row) count
 	chunk int  // chunk size handed to one worker grab

@@ -1,0 +1,124 @@
+package spectrum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/geom"
+)
+
+// TestBesselJArray checks Miller's downward recurrence against the standard
+// library's math.Jn across the aperture-scale range the testbed produces
+// (w = 4πr/λ ≈ 3.9) and beyond.
+func TestBesselJArray(t *testing.T) {
+	out := make([]float64, 30)
+	for _, w := range []float64{0, 1e-13, 0.05, 0.7, 1.9, 3.85, 4.2, 7.7, 12.5} {
+		besselJArray(w, out)
+		for m := range out {
+			want := math.Jn(m, w)
+			if d := math.Abs(out[m] - want); d > 1e-13 {
+				t.Fatalf("w=%v: J_%d = %v, want %v (Δ=%v)", w, m, out[m], want, d)
+			}
+		}
+	}
+}
+
+// TestHarmonicSynthesisMatchesExact bounds the synthesized Q values against
+// the exact dense row kernel over the default coarse grid: the documented
+// harmonicSlack envelope must hold with wide margin (truncation and
+// resummation rounding land near 1e-12).
+func TestHarmonicSynthesisMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	p := testParams()
+	for trial := 0; trial < 25; trial++ {
+		reader := geom.V3(rng.Float64()*4-2, rng.Float64()*4-2, rng.Float64()*2-1)
+		if reader.Norm() < 0.8 {
+			reader = reader.Scale(2)
+		}
+		snaps := synth(p, reader, 30+rng.Intn(60), rng.Float64()*2, rng.Float64()*0.1, rng)
+		ev, err := NewEvaluator(snaps, p, KindQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 720
+		step := geom.Radians(0.5)
+
+		hs := &harmonicScratch{}
+		foldTermsHarmonic(hs, ev.coarse, 1)
+		got := make([]float64, n)
+		sc := ev.NewScratch()
+		ev.fillUniformTrig(sc, 0, n, step)
+		hs.coeffs.synthesize(got, sc.sinPhi[:n], sc.cosPhi[:n])
+
+		want := make([]float64, n)
+		ev.evalRow(KindQ, ev.coarse, sc, 0, n, want)
+
+		var maxD float64
+		for k := range got {
+			if d := math.Abs(got[k] - want[k]); d > maxD {
+				maxD = d
+			}
+		}
+		if maxD > harmonicSlack {
+			t.Fatalf("trial %d: synthesis error %v exceeds harmonicSlack %v", trial, maxD, harmonicSlack)
+		}
+		if maxD > 1e-9 {
+			t.Errorf("trial %d: synthesis error %v is far above the expected ~1e-12 floor", trial, maxD)
+		}
+	}
+}
+
+// TestHarmonicArgmaxMatchesDense pins the exact-path contract that lets the
+// harmonic route default on: the full 2D search with HarmonicEval on must
+// return the dense scan's answer bit for bit, because the synthesized
+// shortlist is rescored with the exact per-cell formula.
+func TestHarmonicArgmaxMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := testParams()
+	for trial := 0; trial < 120; trial++ {
+		reader := geom.V3(rng.Float64()*5-2.5, rng.Float64()*5-2.5, 0)
+		if reader.Norm() < 0.8 {
+			reader = reader.Scale(3)
+		}
+		snaps := synth(p, reader, 20+rng.Intn(120), rng.Float64()*2, rng.Float64()*0.2, rng)
+		ev, err := NewEvaluator(snaps, p, KindQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense := SearchOptions{HarmonicEval: ToggleOff, Hierarchical: ToggleOff}
+		harm := SearchOptions{HarmonicEval: ToggleOn}
+		wantAz, wantPow := FindPeak2DEval(ev, dense)
+		gotAz, gotPow := FindPeak2DEval(ev, harm)
+		if gotAz != wantAz || gotPow != wantPow {
+			t.Fatalf("trial %d: harmonic (%v, %v) != dense (%v, %v)", trial, gotAz, gotPow, wantAz, wantPow)
+		}
+	}
+}
+
+// TestHarmonicDefaultOn pins the routing: zero-valued SearchOptions on a
+// KindQ evaluator take the harmonic path and still match the forced-dense
+// answer bit for bit, while KindR ignores the toggle entirely.
+func TestHarmonicDefaultOn(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	p := testParams()
+	snaps := synth(p, geom.V3(-2.2, 1.3, 0), 64, 0.8, 0.05, rng)
+	ev, err := NewEvaluator(snaps, p, KindQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseAz, densePow := FindPeak2DEval(ev, SearchOptions{HarmonicEval: ToggleOff, Hierarchical: ToggleOff})
+	defAz, defPow := FindPeak2DEval(ev, SearchOptions{})
+	if defAz != denseAz || defPow != densePow {
+		t.Fatalf("default (%v, %v) != dense (%v, %v)", defAz, defPow, denseAz, densePow)
+	}
+	evR, err := NewEvaluator(snaps, p, KindR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rDense, rDensePow := FindPeak2DEval(evR, SearchOptions{HarmonicEval: ToggleOff, Hierarchical: ToggleOff})
+	rOn, rOnPow := FindPeak2DEval(evR, SearchOptions{HarmonicEval: ToggleOn})
+	if rOn != rDense || rOnPow != rDensePow {
+		t.Fatalf("KindR with HarmonicEval on (%v, %v) != dense (%v, %v)", rOn, rOnPow, rDense, rDensePow)
+	}
+}

@@ -100,7 +100,7 @@ func buildUniformTrig(sin, cos []float64, i0 int, step float64, fast bool) {
 // fillUniformTrig) for exactly these candidates. kind is a parameter rather
 // than e.kind so the Q-prescreen pass can run the cheap Q kernel on an
 // R-configured Evaluator.
-func (e *Evaluator) evalRow(kind Kind, terms []snapshotTerm, sc *Scratch, gamma float64, n int, out []float64) {
+func (e *Evaluator) evalRow(kind Kind, terms termSlices, sc *Scratch, gamma float64, n int, out []float64) {
 	cg := math.Cos(gamma)
 	if kind != KindR {
 		e.evalRowQ(terms, sc, cg, n, out)
@@ -113,7 +113,7 @@ func (e *Evaluator) evalRow(kind Kind, terms []snapshotTerm, sc *Scratch, gamma 
 // inner. Each term's fields live in registers across the whole row, and
 // each candidate's phasor sum still accumulates in snapshot order — which
 // is what keeps the exact path bit-identical to evalQExact.
-func (e *Evaluator) evalRowQ(terms []snapshotTerm, sc *Scratch, cg float64, n int, out []float64) {
+func (e *Evaluator) evalRowQ(terms termSlices, sc *Scratch, cg float64, n int, out []float64) {
 	sumRe := sc.sumRe[:n]
 	sumIm := sc.sumIm[:n]
 	for k := range sumRe {
@@ -121,31 +121,34 @@ func (e *Evaluator) evalRowQ(terms []snapshotTerm, sc *Scratch, cg float64, n in
 	}
 	sinPhi := sc.sinPhi[:n]
 	cosPhi := sc.cosPhi[:n]
+	m := terms.n()
 	if e.fastTrig {
-		for _, t := range terms {
+		for i := 0; i < m; i++ {
+			tScale, tCosA, tSinA, tRel := terms.scale[i], terms.cosA[i], terms.sinA[i], terms.relPhase[i]
 			for k := 0; k < n; k++ {
-				aperture := t.scale * (t.cosA*cosPhi[k] + t.sinA*sinPhi[k]) * cg
-				s, c := mathx.FastSincos(t.relPhase + aperture)
+				aperture := tScale * (tCosA*cosPhi[k] + tSinA*sinPhi[k]) * cg
+				s, c := mathx.FastSincos(tRel + aperture)
 				sumRe[k] += c
 				sumIm[k] += s
 			}
 		}
-		inv := 1 / float64(len(terms))
+		inv := 1 / float64(m)
 		for k := 0; k < n; k++ {
 			out[k] = math.Sqrt(sumRe[k]*sumRe[k]+sumIm[k]*sumIm[k]) * inv
 		}
 		return
 	}
-	for _, t := range terms {
+	for i := 0; i < m; i++ {
+		tScale, tCosA, tSinA, tRel := terms.scale[i], terms.cosA[i], terms.sinA[i], terms.relPhase[i]
 		for k := 0; k < n; k++ {
-			aperture := t.scale * (t.cosA*cosPhi[k] + t.sinA*sinPhi[k]) * cg
-			s, c := math.Sincos(t.relPhase + aperture)
+			aperture := tScale * (tCosA*cosPhi[k] + tSinA*sinPhi[k]) * cg
+			s, c := math.Sincos(tRel + aperture)
 			sumRe[k] += c
 			sumIm[k] += s
 		}
 	}
 	for k := 0; k < n; k++ {
-		out[k] = math.Hypot(sumRe[k], sumIm[k]) / float64(len(terms))
+		out[k] = math.Hypot(sumRe[k], sumIm[k]) / float64(m)
 	}
 }
 
@@ -154,7 +157,7 @@ func (e *Evaluator) evalRowQ(terms []snapshotTerm, sc *Scratch, cg float64, n in
 // residuals before the weighting pass, so a full interchange would need an
 // n×m intermediate. The row form still amortizes the candidate trig table
 // and, in fast mode, runs both snapshot passes on the fast kernel.
-func (e *Evaluator) evalRowR(terms []snapshotTerm, sc *Scratch, cg float64, n int, out []float64) {
+func (e *Evaluator) evalRowR(terms termSlices, sc *Scratch, cg float64, n int, out []float64) {
 	sinPhi := sc.sinPhi[:n]
 	cosPhi := sc.cosPhi[:n]
 	if e.fastTrig {

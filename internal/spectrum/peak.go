@@ -15,6 +15,33 @@ import (
 // meaning "default rounds", so existing callers are unaffected.
 const NoRefine = -1
 
+// Toggle is a tri-state switch for the sub-linear search features: the
+// zero value picks the kind-dependent default, so existing zero-valued
+// SearchOptions keep working when a feature becomes default-on.
+type Toggle int8
+
+const (
+	// ToggleAuto defers to the per-kind default (on for KindQ, off for
+	// KindR — the R formula's likelihood weights need the dense or
+	// prescreened pass unless explicitly overridden).
+	ToggleAuto Toggle = 0
+	// ToggleOn forces the feature on regardless of profile kind.
+	ToggleOn Toggle = 1
+	// ToggleOff forces the feature off.
+	ToggleOff Toggle = -1
+)
+
+// enabled resolves the tri-state against the kind-dependent default.
+func (t Toggle) enabled(auto bool) bool {
+	switch t {
+	case ToggleOn:
+		return true
+	case ToggleOff:
+		return false
+	}
+	return auto
+}
+
 // SearchOptions tunes the coarse-to-fine peak search.
 type SearchOptions struct {
 	// CoarseStep is the initial azimuth grid spacing. Zero means 0.5°.
@@ -35,8 +62,26 @@ type SearchOptions struct {
 	// R is Q with per-snapshot likelihood weights — so K of a few handfuls
 	// keeps the refined peak within the coarse cell of the full-R pass
 	// (the ablation test bounds the drift). Zero disables prescreening;
-	// KindQ searches ignore it.
+	// KindQ searches ignore it. The 3D coarse pass honors it the same way
+	// as 2D (coarseArgmax3D routes KindR scans through the row-chunked
+	// Q prescreen); it also sets the KindR rescore width of the
+	// hierarchical scanner.
 	PrescreenTopK int
+	// HarmonicEval selects the FFT-style harmonic evaluator (harmonic.go)
+	// for 2D azimuth coarse scans: O(snapshots×H + cells×H) instead of
+	// O(cells×snapshots), returning exactly the dense scan's argmax cell
+	// (the synthesized shortlist is rescored with the exact per-cell
+	// formula). Auto means on for KindQ; KindR scans ignore it (the R
+	// formula is not a bandlimited polynomial in φ — R searches use
+	// PrescreenTopK or Hierarchical instead).
+	HarmonicEval Toggle
+	// Hierarchical selects the Lipschitz-bounded coarse-to-fine lattice
+	// scanner (hier.go) for coarse grid scans — 3D always, 2D when the
+	// harmonic evaluator is off. Auto means on for KindQ (where the
+	// captured argmax is exactly the dense scan's cell) and off for KindR
+	// (where enabling it scores with Q and rescores the top cells with R,
+	// like the prescreen pass).
+	Hierarchical Toggle
 }
 
 func (o SearchOptions) coarseStep() float64 {
@@ -102,12 +147,27 @@ func FindPeak2DEval(ev *Evaluator, opts SearchOptions) (float64, float64) {
 }
 
 // coarseArgmax2D returns the argmax index over the uniform grid
-// φ_i = i·step, i < n, scored on the given term subset. KindR searches with
-// PrescreenTopK set route through the Q-prescreen instead of a full R scan.
-func (e *Evaluator) coarseArgmax2D(terms []snapshotTerm, n int, step float64, opts SearchOptions) int {
+// φ_i = i·step, i < n, scored on the given term subset. KindQ searches
+// default to the harmonic evaluator (falling back to the hierarchical
+// scanner, then the dense scan, as the toggles dictate); KindR searches
+// with PrescreenTopK set route through the Q-prescreen instead of a full
+// R scan.
+func (e *Evaluator) coarseArgmax2D(terms termSlices, n int, step float64, opts SearchOptions) int {
+	autoOn := e.kind != KindR
+	if autoOn && opts.HarmonicEval.enabled(true) {
+		return e.harmonicArgmax2D(terms, n, step)
+	}
+	if opts.Hierarchical.enabled(autoOn) {
+		return e.hierarchicalArgmax2D(terms, n, step, opts)
+	}
 	if e.kind == KindR && opts.PrescreenTopK > 0 {
 		return e.prescreenArgmax(terms, n, step, 0, 0, 0, opts.PrescreenTopK)
 	}
+	return e.denseArgmax2D(terms, n, step)
+}
+
+// denseArgmax2D is the full parallel scan over the uniform azimuth grid.
+func (e *Evaluator) denseArgmax2D(terms termSlices, n int, step float64) int {
 	j := e.getJob()
 	j.terms = terms
 	j.n = n
@@ -202,11 +262,23 @@ func FindPeak3DEval(ev *Evaluator, opts SearchOptions) Peak3D {
 }
 
 // coarseArgmax3D is coarseArgmax2D over the az × polar grid (row-major,
-// cell k = (k/nAz)-th polar row, (k%nAz)-th azimuth).
-func (e *Evaluator) coarseArgmax3D(terms []snapshotTerm, nAz, nPol int, azStep, polStep float64, opts SearchOptions) int {
+// cell k = (k/nAz)-th polar row, (k%nAz)-th azimuth). KindQ searches
+// default to the hierarchical scanner (the harmonic route would refold
+// Bessel tables per polar row, which costs more than it saves); KindR
+// honors PrescreenTopK exactly like the 2D path.
+func (e *Evaluator) coarseArgmax3D(terms termSlices, nAz, nPol int, azStep, polStep float64, opts SearchOptions) int {
+	if opts.Hierarchical.enabled(e.kind != KindR) {
+		return e.hierarchicalArgmax3D(terms, nAz, nPol, azStep, polStep, opts)
+	}
 	if e.kind == KindR && opts.PrescreenTopK > 0 {
 		return e.prescreenArgmax(terms, nAz*nPol, azStep, nAz, -math.Pi/2, polStep, opts.PrescreenTopK)
 	}
+	return e.denseArgmax3D(terms, nAz, nPol, azStep, polStep)
+}
+
+// denseArgmax3D is the full parallel scan over the az × polar grid, chunked
+// by polar row.
+func (e *Evaluator) denseArgmax3D(terms termSlices, nAz, nPol int, azStep, polStep float64) int {
 	j := e.getJob()
 	j.terms = terms
 	j.n = nAz * nPol
@@ -250,7 +322,7 @@ func (e *Evaluator) refine3D(best Peak3D, azStep, polStep float64, opts SearchOp
 // over the uniform grid (2D when azCount == 0, az × polar rows otherwise),
 // then an R rescore of only the top-K Q cells. Ties in the rescore resolve
 // to the lowest index, matching the full scan's argmax rule.
-func (e *Evaluator) prescreenArgmax(terms []snapshotTerm, n int, step float64, azCount int, polBase, polStep float64, topK int) int {
+func (e *Evaluator) prescreenArgmax(terms termSlices, n int, step float64, azCount int, polBase, polStep float64, topK int) int {
 	out := make([]float64, n)
 	j := e.getJob()
 	j.terms = terms
@@ -275,7 +347,7 @@ func (e *Evaluator) prescreenArgmax(terms []snapshotTerm, n int, step float64, a
 // ascending) and returns the winner. The streaming Accumulator reuses this
 // for its prescreened finalize, so batch and streaming pick the same cell
 // from the same Q shortlist.
-func (e *Evaluator) rescoreTopK(terms []snapshotTerm, idxs []int, step float64, azCount int, polBase, polStep float64) int {
+func (e *Evaluator) rescoreTopK(terms termSlices, idxs []int, step float64, azCount int, polBase, polStep float64) int {
 	sc := e.getScratch()
 	defer e.putScratch(sc)
 	bestIdx, bestVal := idxs[0], math.Inf(-1)
@@ -337,17 +409,4 @@ func clampPolar(g float64) float64 {
 		return math.Pi / 2
 	}
 	return g
-}
-
-// strideTerms subsamples terms down to at most limit entries.
-func strideTerms(terms []snapshotTerm, limit int) []snapshotTerm {
-	if len(terms) <= limit {
-		return terms
-	}
-	stride := (len(terms) + limit - 1) / limit
-	out := make([]snapshotTerm, 0, limit)
-	for i := 0; i < len(terms); i += stride {
-		out = append(out, terms[i])
-	}
-	return out
 }
