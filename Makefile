@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-json bench-load bench-stream bench-sublin bench-compare
+.PHONY: check build test race vet bench bench-json bench-load bench-stream bench-sublin bench-compare run-fleet
 
 .DEFAULT_GOAL := check
 
@@ -16,6 +16,7 @@ check: build vet
 	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestSched|TestPooled|TestPlanCache' ./internal/sched/ ./internal/spectrum/
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestSched|TestPooled|TestPlanCache' ./internal/sched/ ./internal/spectrum/
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestAccumulator|TestStream' ./internal/spectrum/ ./internal/core/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestReroute|TestKill|TestDrain|TestHealth|TestRing' ./internal/coord/ ./internal/locsrv/
 
 build:
 	$(GO) build ./...
@@ -73,3 +74,14 @@ ifdef REBASELINE
 	$(GO) run ./cmd/tagspin-bench -rebaseline auto
 endif
 	$(GO) run ./cmd/tagspin-bench -benchcompare auto
+
+# run-fleet brings up a local fleet — simulated reader, 2 locsrv replicas,
+# and the tagspin-coord router — smokes a locate through the coordinator,
+# prints the cluster-stats rollup, and drains everything down.
+# `make run-fleet KEEP=1` leaves the fleet running until ^C.
+run-fleet:
+ifdef KEEP
+	sh scripts/run-fleet.sh keep
+else
+	sh scripts/run-fleet.sh
+endif

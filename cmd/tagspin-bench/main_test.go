@@ -226,3 +226,40 @@ func TestBenchCompareRebaselinedMarker(t *testing.T) {
 		t.Errorf("meanErrM lost: %+v", parsed.Benchmarks[1])
 	}
 }
+
+// TestBenchCompareNewRowsWarnNotFail pins the cross-schema contract the
+// fleet rows depend on: a newer report whose rows are entirely absent from
+// an older baseline — even rows with dreadful numbers — warns but never
+// fails the gate. Older baselines simply predate new rows; gating them
+// would force every schema addition through a rebaseline.
+func TestBenchCompareNewRowsWarnNotFail(t *testing.T) {
+	dir := t.TempDir()
+	base := benchReport{
+		Schema:     "tagspin-bench/1",
+		GoVersion:  "go1.24.0",
+		GoMaxProcs: 1,
+		Benchmarks: []benchResult{
+			{Name: "EvalAtR", Iterations: 100, NsPerOp: 20000},
+		},
+	}
+	next := benchReport{
+		Schema:     benchSchema,
+		GoVersion:  "go1.24.0",
+		NumCPU:     1,
+		GoMaxProcs: 1,
+		Benchmarks: []benchResult{
+			// One stable row keeps the compare valid (an empty intersection
+			// is its own error); the fleet rows don't match the baseline and
+			// carry deliberately outrageous ns/op so an accidental gate
+			// would trip loudly.
+			{Name: "EvalAtR", Iterations: 100, NsPerOp: 20000, GoMaxProcs: 1, Variant: "serial/exact"},
+			{Name: "FleetLocate2D", Iterations: 1, NsPerOp: 9e12, GoMaxProcs: 1, Variant: "fleet"},
+			{Name: "FleetLocateBatch", Iterations: 1, NsPerOp: 9e12, GoMaxProcs: 4, Variant: "fleet"},
+		},
+	}
+	oldPath := writeReport(t, dir, "BENCH_1.json", base)
+	newPath := writeReport(t, dir, "BENCH_2.json", next)
+	if err := compareBenchJSON(oldPath + "," + newPath); err != nil {
+		t.Errorf("rows absent from the baseline gated the compare: %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/coord"
+)
+
+// The -debug-addr listener serves http.DefaultServeMux: pprof profiles plus
+// expvar's /debug/vars carrying tagspin_coord — the coordinator's routing
+// table, reroute/shed counters, and health verdicts. The cluster-wide rollup
+// (which probes every replica) stays on the API listener as
+// /v1/cluster-stats; publishing it as an expvar would turn every metrics
+// scrape into a fleet-wide fan-out.
+
+var (
+	debugOnce  sync.Once
+	debugCoord atomic.Pointer[coord.Coordinator]
+)
+
+// publishDebugVars registers the coordinator expvar once per process and
+// points it at c (re-pointing keeps expvar.Publish from panicking when tests
+// run the coordinator repeatedly in one process).
+func publishDebugVars(c *coord.Coordinator) {
+	debugCoord.Store(c)
+	debugOnce.Do(func() {
+		expvar.Publish("tagspin_coord", expvar.Func(func() any {
+			if c := debugCoord.Load(); c != nil {
+				return c.Stats()
+			}
+			return coord.Stats{}
+		}))
+	})
+}
+
+// startDebugServer begins serving pprof + expvar on addr. The returned
+// server is already accepting; the caller owns shutting it down.
+func startDebugServer(addr string) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	dbg := &http.Server{
+		Handler:           http.DefaultServeMux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go dbg.Serve(ln) //nolint:errcheck // closed via dbg.Close on shutdown
+	fmt.Printf("debug server (pprof, expvar) listening on http://%s/debug/\n", ln.Addr())
+	return dbg, nil
+}

@@ -1,0 +1,130 @@
+// Command tagspin-coord runs the fleet coordinator: an HTTP tier that shards
+// locate sessions across N locsrv replicas with consistent-hash routing
+// (sticky per reader address, so replica-side plan/trig caches stay hot),
+// absorbs replica backpressure and crashes by rerouting to the next ring
+// candidate, health-checks the fleet, and rolls the cluster's stats up into
+// one report:
+//
+//	GET    /healthz
+//	GET    /v1/replicas            routing table with health + counters
+//	POST   /v1/replicas            {"addr":"host:port"} register/heartbeat
+//	DELETE /v1/replicas/{addr}     deregister
+//	POST   /v1/locate              routed by readerAddr
+//	POST   /v1/locate-batch        split by ring owner, reassembled in order
+//	GET    /v1/tags                answered by the first reachable replica
+//	POST   /v1/tags                fanned out to every replica
+//	DELETE /v1/tags/{epc}          fanned out to every replica
+//	GET    /v1/cluster-stats       coordinator + per-replica + summed stats
+//
+// Replicas are either pinned with -replicas or register themselves (see
+// tagspin-server's -coord flag) and are expired when their heartbeats stop.
+//
+// SIGINT/SIGTERM drains gracefully: the coordinator stops admitting (503 +
+// Retry-After, health goes unhealthy so load balancers steer away), finishes
+// in-flight routes for up to the -drain budget, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/coord"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tagspin-coord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("tagspin-coord", flag.ContinueOnError)
+	var (
+		addr           = fs.String("addr", "127.0.0.1:8090", "HTTP listen address")
+		replicas       = fs.String("replicas", "", "comma-separated static replica addresses (host:port); more may register at runtime")
+		probeInterval  = fs.Duration("probe-interval", 0, "active health-probe period (0 = 2s)")
+		tripAfter      = fs.Int("trip-after", 0, "consecutive probe failures before a replica is tripped (0 = 3)")
+		restoreAfter   = fs.Int("restore-after", 0, "consecutive probe successes before a tripped replica is restored (0 = 2)")
+		heartbeatTTL   = fs.Duration("heartbeat-ttl", 0, "expire dynamically registered replicas after this silence (0 = 15s)")
+		rerouteBudget  = fs.Int("reroute-budget", 0, "extra replicas to try after the ring owner fails (0 = 2, negative = no reroutes)")
+		rerouteBackoff = fs.Duration("reroute-backoff", 0, "base delay before a reroute hop, doubled with jitter (0 = 25ms)")
+		drain          = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for draining in-flight routes")
+		debugAddr      = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var static []string
+	for _, a := range strings.Split(*replicas, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			static = append(static, a)
+		}
+	}
+	c, err := coord.New(coord.Config{
+		Replicas:       static,
+		ProbeInterval:  *probeInterval,
+		TripAfter:      *tripAfter,
+		RestoreAfter:   *restoreAfter,
+		HeartbeatTTL:   *heartbeatTTL,
+		RerouteBudget:  *rerouteBudget,
+		RerouteBackoff: *rerouteBackoff,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if *debugAddr != "" {
+		publishDebugVars(c)
+		dbg, err := startDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close() //nolint:errcheck // best-effort on exit
+	}
+	// The health/expiry loop stops with the drain below, not with the
+	// signal context — probes keep running while in-flight routes finish.
+	loopCtx, stopLoop := context.WithCancel(context.Background())
+	defer stopLoop()
+	go c.Run(loopCtx)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Printf("fleet coordinator listening on http://%s (%d static replicas)\n", *addr, len(static))
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	// Drain sequence: stop admitting first (new locates shed with 503 and
+	// /healthz fails), then let in-flight routes finish under the budget.
+	fmt.Println("shutdown requested; shedding new requests, draining in-flight routes")
+	c.Drain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close() //nolint:errcheck // already failing; force-close stragglers
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/tagspin/tagspin/internal/client"
+	"github.com/tagspin/tagspin/internal/coord"
 	"github.com/tagspin/tagspin/internal/locsrv"
 	"github.com/tagspin/tagspin/internal/registry"
 )
@@ -52,6 +53,9 @@ func run(ctx context.Context, args []string) error {
 		workers        = fs.Int("workers", 0, "spectrum compute-pool width (0 = TAGSPIN_WORKERS env or GOMAXPROCS)")
 		maxInFlight    = fs.Int("max-in-flight", 0, "admitted locate requests before shedding with 503 (0 = 2x pool width, negative = unlimited)")
 		debugAddr      = fs.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty = disabled)")
+		coordAddr      = fs.String("coord", "", "register with the fleet coordinator at this address (host:port; empty = standalone)")
+		advertise      = fs.String("advertise", "", "address to advertise to the coordinator (empty = -addr)")
+		heartbeat      = fs.Duration("heartbeat", 0, "coordinator heartbeat period (0 = 5s; must undercut the coordinator's -heartbeat-ttl)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,13 +102,43 @@ func run(ctx context.Context, args []string) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	fmt.Printf("localization server listening on http://%s\n", *addr)
+
+	// Fleet membership: register with the coordinator and heartbeat until
+	// shutdown; the announcer deregisters on its way out so the coordinator
+	// re-homes this replica's readers before the drain even starts.
+	announced := make(chan struct{})
+	if *coordAddr != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = *addr
+		}
+		ann := &coord.Announcer{
+			Coordinator: *coordAddr,
+			Addr:        adv,
+			Interval:    *heartbeat,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", a...)
+			},
+		}
+		go func() {
+			defer close(announced)
+			ann.Run(ctx) //nolint:errcheck // returns ctx.Err() on shutdown
+		}()
+	} else {
+		close(announced)
+	}
+
 	select {
 	case err := <-serveErr:
 		// Listen/serve failed before any shutdown was requested.
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Println("shutdown requested; draining in-flight requests")
+	// Drain sequence: deregister (announcer), stop admitting (Drain: new
+	// locates shed 503, /healthz fails), then finish in-flight requests.
+	fmt.Println("shutdown requested; shedding new requests, draining in-flight")
+	<-announced
+	srv.Drain()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"syscall"
 	"time"
 
 	"github.com/tagspin/tagspin/internal/channel"
@@ -27,6 +28,13 @@ import (
 
 // ErrRejected reports that the reader refused to start the session.
 var ErrRejected = errors.New("client: reader rejected RO spec")
+
+// ErrReaderClosed reports that the reader ended the connection mid-session
+// with a protocol-level CloseConnection. Like an abrupt TCP reset, this is a
+// classic flaky-link condition: the reader (or a middlebox) recycled the
+// connection, and a fresh session usually succeeds — so it is classified
+// transient (see Transient) and retried by CollectRetry.
+var ErrReaderClosed = errors.New("client: reader closed the connection mid-session")
 
 // Config tunes a collection session.
 type Config struct {
@@ -46,6 +54,12 @@ type Config struct {
 	// BaseBackoff is CollectRetry's first retry delay, doubled after each
 	// failed attempt with ±50% jitter; zero means 100 ms.
 	BaseBackoff time.Duration
+	// OnMalformed, when non-nil, observes every malformed tag report a
+	// session skipped (currently: an out-of-band channel index). Malformed
+	// reports no longer abort the session — they are dropped read by read,
+	// and collection fails only when a session produced nothing but
+	// malformed reports.
+	OnMalformed func(err error)
 }
 
 // band returns the effective frequency plan.
@@ -181,13 +195,17 @@ func CollectStream(ctx context.Context, addr string, cfg Config, sink ReportFunc
 }
 
 // Transient reports whether err is worth retrying: dial failures, network
-// timeouts, and session rejections are transient reader/link conditions;
+// timeouts, session rejections, mid-session connection closes (protocol
+// CloseConnection or a TCP reset) are transient reader/link conditions;
 // protocol errors and context cancellation are not.
 func Transient(err error) bool {
 	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
-	if errors.Is(err, ErrRejected) {
+	if errors.Is(err, ErrRejected) || errors.Is(err, ErrReaderClosed) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNRESET) {
 		return true
 	}
 	var ne net.Error
@@ -253,6 +271,12 @@ func CollectRetryStream(ctx context.Context, addr string, cfg Config, start func
 // doubling overflowing int64) instead of letting it panic mid-retry.
 const retryJitterFloor = time.Millisecond
 
+// RetryJitter maps a backoff schedule to a concrete jittered sleep in
+// [backoff/2, 3·backoff/2) — the same stampede-avoidance draw CollectRetry
+// uses between attempts, exported so other retrying tiers (the fleet
+// coordinator's reroute backoff) share one schedule shape.
+func RetryJitter(backoff time.Duration) time.Duration { return retryJitter(backoff) }
+
 // retryJitter maps a backoff schedule to a concrete sleep in
 // [backoff/2, 3·backoff/2), clamping non-positive schedules to
 // retryJitterFloor first so the jitter draw is always well defined.
@@ -275,6 +299,12 @@ func collect(conn *llrp.Conn, cfg Config, sink ReportFunc) (core.Observations, e
 	band := cfg.band()
 	obs := make(core.Observations)
 	started := false
+	// Malformed reports (out-of-band channel indices) are skipped, not
+	// fatal: one glitched read must not discard every good snapshot the
+	// session already produced. The count and last cause are kept so an
+	// all-malformed session still fails loudly.
+	malformed := 0
+	var lastMalformed error
 	for {
 		_, msg, err := conn.Receive()
 		if err != nil {
@@ -290,7 +320,12 @@ func collect(conn *llrp.Conn, cfg Config, sink ReportFunc) (core.Observations, e
 			for _, rep := range m.Reports {
 				freq, err := band.FrequencyHz(int(rep.ChannelIndex))
 				if err != nil {
-					return nil, fmt.Errorf("client: report %v: %w", rep.EPC, err)
+					malformed++
+					lastMalformed = fmt.Errorf("client: report %v: %w", rep.EPC, err)
+					if cfg.OnMalformed != nil {
+						cfg.OnMalformed(lastMalformed)
+					}
+					continue
 				}
 				epc := tags.EPC(rep.EPC)
 				snap := phase.Snapshot{
@@ -314,10 +349,13 @@ func collect(conn *llrp.Conn, cfg Config, sink ReportFunc) (core.Observations, e
 				if !started {
 					return nil, errors.New("client: session ended before it started")
 				}
+				if len(obs) == 0 && malformed > 0 {
+					return nil, fmt.Errorf("client: all %d tag reports malformed: %w", malformed, lastMalformed)
+				}
 				return obs, nil
 			}
 		case *llrp.CloseConnection:
-			return nil, errors.New("client: reader closed the connection mid-session")
+			return nil, ErrReaderClosed
 		}
 	}
 }

@@ -8,7 +8,9 @@ import (
 	"math"
 	"net"
 	"os"
+	"strings"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
@@ -161,24 +163,76 @@ func TestCollectReaderClosesMidSession(t *testing.T) {
 			return
 		}
 	})
-	if _, err := collect(conn, Config{}, nil); err == nil {
-		t.Error("mid-session close accepted")
+	_, err := collect(conn, Config{}, nil)
+	if !errors.Is(err, ErrReaderClosed) {
+		t.Errorf("err = %v, want ErrReaderClosed", err)
+	}
+	if !Transient(err) {
+		t.Errorf("mid-session close %v should be transient (flaky link)", err)
 	}
 }
 
-func TestCollectBadChannelIndex(t *testing.T) {
+// TestCollectBadChannelIndexSkipped pins the skip-and-count behavior: one
+// glitched read among good ones is dropped (and reported to the OnMalformed
+// hook) instead of aborting the session and discarding the good snapshots.
+func TestCollectBadChannelIndexSkipped(t *testing.T) {
 	conn := fakeReader(t, func(s *llrp.Conn) {
 		id := expectStart(t, s)
 		if err := s.Reply(id, &llrp.StartROSpecResponse{Status: llrp.StatusOK}); err != nil {
 			return
 		}
-		report := &llrp.ROAccessReport{Reports: []llrp.TagReportData{{ChannelIndex: 99}}}
+		report := &llrp.ROAccessReport{Reports: []llrp.TagReportData{
+			{EPC: [12]byte{1}, ChannelIndex: 99},
+			{EPC: [12]byte{2}, ChannelIndex: 8, FirstSeenMicros: 1000},
+		}}
 		if _, err := s.Send(report); err != nil {
 			return
 		}
+		s.Send(&llrp.ReaderEventNotification{Event: llrp.EventROSpecDone}) //nolint:errcheck
 	})
-	if _, err := collect(conn, Config{}, nil); err == nil {
-		t.Error("out-of-band channel index accepted")
+	var malformed int
+	obs, err := collect(conn, Config{OnMalformed: func(error) { malformed++ }}, nil)
+	if err != nil {
+		t.Fatalf("session with one bad read failed: %v", err)
+	}
+	if len(obs) != 1 {
+		t.Fatalf("tags = %d, want 1 (good read kept)", len(obs))
+	}
+	if _, ok := obs[[12]byte{2}]; !ok {
+		t.Errorf("good read missing from observations")
+	}
+	if malformed != 1 {
+		t.Errorf("OnMalformed saw %d reports, want 1", malformed)
+	}
+}
+
+// TestCollectAllReportsMalformed keeps the loud failure when a session
+// produced nothing usable: every read out-of-band must still error.
+func TestCollectAllReportsMalformed(t *testing.T) {
+	conn := fakeReader(t, func(s *llrp.Conn) {
+		id := expectStart(t, s)
+		if err := s.Reply(id, &llrp.StartROSpecResponse{Status: llrp.StatusOK}); err != nil {
+			return
+		}
+		report := &llrp.ROAccessReport{Reports: []llrp.TagReportData{
+			{EPC: [12]byte{1}, ChannelIndex: 99},
+			{EPC: [12]byte{2}, ChannelIndex: 77},
+		}}
+		if _, err := s.Send(report); err != nil {
+			return
+		}
+		s.Send(&llrp.ReaderEventNotification{Event: llrp.EventROSpecDone}) //nolint:errcheck
+	})
+	var malformed int
+	_, err := collect(conn, Config{OnMalformed: func(error) { malformed++ }}, nil)
+	if err == nil {
+		t.Fatal("all-malformed session accepted")
+	}
+	if !strings.Contains(err.Error(), "all 2 tag reports malformed") {
+		t.Errorf("err = %v, want all-malformed count", err)
+	}
+	if malformed != 2 {
+		t.Errorf("OnMalformed saw %d reports, want 2", malformed)
 	}
 }
 
@@ -237,6 +291,7 @@ func TestBudgetSplit(t *testing.T) {
 func TestTransientClassification(t *testing.T) {
 	timeoutErr := &net.OpError{Op: "read", Err: os.ErrDeadlineExceeded}
 	dialErr := &net.OpError{Op: "dial", Err: errors.New("connection refused")}
+	resetErr := &net.OpError{Op: "read", Err: syscall.ECONNRESET}
 	cases := []struct {
 		err  error
 		want bool
@@ -249,7 +304,13 @@ func TestTransientClassification(t *testing.T) {
 		{fmt.Errorf("client dial: %w", dialErr), true},
 		{context.Canceled, false},
 		{context.DeadlineExceeded, false},
-		{errors.New("client: reader closed the connection mid-session"), false},
+		// Mid-session closes are flaky-link conditions, not protocol bugs:
+		// the reader (or a middlebox) recycled the connection and a fresh
+		// session usually succeeds.
+		{ErrReaderClosed, true},
+		{fmt.Errorf("collect from r: %w", ErrReaderClosed), true},
+		{resetErr, true},
+		{fmt.Errorf("client receive: %w", resetErr), true},
 		{io.ErrUnexpectedEOF, false},
 	}
 	for _, c := range cases {

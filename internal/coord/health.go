@@ -1,0 +1,173 @@
+package coord
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// replica is one locsrv instance in the coordinator's table. Static
+// replicas come from the -replicas flag and never expire; dynamic ones
+// register over /v1/replicas and are dropped when their heartbeats stop.
+type replica struct {
+	addr   string
+	static bool
+
+	// mu guards the health state machine and the heartbeat clock.
+	mu         sync.Mutex
+	healthy    bool
+	consecFail int
+	consecOK   int
+	lastSeen   time.Time
+
+	// routed counts locate payloads sent to this replica; sheds counts the
+	// 503/504/transport outcomes the coordinator absorbed and rerouted away
+	// from it.
+	routed atomic.Uint64
+	sheds  atomic.Uint64
+}
+
+// newReplica builds a table entry. Replicas start healthy: a fresh fleet
+// serves immediately, and a replica that is actually down trips after its
+// first failed probes (or the first transport error routed into it).
+func newReplica(addr string, static bool, now time.Time) *replica {
+	return &replica{addr: addr, static: static, healthy: true, lastSeen: now}
+}
+
+// isHealthy reports the current verdict of the trip/restore machine.
+func (rep *replica) isHealthy() bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return rep.healthy
+}
+
+// noteSuccess feeds one successful probe into the state machine: restoreAfter
+// consecutive successes bring a tripped replica back.
+func (rep *replica) noteSuccess(restoreAfter int) (restored bool) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.consecFail = 0
+	rep.consecOK++
+	if !rep.healthy && rep.consecOK >= restoreAfter {
+		rep.healthy = true
+		return true
+	}
+	return false
+}
+
+// noteFailure feeds one failed probe (or routed transport error) into the
+// state machine: tripAfter consecutive failures trip the replica out of the
+// routing set.
+func (rep *replica) noteFailure(tripAfter int) (tripped bool) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.consecOK = 0
+	rep.consecFail++
+	if rep.healthy && rep.consecFail >= tripAfter {
+		rep.healthy = false
+		return true
+	}
+	return false
+}
+
+// beat refreshes the heartbeat clock.
+func (rep *replica) beat(now time.Time) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.lastSeen = now
+}
+
+// expired reports whether a dynamic replica's heartbeats have stopped.
+func (rep *replica) expired(now time.Time, ttl time.Duration) bool {
+	if rep.static {
+		return false
+	}
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return now.Sub(rep.lastSeen) > ttl
+}
+
+// Run drives the active health loop until ctx is done: every ProbeInterval
+// it probes each replica's /healthz, feeds the trip/restore state machine,
+// and expires dynamic replicas whose heartbeats stopped. A replica that is
+// draining answers its health check with 503, so drains trip out of the
+// routing set by the same mechanism as crashes — the coordinator needs no
+// separate drain signal.
+func (c *Coordinator) Run(ctx context.Context) {
+	ticker := time.NewTicker(c.probeInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			c.probeAll(ctx)
+			c.expireReplicas(time.Now())
+		}
+	}
+}
+
+// probeAll checks every replica concurrently and waits for the sweep.
+func (c *Coordinator) probeAll(ctx context.Context) {
+	c.mu.RLock()
+	reps := make([]*replica, 0, len(c.replicas))
+	for _, rep := range c.replicas {
+		reps = append(reps, rep)
+	}
+	c.mu.RUnlock()
+	var wg sync.WaitGroup
+	wg.Add(len(reps))
+	for _, rep := range reps {
+		go func(rep *replica) {
+			defer wg.Done()
+			c.probe(ctx, rep)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+// probe runs one health check against rep and feeds the state machine.
+func (c *Coordinator) probe(ctx context.Context, rep *replica) {
+	pctx, cancel := context.WithTimeout(ctx, c.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, "http://"+rep.addr+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.httpc.Do(req)
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if resp != nil {
+		resp.Body.Close() //nolint:errcheck // drained health probe
+	}
+	if ok {
+		if rep.noteSuccess(c.restoreAfter()) {
+			c.logf("coord: replica %s restored after %d healthy probes", rep.addr, c.restoreAfter())
+		}
+	} else {
+		if rep.noteFailure(c.tripAfter()) {
+			c.logf("coord: replica %s tripped unhealthy (probe: status/err %v)", rep.addr, err)
+		}
+	}
+}
+
+// expireReplicas drops dynamic replicas whose heartbeats went silent for
+// longer than the TTL and rebuilds the ring when membership changed.
+func (c *Coordinator) expireReplicas(now time.Time) {
+	ttl := c.heartbeatTTL()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	changed := false
+	for addr, rep := range c.replicas {
+		if rep.expired(now, ttl) {
+			delete(c.replicas, addr)
+			changed = true
+			c.expiredReplicas.Add(1)
+			c.logf("coord: replica %s expired (no heartbeat for %v)", addr, ttl)
+		}
+	}
+	if changed {
+		c.rebuildRingLocked()
+	}
+}

@@ -1,0 +1,102 @@
+package coord
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultVirtualNodes is the per-replica point count on the hash ring. More
+// points smooth the load split (the owner arcs approach 1/N of keyspace) at
+// the cost of a larger sorted array; 64 keeps the imbalance within a few
+// percent for fleets of up to dozens of replicas while lookups stay a single
+// binary search.
+const defaultVirtualNodes = 64
+
+// ringPoint is one virtual node: a replica's position on the hash circle.
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// ring is an immutable consistent-hash ring over replica addresses. Routing
+// a key (a reader address) walks clockwise from the key's hash to the first
+// virtual node; successive distinct replicas on the walk are the reroute
+// candidates. Immutability is the concurrency story: membership changes
+// build a fresh ring and swap it under the coordinator's lock, so lookups
+// never see a half-updated ring.
+//
+// Consistency is the point: adding or removing one replica moves only the
+// keys in the arcs that replica's virtual nodes owned (≈1/N of the
+// keyspace), so the per-reader stickiness that keeps replica-side plan/trig
+// caches hot survives fleet resizes.
+type ring struct {
+	points []ringPoint
+}
+
+// hashKey positions a string on the circle: FNV-1a pushed through a
+// MurmurHash3-style finalizer. Plain FNV avalanches poorly on the short,
+// near-identical strings this ring hashes (host:port plus a vnode suffix),
+// which visibly skews the arc split; the finalizer spreads those deltas
+// across all 64 bits.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// newRing builds a ring with vnodes virtual nodes per replica (0 means
+// defaultVirtualNodes).
+func newRing(addrs []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVirtualNodes
+	}
+	r := &ring{points: make([]ringPoint, 0, len(addrs)*vnodes)}
+	for _, a := range addrs {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(a + "#" + strconv.Itoa(i)), addr: a})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+// sequence returns up to n distinct replica addresses for key: the owner
+// first, then the clockwise successors — the order reroutes try them.
+func (r *ring) sequence(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			out = append(out, p.addr)
+		}
+	}
+	return out
+}
+
+// owner returns the replica that owns key, or "" on an empty ring.
+func (r *ring) owner(key string) string {
+	seq := r.sequence(key, 1)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}

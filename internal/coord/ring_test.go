@@ -1,0 +1,134 @@
+package coord
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys returns n synthetic reader addresses.
+func testKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.%d.%d:5084", i/256, i%256)
+	}
+	return out
+}
+
+func replicaAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("replica-%d:8080", i)
+	}
+	return out
+}
+
+// TestRingBoundedMovementOnAdd pins the consistency property that makes the
+// ring worth its name: growing N replicas to N+1 may move only the keys the
+// new replica now owns — about 1/(N+1) of the keyspace — while every other
+// key keeps its owner (and its warm caches).
+func TestRingBoundedMovementOnAdd(t *testing.T) {
+	const nKeys = 10000
+	addrs := replicaAddrs(5)
+	before := newRing(addrs, 0)
+	after := newRing(append(append([]string{}, addrs...), "replica-new:8080"), 0)
+	moved := 0
+	for _, key := range testKeys(nKeys) {
+		was, is := before.owner(key), after.owner(key)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "replica-new:8080" {
+			t.Fatalf("key %s moved %s -> %s: only the new replica may gain keys", key, was, is)
+		}
+	}
+	// Expect ≈ nKeys/6; allow generous slack for hash unevenness but fail
+	// on anything resembling a full reshuffle (a modulo hash moves ~5/6).
+	if moved == 0 {
+		t.Fatal("adding a replica moved no keys — it would receive no load")
+	}
+	if limit := nKeys / 3; moved > limit {
+		t.Errorf("adding 1 replica to 5 moved %d/%d keys, want < %d (≈1/6 expected)", moved, nKeys, limit)
+	}
+}
+
+// TestRingBoundedMovementOnRemove is the drain/crash direction: removing a
+// replica may only re-home the keys it owned; everyone else stays put.
+func TestRingBoundedMovementOnRemove(t *testing.T) {
+	const nKeys = 10000
+	addrs := replicaAddrs(5)
+	before := newRing(addrs, 0)
+	after := newRing(addrs[:4], 0) // replica-4 removed
+	for _, key := range testKeys(nKeys) {
+		was, is := before.owner(key), after.owner(key)
+		if was == "replica-4:8080" {
+			if is == "replica-4:8080" {
+				t.Fatalf("key %s still owned by removed replica", key)
+			}
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", key, was, is)
+		}
+	}
+}
+
+// TestRingSpread checks the virtual nodes keep per-replica load within a
+// sane band — no replica starves or takes a multiple of its fair share.
+func TestRingSpread(t *testing.T) {
+	const nKeys = 20000
+	addrs := replicaAddrs(4)
+	r := newRing(addrs, 0)
+	counts := make(map[string]int)
+	for _, key := range testKeys(nKeys) {
+		counts[r.owner(key)]++
+	}
+	fair := nKeys / len(addrs)
+	for _, a := range addrs {
+		got := counts[a]
+		if got < fair/2 || got > fair*2 {
+			t.Errorf("replica %s owns %d keys, want within [%d, %d] of fair %d", a, got, fair/2, fair*2, fair)
+		}
+	}
+}
+
+// TestRingSequence pins the reroute walk: distinct replicas, owner first,
+// stable for the same key, and bounded by the fleet size.
+func TestRingSequence(t *testing.T) {
+	addrs := replicaAddrs(3)
+	r := newRing(addrs, 0)
+	seq := r.sequence("10.1.2.3:5084", 5)
+	if len(seq) != 3 {
+		t.Fatalf("sequence = %v, want all 3 distinct replicas", seq)
+	}
+	seen := map[string]bool{}
+	for _, a := range seq {
+		if seen[a] {
+			t.Fatalf("sequence %v repeats %s", seq, a)
+		}
+		seen[a] = true
+	}
+	if seq[0] != r.owner("10.1.2.3:5084") {
+		t.Errorf("sequence head %s != owner %s", seq[0], r.owner("10.1.2.3:5084"))
+	}
+	again := r.sequence("10.1.2.3:5084", 5)
+	for i := range seq {
+		if seq[i] != again[i] {
+			t.Fatalf("sequence not stable: %v vs %v", seq, again)
+		}
+	}
+	if got := r.sequence("anything", 2); len(got) != 2 {
+		t.Errorf("truncated sequence = %v, want 2 entries", got)
+	}
+}
+
+// TestRingEmpty covers the degenerate table.
+func TestRingEmpty(t *testing.T) {
+	r := newRing(nil, 0)
+	if got := r.sequence("key", 3); got != nil {
+		t.Errorf("empty ring sequence = %v, want nil", got)
+	}
+	if got := r.owner("key"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+}

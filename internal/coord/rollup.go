@@ -1,0 +1,173 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/tagspin/tagspin/internal/locsrv"
+)
+
+// Stats is the coordinator's own counter snapshot, shaped for expvar.
+type Stats struct {
+	// Replicas and HealthyReplicas size the current table.
+	Replicas        int
+	HealthyReplicas int
+	// Routed counts locate items admitted and sent into the fleet
+	// (batch items count individually).
+	Routed uint64
+	// Rerouted counts reroute hops: payloads moved to the next ring
+	// candidate after their current replica failed them.
+	Rerouted uint64
+	// ShedsAbsorbed counts replica 503/504 answers converted into reroutes
+	// instead of client-visible failures; TransportReroutes counts the
+	// transport-level equivalents (connection refused/reset, mid-reply
+	// death).
+	ShedsAbsorbed     uint64
+	TransportReroutes uint64
+	// RouteFailures counts client-visible routing failures: the reroute
+	// budget ran dry or the table was empty.
+	RouteFailures uint64
+	// AdmissionRejects counts requests shed while the coordinator drains.
+	AdmissionRejects uint64
+	// Heartbeats counts /v1/replicas register/heartbeat calls;
+	// ExpiredReplicas counts dynamic replicas dropped for silent
+	// heartbeats.
+	Heartbeats      uint64
+	ExpiredReplicas uint64
+	// Draining reports whether the coordinator has begun its drain.
+	Draining bool
+	// PerReplica carries the routing table with per-replica route/shed
+	// counters and health verdicts.
+	PerReplica []ReplicaInfo
+}
+
+// Stats snapshots the coordinator counters.
+func (c *Coordinator) Stats() Stats {
+	table := c.replicaTable()
+	healthy := 0
+	for _, info := range table {
+		if info.Healthy {
+			healthy++
+		}
+	}
+	return Stats{
+		Replicas:          len(table),
+		HealthyReplicas:   healthy,
+		Routed:            c.routed.Load(),
+		Rerouted:          c.rerouted.Load(),
+		ShedsAbsorbed:     c.shedsAbsorbed.Load(),
+		TransportReroutes: c.transportReroutes.Load(),
+		RouteFailures:     c.routeFailures.Load(),
+		AdmissionRejects:  c.admissionRejects.Load(),
+		Heartbeats:        c.heartbeats.Load(),
+		ExpiredReplicas:   c.expiredReplicas.Load(),
+		Draining:          c.draining.Load(),
+		PerReplica:        table,
+	}
+}
+
+// ClusterStats is the cluster-wide rollup: the coordinator's own counters,
+// every reachable replica's locsrv.Stats, and their sum.
+type ClusterStats struct {
+	Coordinator Stats `json:"coordinator"`
+	// Cluster is the element-wise sum of every reachable replica's
+	// counters (MaxAccumBacklog takes the max — it is a high-water mark).
+	Cluster locsrv.Stats `json:"cluster"`
+	// Replicas maps each reachable replica to its own snapshot.
+	Replicas map[string]locsrv.Stats `json:"replicas"`
+	// Unreachable lists replicas whose /v1/stats did not answer.
+	Unreachable []string `json:"unreachable,omitempty"`
+}
+
+// statsProbeTimeout bounds one replica /v1/stats fetch inside the rollup.
+const statsProbeTimeout = 2 * time.Second
+
+// ClusterStats fetches every replica's /v1/stats concurrently and rolls the
+// fleet up into one report.
+func (c *Coordinator) ClusterStats(ctx context.Context) ClusterStats {
+	out := ClusterStats{
+		Coordinator: c.Stats(),
+		Replicas:    make(map[string]locsrv.Stats),
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(len(out.Coordinator.PerReplica))
+	for _, info := range out.Coordinator.PerReplica {
+		go func(addr string) {
+			defer wg.Done()
+			st, err := c.fetchReplicaStats(ctx, addr)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				out.Unreachable = append(out.Unreachable, addr)
+				return
+			}
+			out.Replicas[addr] = st
+			addStats(&out.Cluster, st)
+		}(info.Addr)
+	}
+	wg.Wait()
+	sort.Strings(out.Unreachable)
+	return out
+}
+
+// fetchReplicaStats pulls one replica's counter snapshot off its API
+// listener.
+func (c *Coordinator) fetchReplicaStats(ctx context.Context, addr string) (locsrv.Stats, error) {
+	var st locsrv.Stats
+	sctx, cancel := context.WithTimeout(ctx, statsProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, "http://"+addr+"/v1/stats", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // fully read
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("replica %s /v1/stats: status %d", addr, resp.StatusCode)
+	}
+	if err := json.Unmarshal(b, &st); err != nil {
+		return st, fmt.Errorf("replica %s /v1/stats: %w", addr, err)
+	}
+	return st, nil
+}
+
+// addStats folds one replica's counters into the cluster sum. Counters add;
+// the backlog high-water mark takes the max; Draining is a per-replica fact
+// and stays out of the sum.
+func addStats(dst *locsrv.Stats, s locsrv.Stats) {
+	dst.Locates += s.Locates
+	dst.MLLocates += s.MLLocates
+	dst.Batches += s.Batches
+	dst.AdmissionRejects += s.AdmissionRejects
+	dst.MalformedReports += s.MalformedReports
+	dst.InFlight += s.InFlight
+	dst.MaxInFlight += s.MaxInFlight
+	dst.StreamLocates += s.StreamLocates
+	dst.StreamFallbackTags += s.StreamFallbackTags
+	dst.SnapshotsStreamed += s.SnapshotsStreamed
+	if s.MaxAccumBacklog > dst.MaxAccumBacklog {
+		dst.MaxAccumBacklog = s.MaxAccumBacklog
+	}
+	dst.FinalizeCount += s.FinalizeCount
+	dst.FinalizeNsTotal += s.FinalizeNsTotal
+}
+
+// handleClusterStats serves the rollup on the coordinator's API listener;
+// the same report is published as expvar on the debug listener.
+func (c *Coordinator) handleClusterStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.ClusterStats(r.Context()))
+}

@@ -119,10 +119,17 @@ type Server struct {
 	// buffered slot per admitted request. Nil disables admission control.
 	admit chan struct{}
 
+	// draining, once set, sheds every new locate with 503 and fails the
+	// health check so a fleet coordinator stops routing here; in-flight
+	// requests keep running to completion (the HTTP server's Shutdown
+	// waits for them).
+	draining atomic.Bool
+
 	locates          atomic.Uint64
 	mlLocates        atomic.Uint64
 	batches          atomic.Uint64
 	admissionRejects atomic.Uint64
+	malformedReports atomic.Uint64
 
 	streamLocates      atomic.Uint64
 	streamFallbackTags atomic.Uint64
@@ -171,6 +178,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/tags", s.handleListTags)
 	mux.HandleFunc("POST /v1/tags", s.handleAddTag)
 	mux.HandleFunc("DELETE /v1/tags/{epc}", s.handleRemoveTag)
@@ -214,13 +222,29 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return r.Context(), func() {}
 }
 
+// Drain flips the server into draining: the health check starts failing (a
+// coordinator health-trips the replica and stops routing to it), and every
+// new locate is shed with 503 + Retry-After while in-flight requests run to
+// completion. Callers sequence it before http.Server.Shutdown so the drain
+// window actually empties instead of racing new admissions.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // tryAdmit attempts to take an admission slot for one locate request,
-// without blocking. On saturation it writes the 503 shed-load response —
-// with a Retry-After hint so well-behaved clients back off — and returns
-// false. This is deliberately distinct from the 504 deadline path: 503
-// means "never started, retry elsewhere/later", 504 means "started and ran
-// out of time".
+// without blocking. On saturation — or while the server is draining — it
+// writes the 503 shed-load response — with a Retry-After hint so
+// well-behaved clients back off — and returns false. This is deliberately
+// distinct from the 504 deadline path: 503 means "never started, retry
+// elsewhere/later", 504 means "started and ran out of time".
 func (s *Server) tryAdmit(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		s.admissionRejects.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return false
+	}
 	if s.admit == nil {
 		return true
 	}
@@ -253,8 +277,14 @@ type Stats struct {
 	// MLLocates counts locate items solved by the maximum-likelihood
 	// backend ("backend": "ml"); the rest used the grid backend.
 	MLLocates uint64
-	// AdmissionRejects counts requests shed with 503.
+	// AdmissionRejects counts requests shed with 503 (saturation or
+	// draining).
 	AdmissionRejects uint64
+	// MalformedReports counts tag reports skipped by collection sessions
+	// (out-of-band channel indices — see client.Config.OnMalformed).
+	MalformedReports uint64
+	// Draining reports whether the server has begun its shutdown drain.
+	Draining bool
 	// InFlight and MaxInFlight describe the admission semaphore; both are
 	// 0 when admission control is disabled.
 	InFlight    int
@@ -284,6 +314,8 @@ func (s *Server) Stats() Stats {
 		MLLocates:          s.mlLocates.Load(),
 		Batches:            s.batches.Load(),
 		AdmissionRejects:   s.admissionRejects.Load(),
+		MalformedReports:   s.malformedReports.Load(),
+		Draining:           s.draining.Load(),
 		StreamLocates:      s.streamLocates.Load(),
 		StreamFallbackTags: s.streamFallbackTags.Load(),
 		SnapshotsStreamed:  s.snapshotsStreamed.Load(),
@@ -342,7 +374,18 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleStats serves the counter snapshot on the API listener so a fleet
+// coordinator can roll up replica stats without reaching the (possibly
+// firewalled, possibly disabled) debug listener.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handleListTags(w http.ResponseWriter, _ *http.Request) {
@@ -497,8 +540,9 @@ type BatchResponse struct {
 	Items []BatchItem `json:"items"`
 }
 
-// maxBatch bounds a single batch request.
-const maxBatch = 64
+// MaxBatch bounds a single batch request; the coordinator enforces the same
+// bound so a batch it accepts is one its replicas accept.
+const MaxBatch = 64
 
 // batchConcurrency returns the bound on concurrently running batch items.
 func (s *Server) batchConcurrency() int {
@@ -523,8 +567,8 @@ func (s *Server) handleLocateBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
 		return
 	}
-	if len(req.Requests) > maxBatch {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(req.Requests), maxBatch))
+	if len(req.Requests) > MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(req.Requests), MaxBatch))
 		return
 	}
 	spinning, err := s.cfg.Registry.SpinningTags()
@@ -582,12 +626,26 @@ type statusError struct {
 func (e *statusError) Error() string { return e.err.Error() }
 func (e *statusError) Unwrap() error { return e.err }
 
+// StatusClientClosedRequest is the nginx-convention 499 status for a
+// request abandoned by its own client. It is deliberately distinct from 504:
+// a 504 means the *server's* deadline expired mid-work (another replica
+// might finish in time, so a fleet coordinator may reroute it), while a 499
+// means the requester is gone — rerouting would burn a replica slot
+// computing an answer nobody will read.
+const StatusClientClosedRequest = 499
+
 // deadlineStatus maps an error to the HTTP status for a failed collect or
-// solve: context expiry is the server-imposed deadline (504), everything
-// else is the given fallback.
+// solve: context.DeadlineExceeded is the server-imposed deadline (504,
+// reroutable), context.Canceled is the client disconnecting mid-request
+// (499, not reroutable — the client is gone), everything else is the given
+// fallback. Mapping Canceled to 504 (as this used to) polluted the error
+// taxonomy the coordinator's reroute logic keys on.
 func deadlineStatus(err error, fallback int) int {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return StatusClientClosedRequest
 	}
 	return fallback
 }
@@ -623,6 +681,15 @@ func (s *Server) locateOne(ctx context.Context, req LocateRequest, spinning []co
 	ccfg := s.cfg.Client
 	if req.DurationMillis > 0 {
 		ccfg.Duration = time.Duration(req.DurationMillis) * time.Millisecond
+	}
+	// Count skipped malformed reports into the server stats, chaining any
+	// hook the caller installed.
+	callerHook := ccfg.OnMalformed
+	ccfg.OnMalformed = func(err error) {
+		s.malformedReports.Add(1)
+		if callerHook != nil {
+			callerHook(err)
+		}
 	}
 	if s.streaming {
 		return s.locateStreaming(ctx, loc, req.ReaderAddr, ccfg, mode, spinning)

@@ -120,13 +120,41 @@ func TestFaultCloseMidSession(t *testing.T) {
 	defer shutdown()
 
 	_, err := client.Collect(context.Background(), addr, client.Config{Duration: 2 * time.Second})
-	if err == nil {
-		t.Fatal("protocol-level CloseConnection produced no error")
+	if !errors.Is(err, client.ErrReaderClosed) {
+		t.Fatalf("err = %v, want ErrReaderClosed", err)
 	}
 	if !strings.Contains(err.Error(), "mid-session") {
 		t.Errorf("err = %v, want mid-session close", err)
 	}
-	if client.Transient(err) {
-		t.Errorf("protocol close classified transient: %v", err)
+	// A mid-session close is a flaky-link condition — it used to surface as
+	// a terminal protocol error, leaving CollectRetry no chance to recover.
+	if !client.Transient(err) {
+		t.Errorf("mid-session close not classified transient: %v", err)
+	}
+}
+
+// TestFaultCloseMidSessionRetryRecovers is the wire-level recovery proof:
+// the reader closes the first session mid-stream (protocol CloseConnection +
+// TCP drop), and CollectRetry must ride it out and complete a full session
+// on the retry instead of surfacing the flaky link to the caller.
+func TestFaultCloseMidSessionRetryRecovers(t *testing.T) {
+	sc := world(t, 16)
+	addr, shutdown := startReader(t, readersim.Config{
+		World:     sc,
+		TimeScale: 400,
+		Faults:    readersim.Faults{CloseMidSessions: 1},
+	})
+	defer shutdown()
+
+	obs, err := client.CollectRetry(context.Background(), addr, client.Config{
+		Duration:    2 * time.Second,
+		MaxAttempts: 3,
+		BaseBackoff: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("retry did not ride out the mid-session close: %v", err)
+	}
+	if len(obs) != 2 {
+		t.Errorf("tags observed = %d, want 2", len(obs))
 	}
 }

@@ -41,8 +41,13 @@ type Faults struct {
 	// the session hangs until the client gives up or disconnects.
 	StallBeforeDone bool
 	// CloseMidSession sends a protocol-level CloseConnection after the
-	// first report batch and drops the connection.
+	// first report batch and drops the connection, on every session.
 	CloseMidSession bool
+	// CloseMidSessions does the same to only the first K sessions across
+	// the whole reader, then serves normally — the transient flavor a
+	// retrying client must ride out (mirroring RejectSessions). Ignored
+	// when CloseMidSession is set.
+	CloseMidSessions int
 }
 
 // Config configures the simulated reader.
@@ -89,10 +94,11 @@ func (c Config) logf(format string, args ...any) {
 type Reader struct {
 	cfg Config
 
-	mu       sync.Mutex
-	seed     int64
-	rejected int
-	closed   chan struct{}
+	mu        sync.Mutex
+	seed      int64
+	rejected  int
+	midClosed int
+	closed    chan struct{}
 	wg       sync.WaitGroup
 	lis      net.Listener
 	conns    map[*llrp.Conn]struct{}
@@ -217,6 +223,22 @@ func (r *Reader) takeRejection() bool {
 	return false
 }
 
+// takeCloseMidSession decides, once per session, whether this session is
+// closed mid-stream: always under CloseMidSession, else it consumes one of
+// the CloseMidSessions injections while any remain.
+func (r *Reader) takeCloseMidSession() bool {
+	if r.cfg.Faults.CloseMidSession {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.midClosed < r.cfg.Faults.CloseMidSessions {
+		r.midClosed++
+		return true
+	}
+	return false
+}
+
 // read is one generated tag read on the session timeline.
 type read struct {
 	epc  tags.EPC
@@ -323,7 +345,7 @@ func (r *Reader) handle(conn *llrp.Conn) {
 			}
 			stopSession = make(chan struct{})
 			sessionDone = make(chan struct{})
-			go r.stream(conn, reads, duration, stopSession, sessionDone)
+			go r.stream(conn, reads, duration, r.takeCloseMidSession(), stopSession, sessionDone)
 		case *llrp.StopROSpec:
 			stopRunning()
 			if err := conn.Reply(id, &llrp.StopROSpecResponse{ROSpecID: m.ROSpecID, Status: llrp.StatusOK}); err != nil {
@@ -342,8 +364,10 @@ func (r *Reader) handle(conn *llrp.Conn) {
 }
 
 // stream paces the generated reads onto the connection in batches, honoring
-// the time compression, then announces completion.
-func (r *Reader) stream(conn *llrp.Conn, reads []read, duration time.Duration, stop, done chan struct{}) {
+// the time compression, then announces completion. closeMid, decided once at
+// session start, injects a protocol-level CloseConnection after the first
+// report batch.
+func (r *Reader) stream(conn *llrp.Conn, reads []read, duration time.Duration, closeMid bool, stop, done chan struct{}) {
 	defer close(done)
 	if _, err := conn.Send(&llrp.ReaderEventNotification{Event: llrp.EventROSpecStarted}); err != nil {
 		return
@@ -385,7 +409,7 @@ func (r *Reader) stream(conn *llrp.Conn, reads []read, duration time.Duration, s
 			return
 		}
 		reportsSent++
-		if f.CloseMidSession && reportsSent == 1 {
+		if closeMid && reportsSent == 1 {
 			r.cfg.logf("readersim: injected CloseConnection mid-session")
 			conn.Send(&llrp.CloseConnection{}) //nolint:errcheck // dropping anyway
 			conn.Close()                       //nolint:errcheck // dropping anyway

@@ -1,0 +1,81 @@
+#!/bin/sh
+# run-fleet.sh — bring up a minimal tagspin fleet on localhost:
+#
+#   tagspin-reader  (simulated LLRP reader, writes the shared registry)
+#   tagspin-server  x2 (locsrv replicas, registered with the coordinator)
+#   tagspin-coord   (consistent-hash router over the replicas)
+#
+# then smoke it: one locate routed through the coordinator and the
+# cluster-stats rollup. Everything is torn down on exit (including ^C), so
+# this doubles as a drain demo — the servers get SIGTERM and finish
+# in-flight work before exiting.
+#
+# Usage: scripts/run-fleet.sh [keep]
+#   keep  leave the fleet running until ^C instead of exiting after the smoke.
+set -eu
+
+READER_ADDR=127.0.0.1:5084
+REPLICA_A=127.0.0.1:8081
+REPLICA_B=127.0.0.1:8082
+COORD_ADDR=127.0.0.1:8090
+WORKDIR=$(mktemp -d "${TMPDIR:-/tmp}/tagspin-fleet.XXXXXX")
+REGISTRY="$WORKDIR/registry.json"
+
+PIDS=""
+COORD_PID=""
+cleanup() {
+    # Replicas first so they can deregister while the coordinator still
+    # answers; then the coordinator and reader.
+    for pid in $PIDS; do kill -TERM "$pid" 2>/dev/null || true; done
+    for pid in $PIDS; do wait "$pid" 2>/dev/null || true; done
+    if [ -n "$COORD_PID" ]; then
+        kill -TERM "$COORD_PID" 2>/dev/null || true
+        wait "$COORD_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building fleet binaries"
+go build -o "$WORKDIR/tagspin-reader" ./cmd/tagspin-reader
+go build -o "$WORKDIR/tagspin-server" ./cmd/tagspin-server
+go build -o "$WORKDIR/tagspin-coord" ./cmd/tagspin-coord
+
+echo "==> starting simulated reader on $READER_ADDR"
+"$WORKDIR/tagspin-reader" -addr "$READER_ADDR" -write-registry "$REGISTRY" &
+PIDS="$PIDS $!"
+while [ ! -s "$REGISTRY" ]; do sleep 0.1; done
+
+echo "==> starting coordinator on $COORD_ADDR"
+"$WORKDIR/tagspin-coord" -addr "$COORD_ADDR" &
+COORD_PID=$!
+
+echo "==> starting 2 locsrv replicas (register with coordinator)"
+"$WORKDIR/tagspin-server" -addr "$REPLICA_A" -registry "$REGISTRY" -coord "$COORD_ADDR" &
+PIDS="$PIDS $!"
+"$WORKDIR/tagspin-server" -addr "$REPLICA_B" -registry "$REGISTRY" -coord "$COORD_ADDR" &
+PIDS="$PIDS $!"
+
+# Wait for the coordinator to see both replicas.
+for _ in $(seq 1 50); do
+    n=$(curl -fsS "http://$COORD_ADDR/v1/replicas" 2>/dev/null \
+        | grep -o '"addr"' | wc -l) || n=0
+    [ "$n" -ge 2 ] && break
+    sleep 0.2
+done
+echo "==> routing table:"
+curl -fsS "http://$COORD_ADDR/v1/replicas"; echo
+
+echo "==> locate through the coordinator (routed by readerAddr)"
+curl -fsS -X POST "http://$COORD_ADDR/v1/locate" \
+    -H 'Content-Type: application/json' \
+    -d "{\"readerAddr\":\"$READER_ADDR\"}"; echo
+
+echo "==> cluster-stats rollup"
+curl -fsS "http://$COORD_ADDR/v1/cluster-stats"; echo
+
+if [ "${1:-}" = keep ]; then
+    echo "==> fleet up: coordinator http://$COORD_ADDR, replicas $REPLICA_A $REPLICA_B (^C to drain and exit)"
+    wait
+fi
+echo "==> smoke passed; draining fleet"
