@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-json bench-load bench-stream bench-sublin bench-compare run-fleet
+.PHONY: check build test race vet vet-strict bench bench-json bench-load bench-stream bench-sublin bench-compare run-fleet
 
 .DEFAULT_GOAL := check
 
@@ -33,35 +33,46 @@ race:
 vet:
 	$(GO) vet ./...
 
+# vet-strict is vet plus the bounds-check-elimination spot check: the SoA
+# hot loops in internal/spectrum (allcells.go synthesis and weighting
+# kernels) are written so the compiler can prove every index in range, and
+# scripts/check-bce.sh fails if a bounds check creeps back in (DESIGN.md
+# §13 documents the layout rules the script enforces).
+vet-strict: vet
+	sh scripts/check-bce.sh
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/spectrum/
 
 # bench-json regenerates the machine-readable perf snapshot consumed by
-# trajectory tooling (see cmd/tagspin-bench): schema tagspin-bench/6 —
+# trajectory tooling (see cmd/tagspin-bench): schema tagspin-bench/7 —
 # micro rows, concurrent-load rows (K simultaneous Locate2D pipelines on
 # the shared compute pool, grid and ml solve backends) with plan-cache hit
 # rates, the streaming rows (StreamLocate2D tail-latency pairs,
 # LoadLocate2DStream throughput), the MLLocate2D/3D grid-vs-ml
-# solve-backend A/B rows with meanErrM, and the sub-linear coarse-scan
-# rows (SubLinLocate2D/3D vs their dense Locate2D/3D baselines).
+# solve-backend A/B rows with meanErrM, the sub-linear coarse-scan rows
+# (SubLinLocate2D/3D vs their dense Locate2D/3D baselines), and the
+# all-cells rows (SubLinLocateR plus the DenseProfile/AllCellsProfile 2D/3D
+# pairs per kind, with their speedup floors).
 bench-json:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_6.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_7.json
 
-# bench-load is bench-json under its serving-path name: the schema-6 report
+# bench-load is bench-json under its serving-path name: the schema-7 report
 # is where the concurrent-load rows live.
 bench-load:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_6.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_7.json
 
-# bench-stream is bench-json under its streaming-path name: the schema-6
+# bench-stream is bench-json under its streaming-path name: the schema-7
 # report is where the StreamLocate2D/LoadLocate2DStream rows live.
 bench-stream:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_6.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_7.json
 
-# bench-sublin is bench-json under its sub-linear-search name: the schema-6
-# report is where the SubLinLocate2D/3D rows (and their ≥5x 2D speedup
-# floor) live.
+# bench-sublin is bench-json under its sub-linear-search name: the schema-7
+# report is where the SubLinLocate2D/3D rows (≥5x 2D floor), the
+# SubLinLocateR row (≥4x floor) and the AllCellsProfile rows (≥3x floor on
+# the 2D/Q pair) live.
 bench-sublin:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_6.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_7.json
 
 # bench-compare diffs the two newest BENCH_<n>.json snapshots and fails on
 # any >10% ns/op regression — the pre-merge perf gate for the spectrum

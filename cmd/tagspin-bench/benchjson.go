@@ -17,8 +17,16 @@ import (
 	"github.com/tagspin/tagspin/internal/testbed"
 )
 
-// benchSchema is the current report schema. Version 6 keeps every
-// version-5 row and adds the sub-linear coarse-scan rows —
+// benchSchema is the current report schema. Version 7 keeps every
+// version-6 row and adds the all-cells rows: LocateR/SubLinLocateR — the
+// KindR coarse-scan pair mirroring schema 6's Locate2D/SubLinLocate2D, the
+// SubLin row carrying speedupVsBatch against its dense baseline and gated at
+// subLinRMinSpeedup — and the full-profile pairs
+// DenseProfile2D/{Q,R} + AllCellsProfile2D/{Q,R} and
+// DenseProfile3D/{Q,R} + AllCellsProfile3D/{Q,R}, timing the dense profile
+// scans against the option-gated harmonic synthesis
+// (Profile2DIntoOpt/Profile3DOpt), the AllCells 2D/Q pair gated at
+// allCellsMinSpeedup. Version 6 added the sub-linear coarse-scan rows —
 // Locate2D/SubLinLocate2D and Locate3D/SubLinLocate3D, coarse-only peak
 // searches pairing each dense grid scan with its harmonic/hierarchical
 // replacement, the SubLin rows carrying speedupVsBatch against their dense
@@ -42,7 +50,7 @@ import (
 // Version 1 files (report-level GoMaxProcs only, no variants) still parse:
 // rows without a goMaxProcs fall back to the report-level value, and the
 // load-only fields are simply absent from older rows.
-const benchSchema = "tagspin-bench/6"
+const benchSchema = "tagspin-bench/7"
 
 // benchResult is one benchmark row of the machine-readable report.
 type benchResult struct {
@@ -72,7 +80,8 @@ type benchResult struct {
 	PlanCacheHitRate float64 `json:"planCacheHitRate,omitempty"`
 	// SpeedupVsBatch is how many times lower this row's latency is than its
 	// paired batch/dense row (schema 4+ StreamLocate2D/*/stream rows;
-	// schema 6+ SubLinLocate2D/3D rows, against Locate2D/3D).
+	// schema 6+ SubLinLocate2D/3D rows, against Locate2D/3D; schema 7+
+	// SubLinLocateR and AllCellsProfile2D/3D rows, against their Dense pair).
 	SpeedupVsBatch float64 `json:"speedupVsBatch,omitempty"`
 	// MeanErrM is the mean localization error in meters over the row's
 	// accuracy sweep (schema 5+, MLLocate rows only).
@@ -97,6 +106,12 @@ type benchReport struct {
 	Rebaselined bool          `json:"rebaselined,omitempty"`
 	Benchmarks  []benchResult `json:"benchmarks"`
 }
+
+// benchFewIters is the iteration count below which a micro row's ns/op is
+// treated as too few-sample to trust from one testing.Benchmark run and is
+// re-measured best-of-3 (min). Rows above it run enough iterations that
+// host-load noise averages out within a single run.
+const benchFewIters = 10
 
 // benchCase is one entry of the micro-benchmark suite.
 type benchCase struct {
@@ -246,6 +261,20 @@ func writeBenchJSON(path string, rebaselined bool) error {
 				continue // serial ops don't change with GOMAXPROCS
 			}
 			res := testing.Benchmark(bench.fn)
+			// A row whose op costs hundreds of ms fits only a handful of
+			// iterations in testing.Benchmark's budget, so its ns/op is a
+			// mean of ~3 samples and wobbles ±20% with host load while
+			// high-iteration rows self-average. Re-measure such rows and
+			// keep the fastest run — the minimum estimates the noise-free
+			// cost, the same policy the gated all-cells rows use.
+			if !raceEnabled && res.N < benchFewIters {
+				for rep := 0; rep < 2; rep++ {
+					r := testing.Benchmark(bench.fn)
+					if float64(r.T.Nanoseconds())*float64(res.N) < float64(res.T.Nanoseconds())*float64(r.N) {
+						res = r
+					}
+				}
+			}
 			report.Benchmarks = append(report.Benchmarks, benchResult{
 				Name:        bench.name,
 				Iterations:  res.N,
@@ -284,6 +313,11 @@ func writeBenchJSON(path string, rebaselined bool) error {
 		return err
 	}
 	report.Benchmarks = append(report.Benchmarks, subLinRows...)
+	allCellsRows, err := allCellsBenchRows()
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, allCellsRows...)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -114,23 +114,28 @@ func streamBenchRows() ([]benchResult, error) {
 			return nil, fmt.Errorf("stream bench %s: streamed position %v != batch %v", k.name, got.Position, want.Position)
 		}
 
-		var batchNs, streamNs float64
-		for i := 0; i < streamTailIters; i++ {
+		// Median, not mean: one host-load burst during the 40 samples drags
+		// a mean tens of percent on a shared runner, while the median holds
+		// the typical last-snapshot-to-answer latency the rows exist to
+		// track.
+		batchSamples := make([]float64, streamTailIters)
+		for i := range batchSamples {
 			t0 := time.Now()
 			if _, err := locator.Locate2D(col.Registered, obs); err != nil {
 				return nil, err
 			}
-			batchNs += float64(time.Since(t0).Nanoseconds())
+			batchSamples[i] = float64(time.Since(t0).Nanoseconds())
 		}
-		batchNs /= streamTailIters
-		for i := 0; i < streamTailIters; i++ {
+		streamSamples := make([]float64, streamTailIters)
+		for i := range streamSamples {
 			var tail time.Duration
 			if _, err := runStreamOnce(locator, col.Registered, items, obs, &tail); err != nil {
 				return nil, err
 			}
-			streamNs += float64(tail.Nanoseconds())
+			streamSamples[i] = float64(tail.Nanoseconds())
 		}
-		streamNs /= streamTailIters
+		batchNs := medianNs(batchSamples)
+		streamNs := medianNs(streamSamples)
 
 		procs := runtime.GOMAXPROCS(0)
 		rows = append(rows,
@@ -162,6 +167,16 @@ func streamBenchRows() ([]benchResult, error) {
 		return nil, err
 	}
 	return append(rows, loadRows...), nil
+}
+
+// medianNs returns the median of samples; it sorts in place.
+func medianNs(samples []float64) float64 {
+	sort.Float64s(samples)
+	n := len(samples)
+	if n%2 == 1 {
+		return samples[n/2]
+	}
+	return (samples[n/2-1] + samples[n/2]) / 2
 }
 
 // runStreamOnce replays the session through a fresh Stream and finalizes.

@@ -19,7 +19,8 @@ import (
 // net/http/pprof profiles (imported above) and expvar's /debug/vars
 // (registered by the expvar import). The tagspin-specific vars below add
 // the compute-pool gauges (workers, active jobs, chunks/sec), the trig
-// plan-cache hit/miss counters, and the server's request/admission
+// plan-cache hit/miss counters, the spectrum coarse-search routing tally
+// (which accelerator served each scan), and the server's request/admission
 // counters. The debug listener is separate from the API listener on
 // purpose: profiles and metrics never compete with (or get exposed to)
 // localization traffic.
@@ -41,6 +42,9 @@ func publishDebugVars(srv *locsrv.Server) {
 		}))
 		expvar.Publish("tagspin_plancache", expvar.Func(func() any {
 			return spectrum.PlanCacheSnapshot()
+		}))
+		expvar.Publish("tagspin_spectrum_search", expvar.Func(func() any {
+			return spectrum.SearchStatsSnapshot()
 		}))
 		expvar.Publish("tagspin_server", expvar.Func(func() any {
 			if s := debugSrv.Load(); s != nil {

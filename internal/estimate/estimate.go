@@ -97,21 +97,25 @@ func NewML(cfg Config) *ML { return &ML{cfg: cfg} }
 // Name implements core.Estimator.
 func (*ML) Name() string { return "ml" }
 
-// tagScene is one disk's contribution to the joint likelihood: an
-// exact-trig Q evaluator over the tag's snapshots plus the fusion weight.
-// Exact trig is deliberate — the fast kernel's ~1e-6 profile noise is far
-// below any physical effect but would dominate the 4h² denominator of the
-// finite-difference Hessian.
-type tagScene struct {
-	center geom.Vec3
-	ev     *spectrum.Evaluator
-	sc     *spectrum.Scratch
-	w      float64
+// sceneSet is the structure-of-arrays layout of the per-disk likelihood
+// inputs: disk centers split into coordinate slices, fusion weights, and
+// the evaluator/scratch handles in parallel arrays. The scoring loops run
+// thousands of times per solve (every simplex trial and Hessian probe walks
+// all disks), so the hot fields live in flat float64 slices the loop can
+// stream with the bounds checks retired — the same layout rule the spectrum
+// package applies to its term set. Exact trig is deliberate — the fast
+// kernel's ~1e-6 profile noise is far below any physical effect but would
+// dominate the 4h² denominator of the finite-difference Hessian.
+type sceneSet struct {
+	cx, cy, cz []float64 // disk centers, one coordinate per slice
+	w          []float64 // fusion weight per disk
+	evs        []*spectrum.Evaluator
+	scs        []*spectrum.Scratch
 }
 
 // scenes builds the per-disk evaluators for the live tags (Power > 0; dead
 // tags carry no directional evidence, mirroring the grid backend's filter).
-func (m *ML) scenes(tags []core.EstimatorTag) ([]*tagScene, []core.EstimatorTag, error) {
+func (m *ML) scenes(tags []core.EstimatorTag) (*sceneSet, []core.EstimatorTag, error) {
 	live := make([]core.EstimatorTag, 0, len(tags))
 	for _, t := range tags {
 		if t.Est.Power > 0 && len(t.Snaps) > 0 {
@@ -123,88 +127,113 @@ func (m *ML) scenes(tags []core.EstimatorTag) ([]*tagScene, []core.EstimatorTag,
 			len(live), len(tags), locate.ErrTooFewBearings)
 	}
 	sigma := m.cfg.sigma()
-	out := make([]*tagScene, len(live))
+	n := len(live)
+	coords := make([]float64, 4*n) // one backing array for cx/cy/cz/w
+	set := &sceneSet{
+		cx:  coords[0*n : 1*n],
+		cy:  coords[1*n : 2*n],
+		cz:  coords[2*n : 3*n],
+		w:   coords[3*n : 4*n],
+		evs: make([]*spectrum.Evaluator, n),
+		scs: make([]*spectrum.Scratch, n),
+	}
 	for i, t := range live {
 		params := spectrum.Params{Disk: t.Tag.Disk, Sigma: sigma}
 		ev, err := spectrum.NewEvaluator(t.Snaps, params, spectrum.KindQ)
 		if err != nil {
 			return nil, nil, fmt.Errorf("estimate: tag %s: %w", t.Tag.EPC, err)
 		}
+		c := t.Tag.Disk.Center
+		set.cx[i], set.cy[i], set.cz[i] = c.X, c.Y, c.Z
 		// n/σ²: n·log Q ≈ −½Σ(ε−ε̄)², so dividing by σ² makes the sum the
 		// Gaussian log-likelihood kernel −½Σ((ε−ε̄)/σ)². That calibration
 		// is what makes the Hessian the Fisher information and the 1σ
 		// ellipse contain the truth at the nominal ≈39% rate.
-		out[i] = &tagScene{
-			center: t.Tag.Disk.Center,
-			ev:     ev,
-			sc:     ev.NewScratch(),
-			w:      float64(len(t.Snaps)) / (sigma * sigma),
-		}
+		set.w[i] = float64(len(t.Snaps)) / (sigma * sigma)
+		set.evs[i] = ev
+		set.scs[i] = ev.NewScratch()
 	}
-	return out, live, nil
+	return set, live, nil
 }
 
 // applyPatternWeights scales each scene's weight by the antenna pattern's
 // linear gain from the seed position toward that disk, normalized to the
 // best-lit disk and floored at 0.05 so no disk is silenced entirely.
-func (m *ML) applyPatternWeights(seed geom.Vec3, scenes []*tagScene) {
+func (m *ML) applyPatternWeights(seed geom.Vec3, scenes *sceneSet) {
 	if m.cfg.Antenna == nil {
 		return
 	}
 	ant := *m.cfg.Antenna
 	ant.Position = seed
+	n := len(scenes.w)
 	var centroid geom.Vec3
-	for _, s := range scenes {
-		centroid = centroid.Add(s.center)
+	for i := 0; i < n; i++ {
+		centroid = centroid.Add(geom.V3(scenes.cx[i], scenes.cy[i], scenes.cz[i]))
 	}
-	centroid = centroid.Scale(1 / float64(len(scenes)))
+	centroid = centroid.Scale(1 / float64(n))
 	ant.Boresight = centroid.Sub(seed).Azimuth()
-	gains := make([]float64, len(scenes))
+	gains := make([]float64, n)
 	maxGain := math.Inf(-1)
-	for i, s := range scenes {
-		gains[i] = math.Pow(10, ant.GainTowards(s.center)/10)
+	for i := 0; i < n; i++ {
+		gains[i] = math.Pow(10, ant.GainTowards(geom.V3(scenes.cx[i], scenes.cy[i], scenes.cz[i]))/10)
 		if gains[i] > maxGain {
 			maxGain = gains[i]
 		}
 	}
-	for i, s := range scenes {
+	for i := 0; i < n; i++ {
 		w := gains[i] / maxGain
 		if w < 0.05 {
 			w = 0.05
 		}
-		s.w *= w
+		scenes.w[i] *= w
 	}
 }
 
 // logL2D is the joint log-likelihood of a planar reader position: the
 // candidate's azimuth toward each disk, evaluated on that disk's Q profile
 // at γ = 0 (the grid 2D solve makes the same planar assumption).
-func logL2D(scenes []*tagScene, p geom.Vec2) float64 {
+func logL2D(scenes *sceneSet, p geom.Vec2) float64 {
+	cx := scenes.cx
+	n := len(cx)
+	cy := scenes.cy[:n]
+	w := scenes.w[:n]
+	evs := scenes.evs[:n]
+	scs := scenes.scs[:n]
 	var sum float64
-	for _, s := range scenes {
-		d := p.Sub(s.center.XY())
-		phi := math.Atan2(d.Y, d.X)
-		q := s.ev.EvalAt(s.sc, phi, 0)
+	for i := 0; i < n; i++ {
+		dx := p.X - cx[i]
+		dy := p.Y - cy[i]
+		phi := math.Atan2(dy, dx)
+		q := evs[i].EvalAt(scs[i], phi, 0)
 		if q < qFloor {
 			q = qFloor
 		}
-		sum += s.w * math.Log(q)
+		sum += w[i] * math.Log(q)
 	}
 	return sum
 }
 
 // logL3D is the joint log-likelihood of a spatial reader position.
-func logL3D(scenes []*tagScene, p geom.Vec3) float64 {
+func logL3D(scenes *sceneSet, p geom.Vec3) float64 {
+	cx := scenes.cx
+	n := len(cx)
+	cy := scenes.cy[:n]
+	cz := scenes.cz[:n]
+	w := scenes.w[:n]
+	evs := scenes.evs[:n]
+	scs := scenes.scs[:n]
 	var sum float64
-	for _, s := range scenes {
-		d := p.Sub(s.center)
-		phi := math.Atan2(d.Y, d.X)
-		gamma := math.Atan2(d.Z, math.Hypot(d.X, d.Y))
-		q := s.ev.EvalAt(s.sc, phi, gamma)
+	for i := 0; i < n; i++ {
+		dx := p.X - cx[i]
+		dy := p.Y - cy[i]
+		dz := p.Z - cz[i]
+		phi := math.Atan2(dy, dx)
+		gamma := math.Atan2(dz, math.Hypot(dx, dy))
+		q := evs[i].EvalAt(scs[i], phi, gamma)
 		if q < qFloor {
 			q = qFloor
 		}
-		sum += s.w * math.Log(q)
+		sum += w[i] * math.Log(q)
 	}
 	return sum
 }
@@ -232,11 +261,15 @@ func (m *ML) Solve2D(tags []core.EstimatorTag) (core.Solution2D, error) {
 	m.applyPatternWeights(geom.V3(seed.X, seed.Y, 0), scenes)
 
 	neg := func(x []float64) float64 { return -logL2D(scenes, geom.V2(x[0], x[1])) }
-	opt, negL := nelderMead(neg, []float64{seed.X, seed.Y}, m.cfg.maxIter())
+	s := optPool.Get().(*optScratch)
+	defer optPool.Put(s)
+	x0 := [2]float64{seed.X, seed.Y}
+	var opt [2]float64
+	negL := nelderMead(neg, x0[:], opt[:], m.cfg.maxIter(), s)
 	pos := geom.V2(opt[0], opt[1])
 
 	conf := &core.Confidence{LogLikelihood: -negL}
-	if cov, ok := covariance(neg, opt); ok {
+	if cov, ok := covariance(neg, opt[:], s); ok {
 		conf.Cov[0][0], conf.Cov[0][1] = cov[0][0], cov[0][1]
 		conf.Cov[1][0], conf.Cov[1][1] = cov[1][0], cov[1][1]
 		fillEllipse(conf)
@@ -272,15 +305,18 @@ func (m *ML) Solve3D(tags []core.EstimatorTag) (core.Solution3D, error) {
 	m.applyPatternWeights(cands[0].Position, scenes)
 
 	neg := func(x []float64) float64 { return -logL3D(scenes, geom.V3(x[0], x[1], x[2])) }
+	s := optPool.Get().(*optScratch)
+	defer optPool.Put(s)
 	type refined struct {
-		x    []float64
+		x    [3]float64 // by value: the simplex lives in the shared scratch
 		negL float64
 		seed locate.Candidate
 	}
 	refs := make([]refined, len(cands))
 	for i, c := range cands {
-		x, negL := nelderMead(neg, []float64{c.Position.X, c.Position.Y, c.Position.Z}, m.cfg.maxIter())
-		refs[i] = refined{x: x, negL: negL, seed: c}
+		x0 := [3]float64{c.Position.X, c.Position.Y, c.Position.Z}
+		refs[i].negL = nelderMead(neg, x0[:], refs[i].x[:], m.cfg.maxIter(), s)
+		refs[i].seed = c
 	}
 	best, mirror := refs[0], refs[1] // refs[0] is the above-planes candidate
 	if mirror.negL < best.negL-mirrorMargin {
@@ -291,7 +327,7 @@ func (m *ML) Solve3D(tags []core.EstimatorTag) (core.Solution3D, error) {
 		LogLikelihood:       -best.negL,
 		MirrorLogLikelihood: -mirror.negL,
 	}
-	if cov, ok := covariance(neg, best.x); ok {
+	if cov, ok := covariance(neg, best.x[:], s); ok {
 		for a := 0; a < 3; a++ {
 			for b := 0; b < 3; b++ {
 				conf.Cov[a][b] = cov[a][b]

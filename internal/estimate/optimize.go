@@ -2,8 +2,7 @@ package estimate
 
 import (
 	"math"
-
-	"github.com/tagspin/tagspin/internal/mathx"
+	"sync"
 )
 
 // initStep is the initial simplex edge (meters). The bearing seed is
@@ -15,25 +14,49 @@ const initStep = 0.05
 // below the millimeter scale anything downstream can resolve.
 const convergeDiam = 1e-6
 
+// maxDim is the largest search dimension the backend refines (x, y, z).
+const maxDim = 3
+
+// optScratch holds every work area the refinement and Hessian passes need,
+// sized for maxDim once and for all: the simplex vertices (backed by one
+// flat array), the centroid/trial/perturbation points, and the Hessian.
+// Solves borrow one from optPool so a steady-state Solve2D/Solve3D performs
+// no optimizer allocations at all — the same per-request pooling discipline
+// the spectrum package applies to its search scratch.
+type optScratch struct {
+	vertBuf  [(maxDim + 1) * maxDim]float64
+	verts    [maxDim + 1][]float64
+	vals     [maxDim + 1]float64
+	centroid [maxDim]float64
+	trial    [maxDim]float64
+	pert     [maxDim]float64
+	hess     [maxDim][maxDim]float64
+}
+
+var optPool = sync.Pool{New: func() any { return new(optScratch) }}
+
 // nelderMead minimizes f from x0 with the standard downhill-simplex
-// coefficients (reflect 1, expand 2, contract 0.5, shrink 0.5). It returns
-// the best vertex and its value. Derivative-free on purpose: the likelihood
-// is smooth near the optimum but the Q profiles make it cheap to evaluate
-// and awkward to differentiate analytically.
-func nelderMead(f func([]float64) float64, x0 []float64, maxIter int) ([]float64, float64) {
+// coefficients (reflect 1, expand 2, contract 0.5, shrink 0.5), writing the
+// best vertex into dst (len(dst) == len(x0)) and returning its value. The
+// result is copied out rather than returned by reference because the
+// vertices live in the pooled scratch. Derivative-free on purpose: the
+// likelihood is smooth near the optimum but the Q profiles make it cheap to
+// evaluate and awkward to differentiate analytically.
+func nelderMead(f func([]float64) float64, x0, dst []float64, maxIter int, s *optScratch) float64 {
 	n := len(x0)
-	verts := make([][]float64, n+1)
-	vals := make([]float64, n+1)
+	verts := s.verts[:n+1]
+	vals := s.vals[:n+1]
 	for i := range verts {
-		v := append([]float64(nil), x0...)
+		v := s.vertBuf[i*maxDim : i*maxDim+n]
+		copy(v, x0)
 		if i > 0 {
 			v[i-1] += initStep
 		}
 		verts[i] = v
 		vals[i] = f(v)
 	}
-	centroid := make([]float64, n)
-	trial := make([]float64, n)
+	centroid := s.centroid[:n]
+	trial := s.trial[:n]
 
 	order := func() {
 		for i := 1; i < len(verts); i++ {
@@ -59,11 +82,11 @@ func nelderMead(f func([]float64) float64, x0 []float64, maxIter int) ([]float64
 		}
 
 		for d := 0; d < n; d++ {
-			var s float64
+			var sum float64
 			for i := 0; i < n; i++ { // all but the worst vertex
-				s += verts[i][d]
+				sum += verts[i][d]
 			}
-			centroid[d] = s / float64(n)
+			centroid[d] = sum / float64(n)
 		}
 		worst := n
 		at := func(scale float64) float64 {
@@ -103,7 +126,8 @@ func nelderMead(f func([]float64) float64, x0 []float64, maxIter int) ([]float64
 		}
 		order()
 	}
-	return verts[0], vals[0]
+	copy(dst, verts[0])
+	return vals[0]
 }
 
 // copyFrom sets dst to centroid + scale·(dst − centroid) — the accepted
@@ -115,75 +139,97 @@ func copyFrom(dst, centroid []float64, scale float64) {
 }
 
 // covariance inverts the central-difference Hessian of f (the negative
-// log-likelihood) at x. It returns ok = false when the Hessian is not
+// log-likelihood) at x, returning the covariance by value in the upper-left
+// len(x)×len(x) block. It returns ok = false when the Hessian is not
 // positive definite — a saddle or degenerate geometry where a Gaussian
-// approximation would mislead.
-func covariance(f func([]float64) float64, x []float64) ([][]float64, bool) {
+// approximation would mislead. The dimension is at most maxDim, so the
+// inverse comes from the closed-form 2×2/3×3 adjugate instead of a general
+// elimination — no temporaries, which is what lets the whole Solve path run
+// out of the pooled scratch.
+func covariance(f func([]float64) float64, x []float64, s *optScratch) (cov [maxDim][maxDim]float64, ok bool) {
 	n := len(x)
 	h := hessianStep
 	fx := f(x)
-	pert := func(deltas ...[2]float64) float64 {
-		p := append([]float64(nil), x...)
-		for _, d := range deltas {
-			p[int(d[0])] += d[1]
+	p := s.pert[:n]
+	pert := func(a int, da float64, b int, db float64) float64 {
+		copy(p, x)
+		p[a] += da
+		if b >= 0 {
+			p[b] += db
 		}
 		return f(p)
 	}
-	hess := make([][]float64, n)
-	for a := range hess {
-		hess[a] = make([]float64, n)
-	}
 	for a := 0; a < n; a++ {
-		hess[a][a] = (pert([2]float64{float64(a), h}) - 2*fx + pert([2]float64{float64(a), -h})) / (h * h)
+		s.hess[a][a] = (pert(a, h, -1, 0) - 2*fx + pert(a, -h, -1, 0)) / (h * h)
 		for b := a + 1; b < n; b++ {
-			v := (pert([2]float64{float64(a), h}, [2]float64{float64(b), h}) -
-				pert([2]float64{float64(a), h}, [2]float64{float64(b), -h}) -
-				pert([2]float64{float64(a), -h}, [2]float64{float64(b), h}) +
-				pert([2]float64{float64(a), -h}, [2]float64{float64(b), -h})) / (4 * h * h)
-			hess[a][b], hess[b][a] = v, v
+			v := (pert(a, h, b, h) - pert(a, h, b, -h) -
+				pert(a, -h, b, h) + pert(a, -h, b, -h)) / (4 * h * h)
+			s.hess[a][b], s.hess[b][a] = v, v
 		}
 	}
 	// Positive-definiteness check via leading principal minors (n ≤ 3).
-	if !posDefinite(hess) {
-		return nil, false
+	if !posDefinite(&s.hess, n) {
+		return cov, false
 	}
-	// Covariance = H⁻¹, column by column.
-	cov := make([][]float64, n)
-	for a := range cov {
-		cov[a] = make([]float64, n)
+	if !invertSym(&s.hess, n, &cov) {
+		return cov, false
 	}
-	for col := 0; col < n; col++ {
-		aCopy := make([][]float64, n)
-		for i := range aCopy {
-			aCopy[i] = append([]float64(nil), hess[i]...)
-		}
-		e := make([]float64, n)
-		e[col] = 1
-		sol, err := mathx.SolveLinear(aCopy, e)
-		if err != nil {
-			return nil, false
-		}
-		for row := 0; row < n; row++ {
-			cov[row][col] = sol[row]
-		}
-	}
-	// Symmetrize away the last bits of finite-difference asymmetry.
 	for a := 0; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			v := (cov[a][b] + cov[b][a]) / 2
-			cov[a][b], cov[b][a] = v, v
-		}
 		if cov[a][a] <= 0 {
-			return nil, false
+			return cov, false
 		}
 	}
 	return cov, true
 }
 
-// posDefinite checks Sylvester's criterion for a symmetric matrix of
-// dimension ≤ 3.
-func posDefinite(m [][]float64) bool {
-	n := len(m)
+// invertSym writes the inverse of the symmetric n×n block of m into out via
+// the adjugate formula. The determinant was already vetted positive by
+// posDefinite; the explicit guard keeps a pathological near-zero determinant
+// from laundering ±Inf into the covariance.
+func invertSym(m *[maxDim][maxDim]float64, n int, out *[maxDim][maxDim]float64) bool {
+	switch n {
+	case 1:
+		if m[0][0] == 0 {
+			return false
+		}
+		out[0][0] = 1 / m[0][0]
+	case 2:
+		det := m[0][0]*m[1][1] - m[0][1]*m[1][0]
+		if det == 0 || math.IsInf(det, 0) {
+			return false
+		}
+		inv := 1 / det
+		out[0][0] = m[1][1] * inv
+		out[1][1] = m[0][0] * inv
+		v := -m[0][1] * inv
+		out[0][1], out[1][0] = v, v
+	case 3:
+		c00 := m[1][1]*m[2][2] - m[1][2]*m[2][1]
+		c01 := m[0][2]*m[2][1] - m[0][1]*m[2][2]
+		c02 := m[0][1]*m[1][2] - m[0][2]*m[1][1]
+		c11 := m[0][0]*m[2][2] - m[0][2]*m[2][0]
+		c12 := m[0][2]*m[1][0] - m[0][0]*m[1][2]
+		c22 := m[0][0]*m[1][1] - m[0][1]*m[1][0]
+		det := m[0][0]*c00 + m[1][0]*c01 + m[2][0]*c02
+		if det == 0 || math.IsInf(det, 0) {
+			return false
+		}
+		inv := 1 / det
+		out[0][0] = c00 * inv
+		out[1][1] = c11 * inv
+		out[2][2] = c22 * inv
+		out[0][1], out[1][0] = c01*inv, c01*inv
+		out[0][2], out[2][0] = c02*inv, c02*inv
+		out[1][2], out[2][1] = c12*inv, c12*inv
+	default:
+		return false
+	}
+	return true
+}
+
+// posDefinite checks Sylvester's criterion for the symmetric n×n block of m
+// (n ≤ 3).
+func posDefinite(m *[maxDim][maxDim]float64, n int) bool {
 	if m[0][0] <= 0 {
 		return false
 	}

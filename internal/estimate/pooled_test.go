@@ -1,0 +1,80 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+)
+
+// quadratic is a well-conditioned test objective with a known minimum and
+// Hessian: f(x) = Σ aᵢ·(xᵢ−cᵢ)², so ∇²f = diag(2a) and the covariance is
+// diag(1/(2a)). Declared at package scope so the closure passed to the
+// optimizer captures nothing per run.
+var (
+	quadA = [3]float64{3, 5, 7}
+	quadC = [3]float64{0.3, -0.2, 0.8}
+)
+
+func quadratic(x []float64) float64 {
+	var sum float64
+	for i, v := range x {
+		d := v - quadC[i]
+		sum += quadA[i] * d * d
+	}
+	return sum
+}
+
+// TestOptimizerScratchCorrectness pins the pooled refactor's numerics:
+// nelderMead must still land on the analytic minimum and covariance must
+// return the analytic inverse Hessian, in both 2 and 3 dimensions.
+func TestOptimizerScratchCorrectness(t *testing.T) {
+	s := optPool.Get().(*optScratch)
+	defer optPool.Put(s)
+	for _, n := range []int{2, 3} {
+		var x0, opt [3]float64
+		x0 = [3]float64{1, 1, 1}
+		val := nelderMead(quadratic, x0[:n], opt[:n], 500, s)
+		for d := 0; d < n; d++ {
+			if math.Abs(opt[d]-quadC[d]) > 1e-5 {
+				t.Fatalf("n=%d: opt[%d] = %v, want %v", n, d, opt[d], quadC[d])
+			}
+		}
+		if want := quadratic(opt[:n]); val != want {
+			t.Fatalf("n=%d: returned value %v != f(opt) %v", n, val, want)
+		}
+		cov, ok := covariance(quadratic, opt[:n], s)
+		if !ok {
+			t.Fatalf("n=%d: covariance not ok on positive-definite quadratic", n)
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				want := 0.0
+				if a == b {
+					want = 1 / (2 * quadA[a])
+				}
+				if math.Abs(cov[a][b]-want) > 1e-6 {
+					t.Fatalf("n=%d: cov[%d][%d] = %v, want %v", n, a, b, cov[a][b], want)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizerScratchAllocFree is the alloc-regression pin for the pooled
+// optimizer scratch: with a scratch in hand, a full refine + covariance
+// round must not allocate. This is what keeps locsrv's per-request ML solves
+// off the garbage collector once the pool is warm.
+func TestOptimizerScratchAllocFree(t *testing.T) {
+	s := optPool.Get().(*optScratch)
+	defer optPool.Put(s)
+	var x0, opt [3]float64
+	allocs := testing.AllocsPerRun(50, func() {
+		x0 = [3]float64{1, 1, 1}
+		nelderMead(quadratic, x0[:], opt[:], 500, s)
+		if _, ok := covariance(quadratic, opt[:], s); !ok {
+			t.Fatal("covariance failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("refine+covariance allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -305,6 +305,13 @@ type Stats struct {
 	// (peak search + solve on pre-accumulated sums) over that many calls.
 	FinalizeCount   uint64
 	FinalizeNsTotal int64
+	// SpectrumSearch is the process-wide coarse-search routing tally —
+	// which accelerator (harmonic Q/R synthesis, hierarchical, prescreen,
+	// all-cells profile synthesis) actually served the scans behind this
+	// server's locates, versus the dense fallback. A fleet dashboard that
+	// sees Dense2D climbing while HarmonicR2D stays flat is watching a
+	// routing regression, not a load change.
+	SpectrumSearch spectrum.SearchStats
 }
 
 // Stats reports the server's counters.
@@ -327,6 +334,7 @@ func (s *Server) Stats() Stats {
 		st.InFlight = len(s.admit)
 		st.MaxInFlight = cap(s.admit)
 	}
+	st.SpectrumSearch = spectrum.SearchStatsSnapshot()
 	return st
 }
 

@@ -1,0 +1,108 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFastExpNegErrorBound sweeps the fast-path domain and verifies the
+// documented relative error contract against math.Exp.
+func TestFastExpNegErrorBound(t *testing.T) {
+	check := func(x float64) {
+		got := FastExpNeg(x)
+		want := math.Exp(-x)
+		if x >= FastExpNegCutoff {
+			if got != 0 {
+				t.Fatalf("FastExpNeg(%v) = %v, want exact 0 past cutoff", x, got)
+			}
+			if want > 1e-18 {
+				t.Fatalf("cutoff too aggressive: e^(-%v) = %v", x, want)
+			}
+			return
+		}
+		rel := math.Abs(got-want) / want
+		if rel > FastExpNegMaxErr {
+			t.Fatalf("FastExpNeg(%v) = %v, want %v (rel err %.3g > %.3g)",
+				x, got, want, rel, FastExpNegMaxErr)
+		}
+	}
+
+	// Dense sweep across the whole fast-path range, including the cutoff
+	// boundary and the reduction seams at multiples of ln2/2.
+	for x := 0.0; x < FastExpNegCutoff+2; x += 1e-4 {
+		check(x)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		check(rng.Float64() * FastExpNegCutoff)
+	}
+	// Exact endpoints and denormal-adjacent small arguments.
+	for _, x := range []float64{0, math.SmallestNonzeroFloat64, 1e-300, 1e-16,
+		math.Ln2 / 2, math.Ln2, 41.999999, FastExpNegCutoff} {
+		check(x)
+	}
+}
+
+// TestFastExpNegCoarseErrorBound sweeps the coarse kernel's table domain
+// and verifies its relative error contract against math.Exp, including the
+// last index before the cutoff where the guard entry feeds the interpolation.
+func TestFastExpNegCoarseErrorBound(t *testing.T) {
+	check := func(x float64) {
+		got := FastExpNegCoarseCore(x)
+		want := math.Exp(-x)
+		rel := math.Abs(got-want) / want
+		if rel > FastExpNegCoarseMaxErr {
+			t.Fatalf("FastExpNegCoarseCore(%v) = %v, want %v (rel err %.3g > %.3g)",
+				x, got, want, rel, FastExpNegCoarseMaxErr)
+		}
+	}
+	for x := 0.0; x < FastExpNegCoarseCutoff; x += 1e-5 {
+		check(x)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200000; i++ {
+		check(rng.Float64() * FastExpNegCoarseCutoff)
+	}
+	for _, x := range []float64{0, math.SmallestNonzeroFloat64, 1e-300, 1e-16,
+		math.Ln2 / 2, math.Ln2, 23.999999} {
+		check(x)
+	}
+}
+
+// TestFastExpNegFallback pins the out-of-domain behavior: negative, NaN and
+// ±Inf arguments must defer to math.Exp semantics.
+func TestFastExpNegFallback(t *testing.T) {
+	for _, x := range []float64{-1, -1e-9, -300} {
+		if got, want := FastExpNeg(x), math.Exp(-x); got != want {
+			t.Fatalf("FastExpNeg(%v) = %v, want math.Exp fallback %v", x, got, want)
+		}
+	}
+	if got := FastExpNeg(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("FastExpNeg(NaN) = %v, want NaN", got)
+	}
+	if got := FastExpNeg(math.Inf(1)); got != 0 {
+		t.Fatalf("FastExpNeg(+Inf) = %v, want 0", got)
+	}
+	if got := FastExpNeg(math.Inf(-1)); !math.IsInf(got, 1) {
+		t.Fatalf("FastExpNeg(-Inf) = %v, want +Inf", got)
+	}
+}
+
+var benchSink float64
+
+func BenchmarkFastExpNeg(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += FastExpNeg(float64(i&63) * 0.25)
+	}
+	benchSink = sink
+}
+
+func BenchmarkMathExpNeg(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += math.Exp(-float64(i&63) * 0.25)
+	}
+	benchSink = sink
+}

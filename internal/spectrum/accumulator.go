@@ -71,8 +71,9 @@ type Accumulator struct {
 	resSin, resCos []float64 // robust-R residual circular sums
 	refAper        []float64 // reference aperture per cell (KindR)
 
-	// Harmonic-mode state (HarmonicEval == ToggleOn, KindQ 2D): the
-	// O(harmonics) coefficient fold replaces the O(cells) per-cell fold.
+	// Harmonic-mode state (HarmonicEval == ToggleOn, 2D, both kinds —
+	// KindR only without PrescreenTopK): the O(harmonics) coefficient fold
+	// replaces the O(cells) per-cell fold.
 	hcoeffs harmonicCoeffs
 	hbess   []float64
 
@@ -152,16 +153,22 @@ func newAccumulator(p Params, kind Kind, opts SearchOptions, threeD bool, evalOp
 	// default per-cell fold keeps CoarseProfile bit-identical to the batch
 	// Profile2D, which the equivalence suite pins. With the harmonic fold,
 	// Add costs O(harmonics) instead of O(cells) and CoarseProfile is
-	// synthesized from the coefficients (within harmonicSlack of batch);
-	// the finalize argmax still rescores exactly, so FindPeak2D returns the
-	// batch search's bits either way.
-	a.harmonic = !threeD && kind != KindR && opts.HarmonicEval == ToggleOn
+	// synthesized from the coefficients (within harmonicSlack of batch for
+	// Q, rSlack for R — the two-pass kernel in allcells.go); the finalize
+	// argmax still rescores exactly, so FindPeak2D returns the batch
+	// search's bits either way. Both kinds stream the same Q-phasor
+	// coefficients; a KindR finalize re-derives μ and the weights from
+	// them. A KindR session with PrescreenTopK set keeps the per-cell fold:
+	// its finalize must replay the streamed-Q prescreen selection, exactly
+	// like the batch route.
+	a.harmonic = !threeD && opts.HarmonicEval == ToggleOn &&
+		(kind != KindR || opts.PrescreenTopK <= 0)
 	a.trackQ = (kind != KindR || opts.PrescreenTopK > 0) && !a.harmonic
 	if a.trackQ {
 		a.qRe = make([]float64, a.n)
 		a.qIm = make([]float64, a.n)
 	}
-	if kind == KindR {
+	if kind == KindR && !a.harmonic {
 		a.refAper = make([]float64, a.n)
 		if p.LiteralReference {
 			a.wRe = make([]float64, a.n)
@@ -269,6 +276,10 @@ func (a *Accumulator) foldRange(lo, hi int) {
 }
 
 func (a *Accumulator) foldQ(t snapshotTerm, lo, hi int) {
+	if a.nPol == 1 {
+		a.foldQ2D(t, lo, hi)
+		return
+	}
 	if a.fastTrig {
 		for k := lo; k < hi; k++ {
 			az, cg := a.cell(k)
@@ -288,11 +299,44 @@ func (a *Accumulator) foldQ(t snapshotTerm, lo, hi int) {
 	}
 }
 
+// foldQ2D is the single-polar-row specialization of foldQ: the cell →
+// (azimuth, cos γ) mapping collapses to the identity, so the per-cell
+// branch, division and modulo hoist out of the loop, and reslicing every
+// table to the [lo,hi) window retires the bounds checks. The folded
+// expression is byte-for-byte the generic one — exact-path sums keep their
+// batch bits.
+func (a *Accumulator) foldQ2D(t snapshotTerm, lo, hi int) {
+	cg := a.cosG[0]
+	cosPhi := a.cosPhi[lo:hi]
+	sinPhi := a.sinPhi[lo:hi]
+	qRe := a.qRe[lo:hi]
+	qIm := a.qIm[lo:hi]
+	if a.fastTrig {
+		for i := range cosPhi {
+			aperture := t.scale * (t.cosA*cosPhi[i] + t.sinA*sinPhi[i]) * cg
+			s, c := mathx.FastSincos(t.relPhase + aperture)
+			qRe[i] += c
+			qIm[i] += s
+		}
+		return
+	}
+	for i := range cosPhi {
+		aperture := t.scale * (t.cosA*cosPhi[i] + t.sinA*sinPhi[i]) * cg
+		s, c := math.Sincos(t.relPhase + aperture)
+		qRe[i] += c
+		qIm[i] += s
+	}
+}
+
 // foldRLiteral streams the literal-reference R sums completely: with μ ≡ 0
 // the weight depends only on the snapshot's own residual, and res−μ is
 // bitwise res (x−0.0 == x for every float64), so the streamed weight equals
 // the batch weighting-pass weight.
 func (a *Accumulator) foldRLiteral(t snapshotTerm, lo, hi int) {
+	if a.nPol == 1 {
+		a.foldRLiteral2D(t, lo, hi)
+		return
+	}
 	if a.fastTrig {
 		for k := lo; k < hi; k++ {
 			az, cg := a.cell(k)
@@ -326,10 +370,62 @@ func (a *Accumulator) foldRLiteral(t snapshotTerm, lo, hi int) {
 	}
 }
 
+// foldRLiteral2D is the single-polar-row specialization of foldRLiteral;
+// see foldQ2D for the restructuring rules. The trackQ branch stays inside
+// the loop — it is loop-invariant and predicted perfectly — because
+// splitting it would double the variants for no measured win.
+func (a *Accumulator) foldRLiteral2D(t snapshotTerm, lo, hi int) {
+	cg := a.cosG[0]
+	cosPhi := a.cosPhi[lo:hi]
+	sinPhi := a.sinPhi[lo:hi]
+	refAper := a.refAper[lo:hi]
+	wRe := a.wRe[lo:hi]
+	wIm := a.wIm[lo:hi]
+	trackQ := a.trackQ
+	var qRe, qIm []float64
+	if trackQ {
+		qRe = a.qRe[lo:hi]
+		qIm = a.qIm[lo:hi]
+	}
+	if a.fastTrig {
+		for i := range cosPhi {
+			aperture := t.scale * (t.cosA*cosPhi[i] + t.sinA*sinPhi[i]) * cg
+			res := wrapToPiFast(t.relPhase - (refAper[i] - aperture))
+			d := wrapToPiFast(res)
+			w := a.wNorm * math.Exp(-d*d*a.wInv2Sig)
+			s, c := mathx.FastSincos(t.relPhase + aperture)
+			wRe[i] += w * c
+			wIm[i] += w * s
+			if trackQ {
+				qRe[i] += c
+				qIm[i] += s
+			}
+		}
+		return
+	}
+	for i := range cosPhi {
+		aperture := t.scale * (t.cosA*cosPhi[i] + t.sinA*sinPhi[i]) * cg
+		ci := refAper[i] - aperture
+		res := mathx.WrapToPi(t.relPhase - ci)
+		w := mathx.GaussPDF(mathx.WrapToPi(res), 0, a.weightSigma)
+		s, c := math.Sincos(t.relPhase + aperture)
+		wRe[i] += w * c
+		wIm[i] += w * s
+		if trackQ {
+			qRe[i] += c
+			qIm[i] += s
+		}
+	}
+}
+
 // foldRRobust streams the robust-R first pass — the residual circular sums
 // the per-cell mean μ is taken over — plus the Q sums when the finalize
 // will prescreen.
 func (a *Accumulator) foldRRobust(t snapshotTerm, lo, hi int) {
+	if a.nPol == 1 {
+		a.foldRRobust2D(t, lo, hi)
+		return
+	}
 	if a.fastTrig {
 		for k := lo; k < hi; k++ {
 			az, cg := a.cell(k)
@@ -358,6 +454,51 @@ func (a *Accumulator) foldRRobust(t snapshotTerm, lo, hi int) {
 			sq, cq := math.Sincos(t.relPhase + aperture)
 			a.qRe[k] += cq
 			a.qIm[k] += sq
+		}
+	}
+}
+
+// foldRRobust2D is the single-polar-row specialization of foldRRobust; see
+// foldQ2D for the restructuring rules.
+func (a *Accumulator) foldRRobust2D(t snapshotTerm, lo, hi int) {
+	cg := a.cosG[0]
+	cosPhi := a.cosPhi[lo:hi]
+	sinPhi := a.sinPhi[lo:hi]
+	refAper := a.refAper[lo:hi]
+	resSin := a.resSin[lo:hi]
+	resCos := a.resCos[lo:hi]
+	trackQ := a.trackQ
+	var qRe, qIm []float64
+	if trackQ {
+		qRe = a.qRe[lo:hi]
+		qIm = a.qIm[lo:hi]
+	}
+	if a.fastTrig {
+		for i := range cosPhi {
+			aperture := t.scale * (t.cosA*cosPhi[i] + t.sinA*sinPhi[i]) * cg
+			res := wrapToPiFast(t.relPhase - (refAper[i] - aperture))
+			s, c := mathx.FastSincos(res)
+			resSin[i] += s
+			resCos[i] += c
+			if trackQ {
+				sq, cq := mathx.FastSincos(t.relPhase + aperture)
+				qRe[i] += cq
+				qIm[i] += sq
+			}
+		}
+		return
+	}
+	for i := range cosPhi {
+		aperture := t.scale * (t.cosA*cosPhi[i] + t.sinA*sinPhi[i]) * cg
+		ci := refAper[i] - aperture
+		res := mathx.WrapToPi(t.relPhase - ci)
+		s, c := math.Sincos(res)
+		resSin[i] += s
+		resCos[i] += c
+		if trackQ {
+			sq, cq := math.Sincos(t.relPhase + aperture)
+			qRe[i] += cq
+			qIm[i] += sq
 		}
 	}
 }
@@ -391,7 +532,19 @@ func (c *accFinishChunk) RunChunk(lo, hi int) { c.a.finishRange(c.out, lo, hi) }
 func (a *Accumulator) finish(out []float64) {
 	if a.harmonic {
 		// Harmonic mode has no per-cell sums; synthesize from the
-		// coefficients (within harmonicSlack of the batch profile).
+		// coefficients (within harmonicSlack of the batch profile for Q,
+		// rSlack for R). The R synthesis runs on the finalize Evaluator's
+		// full term set — the same terms the coefficients folded.
+		if a.kind == KindR {
+			ev, err := a.Evaluator()
+			if err != nil {
+				return // <2 snapshots; callers guard before finish
+			}
+			sc := ev.getScratch()
+			ev.synthRowR(ev.terms, &a.hcoeffs, sc, a.cosG[0], a.sinPhi, a.cosPhi, out, false)
+			ev.putScratch(sc)
+			return
+		}
 		a.hcoeffs.synthesize(out, a.sinPhi, a.cosPhi)
 		return
 	}
@@ -492,7 +645,8 @@ func (a *Accumulator) finishQ(out []float64) {
 // grid (angles φ_i = i·step). Exact-trig values are bit-identical to
 // Evaluator.Profile2D over the same angles and full term set — except in
 // harmonic mode (HarmonicEval ToggleOn), where the profile is synthesized
-// from the streamed coefficients and lands within harmonicSlack of batch.
+// from the streamed coefficients and lands within harmonicSlack (Q) /
+// rSlack (R) of batch.
 func (a *Accumulator) CoarseProfile() (Profile, error) {
 	if a.threeD {
 		return Profile{}, fmt.Errorf("spectrum: 3D accumulator has no 2D profile")
@@ -543,13 +697,24 @@ func (a *Accumulator) CoarseProfile3D() (Profile3D, error) {
 // batch path runs after the session is already paid for.
 func (a *Accumulator) coarseArgmaxAccum(ev *Evaluator) int {
 	if a.harmonic {
-		// Replay the batch harmonicArgmax2D selection on the streamed
-		// coefficients: synthesize, shortlist within 2·harmonicSlack of the
-		// synthesized maximum, exact-rescore the shortlist. Coefficients,
-		// trig tables, and rescore terms all match the batch pass bit for
-		// bit for sessions within coarseTermLimit, so the pick does too.
+		// Replay the batch harmonicArgmax2D/harmonicArgmaxR2D selection on
+		// the streamed coefficients: synthesize, shortlist within 2·slack of
+		// the synthesized maximum, exact-rescore the shortlist. This path
+		// only runs for sessions within coarseTermLimit (see FindPeak2D), so
+		// ev.coarse is the full streamed set and coefficients, trig tables,
+		// synthesized values, and rescore terms all match the batch pass bit
+		// for bit — the pick does too.
+		searchCounters.streamSynth.Add(1)
 		vals := make([]float64, a.n)
-		a.hcoeffs.synthesize(vals, a.sinPhi, a.cosPhi)
+		slack := harmonicSlack
+		if a.kind == KindR {
+			sc := ev.getScratch()
+			ev.synthRowR(ev.coarse, &a.hcoeffs, sc, a.cosG[0], a.sinPhi, a.cosPhi, vals, true)
+			ev.putScratch(sc)
+			slack = rSlack + rCoarseRel*ev.wNorm
+		} else {
+			a.hcoeffs.synthesize(vals, a.sinPhi, a.cosPhi)
+		}
 		maxV := math.Inf(-1)
 		for _, v := range vals {
 			if v > maxV {
@@ -558,7 +723,7 @@ func (a *Accumulator) coarseArgmaxAccum(ev *Evaluator) int {
 		}
 		var cand []int
 		for k, v := range vals {
-			if v >= maxV-2*harmonicSlack {
+			if v >= maxV-2*slack {
 				cand = append(cand, k)
 			}
 		}

@@ -1,0 +1,32 @@
+package spectrum
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tagspin/tagspin/internal/geom"
+)
+
+// BenchmarkHarmonicArgmaxR2D pins the sub-linear R argmax at roughly the
+// tagspin-bench scenario shape (720-cell grid, ~50-term session) so the
+// pass-two kernel can be profiled without the bench harness around it.
+func BenchmarkHarmonicArgmaxR2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	p := testParams()
+	snaps := synth(p, geom.V3(-2.2, 1.3, 0), 56, 0.8, 0.05, rng)
+	ev, err := NewEvaluator(snaps, p, KindR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := SearchOptions{Refinements: NoRefine}
+	FindPeak2DEval(ev, opts)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		az, pow := FindPeak2DEval(ev, opts)
+		sink = az + pow
+	}
+	benchSinkR = sink
+}
+
+var benchSinkR float64

@@ -180,15 +180,20 @@ func (h *harmonicCoeffs) foldTerm(relPhase, cosA, sinA float64, bess []float64) 
 	// x_{m+1} = 2·cos a·x_m − x_{m-1}.
 	cPrev, sPrev := 1.0, 0.0
 	cCur, sCur := cosA, sinA
-	h.aRe[0] += bess[0] * reRot
-	h.aIm[0] += bess[0] * imRot
-	for m := 1; m < len(bess); m++ {
+	// Reslice the coefficient banks to the harmonic count up front: one
+	// length check here instead of four bounds checks per iteration.
+	nb := len(bess)
+	aRe, aIm := h.aRe[:nb], h.aIm[:nb]
+	bRe, bIm := h.bRe[:nb], h.bIm[:nb]
+	aRe[0] += bess[0] * reRot
+	aIm[0] += bess[0] * imRot
+	for m := 1; m < nb; m++ {
 		reRot, imRot = -imRot, reRot // multiply by j
 		jm := bess[m]
-		h.aRe[m] += jm * reRot * cCur
-		h.aIm[m] += jm * imRot * cCur
-		h.bRe[m] += jm * reRot * sCur
-		h.bIm[m] += jm * imRot * sCur
+		aRe[m] += jm * reRot * cCur
+		aIm[m] += jm * imRot * cCur
+		bRe[m] += jm * reRot * sCur
+		bIm[m] += jm * imRot * sCur
 		cCur, cPrev = 2*cosA*cCur-cPrev, cCur
 		sCur, sPrev = 2*cosA*sCur-sPrev, sCur
 	}
@@ -204,14 +209,20 @@ func (h *harmonicCoeffs) foldTerm(relPhase, cosA, sinA float64, bess []float64) 
 // in the loop — O(maxM) multiply-adds per cell.
 func (h *harmonicCoeffs) synthesize(out, sinPhi, cosPhi []float64) {
 	inv := 1 / float64(h.n)
-	for k := range out {
+	nb := h.maxM + 1
+	aRe, aIm := h.aRe[:nb], h.aIm[:nb]
+	bRe, bIm := h.bRe[:nb], h.bIm[:nb]
+	n := len(out)
+	sinPhi = sinPhi[:n]
+	cosPhi = cosPhi[:n]
+	for k := 0; k < n; k++ {
 		c1, s1 := cosPhi[k], sinPhi[k]
-		sumRe, sumIm := h.aRe[0], h.aIm[0]
+		sumRe, sumIm := aRe[0], aIm[0]
 		cPrev, sPrev := 1.0, 0.0
 		cCur, sCur := c1, s1
-		for m := 1; m <= h.maxM; m++ {
-			sumRe += 2 * (h.aRe[m]*cCur + h.bRe[m]*sCur)
-			sumIm += 2 * (h.aIm[m]*cCur + h.bIm[m]*sCur)
+		for m := 1; m < nb; m++ {
+			sumRe += 2 * (aRe[m]*cCur + bRe[m]*sCur)
+			sumIm += 2 * (aIm[m]*cCur + bIm[m]*sCur)
 			cCur, cPrev = 2*c1*cCur-cPrev, cCur
 			sCur, sPrev = 2*c1*sCur-sPrev, sCur
 		}

@@ -21,9 +21,10 @@ const NoRefine = -1
 type Toggle int8
 
 const (
-	// ToggleAuto defers to the per-kind default (on for KindQ, off for
-	// KindR — the R formula's likelihood weights need the dense or
-	// prescreened pass unless explicitly overridden).
+	// ToggleAuto defers to the per-feature, per-kind default (e.g. the
+	// harmonic evaluator defaults on for both kinds, the hierarchical
+	// scanner only for KindQ — each SearchOptions field documents its own
+	// resolution).
 	ToggleAuto Toggle = 0
 	// ToggleOn forces the feature on regardless of profile kind.
 	ToggleOn Toggle = 1
@@ -67,13 +68,17 @@ type SearchOptions struct {
 	// Q prescreen); it also sets the KindR rescore width of the
 	// hierarchical scanner.
 	PrescreenTopK int
-	// HarmonicEval selects the FFT-style harmonic evaluator (harmonic.go)
-	// for 2D azimuth coarse scans: O(snapshots×H + cells×H) instead of
-	// O(cells×snapshots), returning exactly the dense scan's argmax cell
-	// (the synthesized shortlist is rescored with the exact per-cell
-	// formula). Auto means on for KindQ; KindR scans ignore it (the R
-	// formula is not a bandlimited polynomial in φ — R searches use
-	// PrescreenTopK or Hierarchical instead).
+	// HarmonicEval selects the FFT-style harmonic evaluator (harmonic.go,
+	// allcells.go) for 2D azimuth coarse scans: O(snapshots×H + cells×H)
+	// coefficient work instead of O(cells×snapshots) trig, returning
+	// exactly the dense scan's argmax cell (the synthesized shortlist is
+	// rescored with the exact per-cell formula). Auto means on for both
+	// kinds — KindQ synthesizes the phasor magnitude directly, KindR runs
+	// the two-pass all-cells transform (the weights' inputs are
+	// bandlimited even though R itself is not; see allcells.go). A KindR
+	// scan with PrescreenTopK set keeps the prescreen route, and
+	// Hierarchical: On keeps the lattice scanner, matching the streaming
+	// Accumulator's replay rules.
 	HarmonicEval Toggle
 	// Hierarchical selects the Lipschitz-bounded coarse-to-fine lattice
 	// scanner (hier.go) for coarse grid scans — 3D always, 2D when the
@@ -147,22 +152,33 @@ func FindPeak2DEval(ev *Evaluator, opts SearchOptions) (float64, float64) {
 }
 
 // coarseArgmax2D returns the argmax index over the uniform grid
-// φ_i = i·step, i < n, scored on the given term subset. KindQ searches
-// default to the harmonic evaluator (falling back to the hierarchical
-// scanner, then the dense scan, as the toggles dictate); KindR searches
-// with PrescreenTopK set route through the Q-prescreen instead of a full
-// R scan.
+// φ_i = i·step, i < n, scored on the given term subset. Both kinds now
+// default to a harmonic route: KindQ through the magnitude synthesis, KindR
+// through the two-pass all-cells transform (allcells.go) — each returning
+// exactly the dense scan's cell via the shortlist-and-rescore guarantee.
+// Explicit overrides keep their historical precedence: Hierarchical: On
+// selects the lattice scanner, and a KindR search with PrescreenTopK set
+// keeps the Q-prescreen pass (also what the streaming Accumulator replays,
+// so batch and streamed picks stay aligned).
 func (e *Evaluator) coarseArgmax2D(terms termSlices, n int, step float64, opts SearchOptions) int {
 	autoOn := e.kind != KindR
 	if autoOn && opts.HarmonicEval.enabled(true) {
+		searchCounters.harmonicQ2D.Add(1)
 		return e.harmonicArgmax2D(terms, n, step)
 	}
 	if opts.Hierarchical.enabled(autoOn) {
+		searchCounters.hier2D.Add(1)
 		return e.hierarchicalArgmax2D(terms, n, step, opts)
 	}
 	if e.kind == KindR && opts.PrescreenTopK > 0 {
+		searchCounters.prescreen2D.Add(1)
 		return e.prescreenArgmax(terms, n, step, 0, 0, 0, opts.PrescreenTopK)
 	}
+	if e.kind == KindR && opts.HarmonicEval.enabled(true) {
+		searchCounters.harmonicR2D.Add(1)
+		return e.harmonicArgmaxR2D(terms, n, step)
+	}
+	searchCounters.dense2D.Add(1)
 	return e.denseArgmax2D(terms, n, step)
 }
 
@@ -268,11 +284,14 @@ func FindPeak3DEval(ev *Evaluator, opts SearchOptions) Peak3D {
 // honors PrescreenTopK exactly like the 2D path.
 func (e *Evaluator) coarseArgmax3D(terms termSlices, nAz, nPol int, azStep, polStep float64, opts SearchOptions) int {
 	if opts.Hierarchical.enabled(e.kind != KindR) {
+		searchCounters.hier3D.Add(1)
 		return e.hierarchicalArgmax3D(terms, nAz, nPol, azStep, polStep, opts)
 	}
 	if e.kind == KindR && opts.PrescreenTopK > 0 {
+		searchCounters.prescreen3D.Add(1)
 		return e.prescreenArgmax(terms, nAz*nPol, azStep, nAz, -math.Pi/2, polStep, opts.PrescreenTopK)
 	}
+	searchCounters.dense3D.Add(1)
 	return e.denseArgmax3D(terms, nAz, nPol, azStep, polStep)
 }
 
