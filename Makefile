@@ -1,17 +1,18 @@
 GO ?= go
 
-.PHONY: check build test race vet vet-strict bench bench-json bench-load bench-stream bench-sublin bench-compare run-fleet
+.PHONY: check build test race vet vet-strict bench bench-json bench-load bench-stream bench-sublin bench-nufft bench-compare run-fleet
 
 .DEFAULT_GOAL := check
 
-# check is the default tier-1 gate: build, vet (catches context misuse like
-# lost cancel funcs), and the full test suite under the race detector — the
+# check is the default tier-1 gate: build, vet-strict (vet plus the
+# bounds-check-elimination spot check on the spectrum hot loops), and the
+# full test suite under the race detector — the
 # collection pipeline's retry/cancellation paths are all concurrent. The
 # two pinned-GOMAXPROCS passes re-run the compute-pool equivalence and
 # plan-cache tests at the scheduling extremes (single-threaded runtime vs
 # 4-way) to catch regressions that only show under a particular worker/CPU
 # ratio.
-check: build vet
+check: build vet-strict
 	$(GO) test -race ./...
 	GOMAXPROCS=1 $(GO) test -race -count=1 -run 'TestSched|TestPooled|TestPlanCache' ./internal/sched/ ./internal/spectrum/
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestSched|TestPooled|TestPlanCache' ./internal/sched/ ./internal/spectrum/
@@ -45,7 +46,7 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/spectrum/
 
 # bench-json regenerates the machine-readable perf snapshot consumed by
-# trajectory tooling (see cmd/tagspin-bench): schema tagspin-bench/7 —
+# trajectory tooling (see cmd/tagspin-bench): schema tagspin-bench/8 —
 # micro rows, concurrent-load rows (K simultaneous Locate2D pipelines on
 # the shared compute pool, grid and ml solve backends) with plan-cache hit
 # rates, the streaming rows (StreamLocate2D tail-latency pairs,
@@ -53,26 +54,35 @@ bench:
 # solve-backend A/B rows with meanErrM, the sub-linear coarse-scan rows
 # (SubLinLocate2D/3D vs their dense Locate2D/3D baselines), and the
 # all-cells rows (SubLinLocateR plus the DenseProfile/AllCellsProfile 2D/3D
-# pairs per kind, with their speedup floors).
+# pairs per kind, with their speedup floors), and the non-uniform-grid
+# rows (DenseLocateNU2D/NUFFTLocate2D with the ≥3x NUFFT floor,
+# DenseLocateNUR/NUFFTLocateR, and the LoadLocate2DStream/ml estimator
+# A/B).
 bench-json:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_7.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_8.json
 
-# bench-load is bench-json under its serving-path name: the schema-7 report
+# bench-load is bench-json under its serving-path name: the schema-8 report
 # is where the concurrent-load rows live.
 bench-load:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_7.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_8.json
 
-# bench-stream is bench-json under its streaming-path name: the schema-7
+# bench-stream is bench-json under its streaming-path name: the schema-8
 # report is where the StreamLocate2D/LoadLocate2DStream rows live.
 bench-stream:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_7.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_8.json
 
-# bench-sublin is bench-json under its sub-linear-search name: the schema-7
+# bench-sublin is bench-json under its sub-linear-search name: the schema-8
 # report is where the SubLinLocate2D/3D rows (≥5x 2D floor), the
 # SubLinLocateR row (≥4x floor) and the AllCellsProfile rows (≥3x floor on
 # the 2D/Q pair) live.
 bench-sublin:
-	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_7.json
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_8.json
+
+# bench-nufft is bench-json under its non-uniform-grid name: the schema-8
+# report is where the DenseLocateNU2D/NUFFTLocate2D pair (≥3x floor on the
+# NUFFT row) and the DenseLocateNUR/NUFFTLocateR pair live.
+bench-nufft:
+	$(GO) run ./cmd/tagspin-bench -benchjson BENCH_8.json
 
 # bench-compare diffs the two newest BENCH_<n>.json snapshots and fails on
 # any >10% ns/op regression — the pre-merge perf gate for the spectrum

@@ -17,7 +17,15 @@ import (
 	"github.com/tagspin/tagspin/internal/testbed"
 )
 
-// benchSchema is the current report schema. Version 7 keeps every
+// benchSchema is the current report schema. Version 8 keeps every
+// version-7 row and adds the non-uniform-grid rows: DenseLocateNU2D /
+// NUFFTLocate2D — the KindQ angle-grid coarse-scan pair on a jittered
+// 720-cell grid over a jittery-actuator Gen2 session, the NUFFT row
+// carrying speedupVsBatch against its dense baseline and gated at
+// nufftMinSpeedup — DenseLocateNUR / NUFFTLocateR, the KindR pair
+// (reported, ungated), and the estimator-backend streaming load A/B
+// (LoadLocate2DStream/ml/K=<k> next to the schema-4
+// LoadLocate2DStream/K=<k> rows). Version 7 keeps every
 // version-6 row and adds the all-cells rows: LocateR/SubLinLocateR — the
 // KindR coarse-scan pair mirroring schema 6's Locate2D/SubLinLocate2D, the
 // SubLin row carrying speedupVsBatch against its dense baseline and gated at
@@ -50,7 +58,7 @@ import (
 // Version 1 files (report-level GoMaxProcs only, no variants) still parse:
 // rows without a goMaxProcs fall back to the report-level value, and the
 // load-only fields are simply absent from older rows.
-const benchSchema = "tagspin-bench/7"
+const benchSchema = "tagspin-bench/8"
 
 // benchResult is one benchmark row of the machine-readable report.
 type benchResult struct {
@@ -318,6 +326,11 @@ func writeBenchJSON(path string, rebaselined bool) error {
 		return err
 	}
 	report.Benchmarks = append(report.Benchmarks, allCellsRows...)
+	nufftRows, err := nufftBenchRows()
+	if err != nil {
+		return err
+	}
+	report.Benchmarks = append(report.Benchmarks, nufftRows...)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -45,12 +45,13 @@ type benchKey struct {
 }
 
 // readBenchReport parses a BENCH_*.json of any schema version (1 through
-// 7). Schema-1 rows carry no per-row GOMAXPROCS; they inherit the
+// 8). Schema-1 rows carry no per-row GOMAXPROCS; they inherit the
 // report-level value so cross-schema keys align. Schema-3 load rows
 // (concurrency, locates/sec, percentiles, plan-cache hit rate), schema-4
-// streaming rows, schema-5 backend rows, schema-6 sub-linear rows, and
-// schema-7 all-cells rows all decode into the same row struct; their extra
-// fields are zero in older files.
+// streaming rows, schema-5 backend rows, schema-6 sub-linear rows,
+// schema-7 all-cells rows, and schema-8 NUFFT + streaming-ml rows all
+// decode into the same row struct; their extra fields are zero in older
+// files.
 func readBenchReport(path string) (benchReport, error) {
 	var report benchReport
 	data, err := os.ReadFile(path)
@@ -78,6 +79,7 @@ var speedupFloors = map[string]float64{
 	"SubLinLocate2D":      subLinMinSpeedup,
 	"SubLinLocateR":       subLinRMinSpeedup,
 	"AllCellsProfile2D/Q": allCellsMinSpeedup,
+	"NUFFTLocate2D":       nufftMinSpeedup,
 }
 
 var benchFilePattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
@@ -171,9 +173,10 @@ func rebaselineBench(spec string) error {
 // present on only one side — rows a newer schema added, retired paths —
 // warn but never fail: an older baseline simply predates them, and gating
 // would force every schema bump through a rebaseline. The SubLinLocate2D,
-// SubLinLocateR and AllCellsProfile2D/Q rows additionally gate on their
-// recorded speedupVsBatch staying at or above their floors (subLinMinSpeedup,
-// subLinRMinSpeedup, allCellsMinSpeedup), so an accelerated path that
+// SubLinLocateR, AllCellsProfile2D/Q and NUFFTLocate2D rows additionally
+// gate on their recorded speedupVsBatch staying at or above their floors
+// (subLinMinSpeedup, subLinRMinSpeedup, allCellsMinSpeedup,
+// nufftMinSpeedup), so an accelerated path that
 // silently decays toward the dense scan fails the compare even when its own
 // ns/op is stable (the other ratio-carrying rows report their ratio but only
 // the row generator bounds them).

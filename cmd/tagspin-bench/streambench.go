@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/tagspin/tagspin/internal/core"
+	"github.com/tagspin/tagspin/internal/estimate"
 	"github.com/tagspin/tagspin/internal/geom"
 	"github.com/tagspin/tagspin/internal/phase"
 	"github.com/tagspin/tagspin/internal/spectrum"
@@ -210,9 +211,33 @@ func runStreamOnce(locator *core.Locator, registered []core.SpinningTag, items [
 // goroutines each running complete replay+finalize cycles back to back.
 // Throughput is bounded by total work (the fold cost does not vanish, it
 // just moves off the tail), so these rows contextualize the tail rows rather
-// than promise a throughput win.
+// than promise a throughput win. Like loadBenchRows, each K yields one row
+// per solve backend — LoadLocate2DStream/K=<k> for the bearing-grid
+// estimator (name unchanged since schema 4) and LoadLocate2DStream/ml/K=<k>
+// for the joint maximum-likelihood backend (schema 8) — closing the
+// estimator A/B over the streaming pipeline the batch load rows already had.
 func streamLoadRows(registered []core.SpinningTag, items []streamItem, obs core.Observations) ([]benchResult, error) {
-	locator := core.NewLocator(core.Config{LiteralReference: true, FastSpectrum: true})
+	grid := core.NewLocator(core.Config{LiteralReference: true, FastSpectrum: true})
+	backends := []struct {
+		prefix string
+		loc    *core.Locator
+	}{
+		{"LoadLocate2DStream", grid},
+		{"LoadLocate2DStream/ml", grid.WithEstimator(estimate.NewML(estimate.Config{}))},
+	}
+	var rows []benchResult
+	for _, be := range backends {
+		beRows, err := streamLoadBackendRows(be.loc, be.prefix, registered, items, obs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, beRows...)
+	}
+	return rows, nil
+}
+
+// streamLoadBackendRows runs the K-sweep for one locator backend.
+func streamLoadBackendRows(locator *core.Locator, prefix string, registered []core.SpinningTag, items []streamItem, obs core.Observations) ([]benchResult, error) {
 	if _, err := runStreamOnce(locator, registered, items, obs, nil); err != nil {
 		return nil, err
 	}
@@ -245,7 +270,7 @@ func streamLoadRows(registered []core.SpinningTag, items []streamItem, obs core.
 			all = append(all, lats...)
 		}
 		if len(all) == 0 {
-			return nil, fmt.Errorf("stream load bench at K=%d completed no locates", k)
+			return nil, fmt.Errorf("stream load bench %s at K=%d completed no locates", prefix, k)
 		}
 		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 		var total time.Duration
@@ -253,7 +278,7 @@ func streamLoadRows(registered []core.SpinningTag, items []streamItem, obs core.
 			total += d
 		}
 		row := benchResult{
-			Name:          fmt.Sprintf("LoadLocate2DStream/K=%d", k),
+			Name:          fmt.Sprintf("%s/K=%d", prefix, k),
 			Iterations:    len(all),
 			NsPerOp:       float64(total.Nanoseconds()) / float64(len(all)),
 			GoMaxProcs:    runtime.GOMAXPROCS(0),

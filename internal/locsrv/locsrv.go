@@ -48,9 +48,11 @@ type Config struct {
 	// caller-supplied locator carries its own config.
 	FastSpectrum bool
 	// Search tunes the default locator's peak search (core.Config.Search):
-	// hierarchical scanning, the harmonic azimuth evaluator, prescreen
-	// width, and grid steps. The zero value keeps the defaults (harmonic +
-	// hierarchical auto-on for Q spectra). Ignored when Locator is non-nil.
+	// hierarchical scanning, the harmonic azimuth evaluator, the NUFFT
+	// synthesis route for non-uniform candidate grids, prescreen width, and
+	// grid steps. The zero value keeps the defaults (harmonic +
+	// hierarchical auto-on for Q spectra, NUFFT auto-on on the angle-grid
+	// entry points). Ignored when Locator is non-nil.
 	Search spectrum.SearchOptions
 	// Collect gathers snapshots; nil means client.CollectRetry (the
 	// network client with transient-failure retries). Supplying Collect

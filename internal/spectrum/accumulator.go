@@ -10,10 +10,11 @@ import (
 	"github.com/tagspin/tagspin/internal/sched"
 )
 
-// Accumulator folds snapshots into per-cell running sums over a uniform
-// coarse grid the moment they arrive, so that by the time a spin session
-// ends the coarse profile is already computed and only the argmax plus the
-// local refinement rounds remain. Both profile kinds are additive in the
+// Accumulator folds snapshots into per-cell running sums over a coarse
+// candidate grid — uniform by default, arbitrary via NewAccumulator2DAngles
+// — the moment they arrive, so that by the time a spin session ends the
+// coarse profile is already computed and only the argmax plus the local
+// refinement rounds remain. Both profile kinds are additive in the
 // snapshot index: Q(φ) sums one phasor per snapshot, and R(φ)'s
 // Gaussian-likelihood weights are per-snapshot too (Definitions 4.1/5.1).
 // Concretely, Add streams:
@@ -58,9 +59,15 @@ type Accumulator struct {
 	// cos(0); 3D grids are row-major (cell k = polar row k/nAz, azimuth
 	// k%nAz), exactly like the batch coarse argmax.
 	threeD           bool
-	step             float64 // azimuth spacing
+	step             float64 // azimuth spacing (mean spacing in angles mode)
 	polBase, polStep float64
 	nAz, nPol, n     int
+	// angles, when non-nil, is the arbitrary 2D candidate grid of
+	// NewAccumulator2DAngles: cell k is angles[k] instead of k·step, the
+	// trig tables below are built per angle (no plan-cache key exists), and
+	// the finalize replays the batch angle-grid selection
+	// (coarseArgmax2DAngles / FindPeak2DAnglesEval).
+	angles []float64
 
 	sinPhi, cosPhi []float64 // uniform azimuth trig table (plan cache)
 	cosG           []float64 // cos γ per polar row
@@ -90,16 +97,31 @@ type Accumulator struct {
 // same options as NewEvaluator (WithFastTrig) and is forwarded to the
 // finalize Evaluator.
 func NewAccumulator2D(p Params, kind Kind, opts SearchOptions, evalOpts ...EvalOption) (*Accumulator, error) {
-	return newAccumulator(p, kind, opts, false, evalOpts)
+	return newAccumulator(p, kind, opts, false, nil, evalOpts)
+}
+
+// NewAccumulator2DAngles is NewAccumulator2D over an arbitrary (typically
+// non-uniform) 2D candidate grid: cell k accumulates at angles[k]. The
+// uniform-grid restriction of the streaming finalize is lifted the same way
+// the batch side lifts it — exact-path per-cell sums stay bit-identical to
+// the batch dense scan over the same angles (the trig table is built per
+// angle with the same kernel fillAngleTrig uses), and the finalize replays
+// the batch angle-grid selection so FindPeak2D returns
+// FindPeak2DAnglesEval's bits. The grid must be non-empty.
+func NewAccumulator2DAngles(p Params, kind Kind, angles []float64, opts SearchOptions, evalOpts ...EvalOption) (*Accumulator, error) {
+	if len(angles) == 0 {
+		return nil, fmt.Errorf("spectrum: angle-grid accumulator needs a non-empty grid")
+	}
+	return newAccumulator(p, kind, opts, false, angles, evalOpts)
 }
 
 // NewAccumulator3D is NewAccumulator2D over the az × polar coarse grid of
 // the batch 3D peak search.
 func NewAccumulator3D(p Params, kind Kind, opts SearchOptions, evalOpts ...EvalOption) (*Accumulator, error) {
-	return newAccumulator(p, kind, opts, true, evalOpts)
+	return newAccumulator(p, kind, opts, true, nil, evalOpts)
 }
 
-func newAccumulator(p Params, kind Kind, opts SearchOptions, threeD bool, evalOpts []EvalOption) (*Accumulator, error) {
+func newAccumulator(p Params, kind Kind, opts SearchOptions, threeD bool, angles []float64, evalOpts []EvalOption) (*Accumulator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,13 +144,21 @@ func newAccumulator(p Params, kind Kind, opts SearchOptions, threeD bool, evalOp
 	}
 	a.fastTrig = probe.fastTrig
 
-	if threeD {
+	switch {
+	case threeD:
 		a.step = opts.coarseStep() * 4 // matches FindPeak3DEval
 		a.polStep = opts.coarsePolarStep()
 		a.polBase = -math.Pi / 2
 		a.nAz = gridSteps(2*math.Pi, a.step)
 		a.nPol = int(math.Floor(math.Pi/a.polStep+1e-9)) + 1
-	} else {
+	case angles != nil:
+		a.angles = append([]float64(nil), angles...)
+		a.nAz = len(angles)
+		a.nPol = 1
+		// Refinement step only: FindPeak2DAnglesEval refines the winner at
+		// the grid's mean spacing, and the streamed finalize must match it.
+		a.step = 2 * math.Pi / float64(a.nAz)
+	default:
 		a.step = opts.coarseStep()
 		a.nAz = gridSteps(2*math.Pi, a.step)
 		a.nPol = 1
@@ -137,9 +167,27 @@ func newAccumulator(p Params, kind Kind, opts SearchOptions, threeD bool, evalOp
 
 	a.sinPhi = make([]float64, a.nAz)
 	a.cosPhi = make([]float64, a.nAz)
-	if a.nAz >= planMinN {
+	switch {
+	case a.angles != nil:
+		// No uniform-step plan key exists for an arbitrary grid (counted
+		// like fillAngleTrig's bypass); the per-angle build uses the same
+		// kernel per trig mode as fillAngleTrig, so the streamed folds see
+		// exactly the table bits the batch dense scan would.
+		if a.nAz >= planMinN {
+			planCache.nonUniformMiss.Add(1)
+		}
+		if a.fastTrig {
+			for k, phi := range a.angles {
+				a.sinPhi[k], a.cosPhi[k] = mathx.FastSincos(phi)
+			}
+		} else {
+			for k, phi := range a.angles {
+				a.sinPhi[k], a.cosPhi[k] = math.Sincos(phi)
+			}
+		}
+	case a.nAz >= planMinN:
 		planCache.fill(a.sinPhi, a.cosPhi, planKey{i0: 0, n: a.nAz, step: a.step, fast: a.fastTrig})
-	} else {
+	default:
 		buildUniformTrig(a.sinPhi, a.cosPhi, 0, a.step, a.fastTrig)
 	}
 	a.cosG = make([]float64, a.nPol)
@@ -658,8 +706,12 @@ func (a *Accumulator) CoarseProfile() (Profile, error) {
 		Angles: make([]float64, a.n),
 		Power:  make([]float64, a.n),
 	}
-	for i := range prof.Angles {
-		prof.Angles[i] = float64(i) * a.step
+	if a.angles != nil {
+		copy(prof.Angles, a.angles)
+	} else {
+		for i := range prof.Angles {
+			prof.Angles[i] = float64(i) * a.step
+		}
 	}
 	a.finish(prof.Power)
 	return prof, nil
@@ -705,6 +757,21 @@ func (a *Accumulator) coarseArgmaxAccum(ev *Evaluator) int {
 		// synthesized values, and rescore terms all match the batch pass bit
 		// for bit — the pick does too.
 		searchCounters.streamSynth.Add(1)
+		if a.angles != nil {
+			// Angle-grid finalize: the batch selection over an arbitrary
+			// grid is nufftSelectQ/R (coarseArgmax2DAngles); running the
+			// very same selection code on the streamed coefficients makes
+			// the streamed pick bit-identical to the batch one.
+			hs := harmPool.Get().(*harmonicScratch)
+			var idx int
+			if a.kind == KindR {
+				idx = ev.nufftSelectR(ev.coarse, &a.hcoeffs, a.angles, hs)
+			} else {
+				idx = ev.nufftSelectQ(ev.coarse, &a.hcoeffs, a.angles, hs)
+			}
+			harmPool.Put(hs)
+			return idx
+		}
 		vals := make([]float64, a.n)
 		slack := harmonicSlack
 		if a.kind == KindR {
@@ -729,11 +796,13 @@ func (a *Accumulator) coarseArgmaxAccum(ev *Evaluator) int {
 		}
 		return ev.rescoreTopK(ev.coarse, cand, a.step, 0, 0, 0)
 	}
-	if a.kind == KindR && a.opts.PrescreenTopK > 0 {
+	if a.kind == KindR && a.opts.PrescreenTopK > 0 && a.angles == nil {
 		// Batch R searches with prescreen shortlist by Q then rescore with
 		// the full R formula; replaying that selection on the streamed Q
 		// sums keeps the two paths' picks identical (including when the Q
-		// and R shortlists diverge for literal-reference sessions).
+		// and R shortlists diverge for literal-reference sessions). The
+		// batch angle-grid route has no prescreen pass, so angles-mode
+		// sessions fall through to the dense finish instead.
 		qVals := make([]float64, a.n)
 		a.finishQ(qVals)
 		return ev.rescoreTopK(ev.coarse, topKIndices(qVals, a.opts.PrescreenTopK), a.step, a.azCountArg(), a.polBase, a.polStep)
@@ -776,11 +845,19 @@ func (a *Accumulator) FindPeak2D() (float64, float64, error) {
 		return 0, 0, err
 	}
 	if len(a.terms) > coarseTermLimit {
+		if a.angles != nil {
+			az, pow := FindPeak2DAnglesEval(ev, a.angles, a.opts)
+			return az, pow, nil
+		}
 		az, pow := FindPeak2DEval(ev, a.opts)
 		return az, pow, nil
 	}
 	idx := a.coarseArgmaxAccum(ev)
-	az, pow := ev.refine2D(float64(idx)*a.step, a.step, a.opts)
+	base := float64(idx) * a.step
+	if a.angles != nil {
+		base = a.angles[idx]
+	}
+	az, pow := ev.refine2D(base, a.step, a.opts)
 	return az, pow, nil
 }
 

@@ -257,6 +257,25 @@ func (h *harmonicCoeffs) synthesizeComplex(outRe, outIm, sinPhi, cosPhi []float6
 // fields because the streaming Accumulator synthesizes against its own
 // plan-cached tables.
 func (e *Evaluator) synthRowR(terms termSlices, hc *harmonicCoeffs, sc *Scratch, cg float64, sinPhi, cosPhi, out []float64, coarse bool) {
+	n := len(out)
+	if terms.n() == 0 || n == 0 {
+		return
+	}
+	sc.ensureRow(n)
+	qRe := sc.sumRe[:n]
+	qIm := sc.sumIm[:n]
+	hc.synthesizeComplex(qRe, qIm, sinPhi[:n], cosPhi[:n])
+	e.weightRowR(terms, sc, cg, sinPhi, cosPhi, qRe, qIm, out, coarse, muGuardFrac)
+}
+
+// weightRowR is synthRowR's per-cell pass: given the normalized pass-one
+// phasor sums qRe/qIm (from exact Chebyshev synthesis or the NUFFT
+// spreader), recover the robust mean per cell and run the tight weighting
+// loop. muGuard is the |Ŝ|/n floor below which the cell is evaluated
+// densely instead — muGuardFrac for exact-synthesis sums, nufftMuGuard for
+// spread sums whose error is ~1e−7 rather than ~1e−12. Split out so the
+// NUFFT route replays the identical weighting over its spread sums.
+func (e *Evaluator) weightRowR(terms termSlices, sc *Scratch, cg float64, sinPhi, cosPhi, qRe, qIm, out []float64, coarse bool, muGuard float64) {
 	m := terms.n()
 	n := len(out)
 	if m == 0 || n == 0 {
@@ -277,10 +296,8 @@ func (e *Evaluator) synthRowR(terms termSlices, hc *harmonicCoeffs, sc *Scratch,
 	}
 	sinPhi = sinPhi[:n]
 	cosPhi = cosPhi[:n]
-	sc.ensureRow(n)
-	qRe := sc.sumRe[:n]
-	qIm := sc.sumIm[:n]
-	hc.synthesizeComplex(qRe, qIm, sinPhi, cosPhi)
+	qRe = qRe[:n]
+	qIm = qIm[:n]
 	pc0, ps0 := pcg[0], psg[0]
 	invN := 1 / float64(m)
 	wNorm, wInv2Sig := e.wNorm, e.wInv2Sig
@@ -293,7 +310,7 @@ func (e *Evaluator) synthRowR(terms termSlices, hc *harmonicCoeffs, sc *Scratch,
 		off := refA
 		if robust {
 			re, im := qRe[k], qIm[k]
-			if re*re+im*im < muGuardFrac*muGuardFrac {
+			if re*re+im*im < muGuard*muGuard {
 				if fb == nil {
 					fb = e.getScratch()
 				}
@@ -399,6 +416,9 @@ func (e *Evaluator) harmonicArgmaxR2D(terms termSlices, n int, step float64) int
 // the whole pass-two term loop.
 func fillAngleTrigExact(sc *Scratch, angles []float64) {
 	n := len(angles)
+	if n >= planMinN {
+		planCache.nonUniformMiss.Add(1)
+	}
 	sc.ensureRow(n)
 	sinPhi := sc.sinPhi[:n]
 	cosPhi := sc.cosPhi[:n]
@@ -442,6 +462,17 @@ func (e *Evaluator) Profile2DIntoOpt(prof *Profile, angles []float64, opts Searc
 	n := len(prof.Angles)
 	hs := harmPool.Get().(*harmonicScratch)
 	foldTermsHarmonic(hs, e.terms, 1)
+	if e.kind != KindR && opts.NUFFT.enabled(true) && n >= nufftMinCells {
+		// Large Q grids go through the gridded spreader: no per-cell trig
+		// at all, and the value error stays inside the same harmonicSlack
+		// contract (nufftSlackQ == harmonicSlack). The R pass keeps the
+		// exact synthesis — its robust mean amplifies pass-one error by
+		// 1/|Ŝ|, which would break the documented rSlack value bound.
+		searchCounters.nufftProfile.Add(1)
+		nufftSynthQ(&hs.coeffs, prof.Angles, prof.Power)
+		harmPool.Put(hs)
+		return
+	}
 	sc := e.getScratch()
 	fillAngleTrigExact(sc, prof.Angles)
 	if e.kind == KindR {
@@ -467,10 +498,23 @@ func (e *Evaluator) Profile3DOpt(azimuths, polars []float64, opts SearchOptions)
 	prof := newProfile3D(azimuths, polars)
 	n := len(prof.Azimuths)
 	hs := harmPool.Get().(*harmonicScratch)
+	// Large Q rows spread instead of running the per-cell recurrences; the
+	// azimuth set is shared by every row, so the spreader's target wrap and
+	// exponentials re-run per row but its grid synthesis replaces the
+	// O(cells·H) row synthesis — and no per-cell trig table is built at
+	// all. R rows keep exact synthesis (see Profile2DIntoOpt on the μ̂
+	// amplification).
+	spreadQ := e.kind != KindR && opts.NUFFT.enabled(true) && n >= nufftMinCells
+	if spreadQ {
+		searchCounters.nufftProfile.Add(1)
+	}
 	sc := e.getScratch()
-	fillAngleTrigExact(sc, prof.Azimuths)
-	sinPhi := sc.sinPhi[:n]
-	cosPhi := sc.cosPhi[:n]
+	var sinPhi, cosPhi []float64
+	if !spreadQ {
+		fillAngleTrigExact(sc, prof.Azimuths)
+		sinPhi = sc.sinPhi[:n]
+		cosPhi = sc.cosPhi[:n]
+	}
 	rows := prof.Power
 	pols := prof.Polars[:len(rows)]
 	for i := range rows {
@@ -478,6 +522,8 @@ func (e *Evaluator) Profile3DOpt(azimuths, polars []float64, opts SearchOptions)
 		foldTermsHarmonic(hs, e.terms, cg)
 		if e.kind == KindR {
 			e.synthRowR(e.terms, &hs.coeffs, sc, cg, sinPhi, cosPhi, rows[i], false)
+		} else if spreadQ {
+			nufftSynthQ(&hs.coeffs, prof.Azimuths, rows[i])
 		} else {
 			hs.coeffs.synthesize(rows[i], sinPhi, cosPhi)
 		}

@@ -244,17 +244,25 @@ var harmPool = sync.Pool{New: func() any { return new(harmonicScratch) }}
 // foldTermsHarmonic folds a whole term set (at fixed γ) into hs.coeffs,
 // computing each term's Bessel table as it goes.
 func foldTermsHarmonic(hs *harmonicScratch, terms termSlices, cosGamma float64) {
+	foldTermsInto(&hs.coeffs, &hs.bess, terms, cosGamma)
+}
+
+// foldTermsInto is foldTermsHarmonic targeting caller-owned coefficient and
+// Bessel buffers: the hierarchical scanner's synthesized basin evaluation
+// folds one coefficient set per polar row (hier.go) and cannot route them
+// all through a single harmonicScratch.
+func foldTermsInto(hc *harmonicCoeffs, bessBuf *[]float64, terms termSlices, cosGamma float64) {
 	maxM := harmonicsNeeded(terms.maxScale() * math.Abs(cosGamma))
-	hs.coeffs.reset(maxM)
-	if cap(hs.bess) < maxM+1 {
-		hs.bess = make([]float64, maxM+1)
+	hc.reset(maxM)
+	if cap(*bessBuf) < maxM+1 {
+		*bessBuf = make([]float64, maxM+1)
 	}
 	for i := 0; i < terms.n(); i++ {
 		w := terms.scale[i] * cosGamma
 		need := harmonicsNeeded(w)
-		bess := hs.bess[:need+1]
+		bess := (*bessBuf)[:need+1]
 		besselJArray(w, bess)
-		hs.coeffs.foldTerm(terms.relPhase[i], terms.cosA[i], terms.sinA[i], bess)
+		hc.foldTerm(terms.relPhase[i], terms.cosA[i], terms.sinA[i], bess)
 	}
 }
 

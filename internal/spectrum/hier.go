@@ -62,6 +62,19 @@ type hierScratch struct {
 
 var hierPool = sync.Pool{New: func() any { return new(hierScratch) }}
 
+// hierSynthT holds the synthesized-basin-evaluation state (SearchOptions
+// NUFFT: On): one harmonic coefficient set per polar row, folded lazily the
+// first time the lattice touches the row. A row fold costs O(terms·H) — the
+// same as ~H dense cell evaluations — so it pays for itself as soon as a
+// row's basin keeps more than a couple dozen cells alive.
+type hierSynthT struct {
+	rows []harmonicCoeffs
+	done []bool
+	bess []float64
+}
+
+var hierSynthPool = sync.Pool{New: func() any { return new(hierSynthT) }}
+
 // hierLevels picks the starting lattice level: the sparsest power-of-two
 // subsampling whose retention slack L·d stays under hierMaxSlack and whose
 // lattice still has hierMinTopCells cells. Returns 0 when no level helps
@@ -123,6 +136,17 @@ func (e *Evaluator) evalCellQ(terms termSlices, phi, gamma float64) float64 {
 // nAz × nPol grid (nPol == 1 is the 2D azimuth circle) and returns the
 // argmax cell index under the dense scan's lowest-index tie rule. KindR
 // evaluators rescore the top evaluated Q cells with the full R formula.
+//
+// With SearchOptions NUFFT: On, basin cells are scored by per-row harmonic
+// synthesis (synthAt) instead of the dense per-cell formula: each touched
+// polar row folds its coefficient set once (γ is constant along a row) and
+// every cell on it costs O(H) multiply-adds with one sincos. Synthesized
+// scores sit within harmonicSlack of the dense ones, so the retention slack
+// widens by 2·harmonicSlack per round — the cell nearest the true argmax
+// still clears the (synthesized) running maximum — and the KindQ final pick
+// becomes a shortlist-within-2·harmonicSlack plus exact rescore, preserving
+// the capture guarantee bit for bit. KindR's top-K rescore already re-scores
+// exactly and needs no widening beyond the retention term.
 func (e *Evaluator) hierarchicalArgmax(terms termSlices, nAz, nPol int, azStep, polStep, polBase float64, opts SearchOptions) int {
 	lf := terms.meanScale()
 	axisSum := azStep
@@ -135,6 +159,22 @@ func (e *Evaluator) hierarchicalArgmax(terms termSlices, nAz, nPol int, azStep, 
 			return e.denseArgmax3D(terms, nAz, nPol, azStep, polStep)
 		}
 		return e.denseArgmax2D(terms, nAz, azStep)
+	}
+
+	synth := opts.NUFFT == ToggleOn
+	var hsy *hierSynthT
+	if synth {
+		searchCounters.hierSynth.Add(1)
+		hsy = hierSynthPool.Get().(*hierSynthT)
+		if cap(hsy.rows) < nPol {
+			hsy.rows = make([]harmonicCoeffs, nPol)
+			hsy.done = make([]bool, nPol)
+		}
+		hsy.rows = hsy.rows[:nPol]
+		hsy.done = hsy.done[:nPol]
+		for r := range hsy.done {
+			hsy.done[r] = false
+		}
 	}
 
 	hs := hierPool.Get().(*hierScratch)
@@ -155,7 +195,16 @@ func (e *Evaluator) hierarchicalArgmax(terms termSlices, nAz, nPol int, azStep, 
 			return
 		}
 		gamma := polBase + float64(r)*polStep
-		v := e.evalCellQ(terms, float64(a)*azStep, gamma)
+		var v float64
+		if synth {
+			if !hsy.done[r] {
+				foldTermsInto(&hsy.rows[r], &hsy.bess, terms, math.Cos(gamma))
+				hsy.done[r] = true
+			}
+			v = hsy.rows[r].synthAt(float64(a) * azStep)
+		} else {
+			v = e.evalCellQ(terms, float64(a)*azStep, gamma)
+		}
 		vals[idx] = v
 		active = append(active, idx)
 		if v > globalMax {
@@ -174,6 +223,12 @@ func (e *Evaluator) hierarchicalArgmax(terms termSlices, nAz, nPol int, azStep, 
 	// Subdivide retained basins level by level down to the full grid.
 	for level := top; level >= 1; level-- {
 		tau := lf * float64(int(1)<<(level-1)) * axisSum
+		if synth {
+			// Synthesized scores carry ±harmonicSlack: the running maximum
+			// may be high by one slack and the nearest cell's score low by
+			// another, so the retention window widens by both.
+			tau += 2 * harmonicSlack
+		}
 		front := hs.front[:0]
 		for _, idx := range active {
 			if vals[idx] >= globalMax-tau {
@@ -207,7 +262,12 @@ func (e *Evaluator) hierarchicalArgmax(terms termSlices, nAz, nPol int, azStep, 
 	}
 
 	var best int
-	if e.kind == KindR {
+	azCount := 0
+	if nPol > 1 {
+		azCount = nAz
+	}
+	switch {
+	case e.kind == KindR:
 		k := opts.PrescreenTopK
 		if k <= 0 {
 			k = hierRescoreK
@@ -215,12 +275,20 @@ func (e *Evaluator) hierarchicalArgmax(terms termSlices, nAz, nPol int, azStep, 
 		if k > len(active) {
 			k = len(active)
 		}
-		azCount := 0
-		if nPol > 1 {
-			azCount = nAz
-		}
 		best = e.rescoreTopK(terms, topKIndices(vals, k), azStep, azCount, polBase, polStep)
-	} else {
+	case synth:
+		// Synthesized scores cannot pick the winner directly without risking
+		// a flipped tie; shortlist everything within the slack window of the
+		// synthesized maximum and exact-rescore, as on the harmonic routes.
+		cand := hs.front[:0]
+		for idx, v := range vals { // ascending index → lowest-index tie rule
+			if v >= 0 && v >= globalMax-2*harmonicSlack {
+				cand = append(cand, idx)
+			}
+		}
+		hs.front = cand
+		best = e.rescoreTopK(terms, cand, azStep, azCount, polBase, polStep)
+	default:
 		bestV := math.Inf(-1)
 		for idx, v := range vals { // ascending index → lowest-index tie rule
 			if v > bestV {
@@ -230,6 +298,9 @@ func (e *Evaluator) hierarchicalArgmax(terms termSlices, nAz, nPol int, azStep, 
 	}
 	hs.active = active
 	hierPool.Put(hs)
+	if synth {
+		hierSynthPool.Put(hsy)
+	}
 	return best
 }
 

@@ -36,6 +36,12 @@ const trigReseedInterval = 64
 // avoids a second code shape).
 func (e *Evaluator) fillAngleTrig(sc *Scratch, angles []float64) {
 	sc.ensureRow(len(angles))
+	if len(angles) >= planMinN {
+		// Cache-unservable build: arbitrary angles have no uniform-step
+		// plan key. Counted (like fillAngleTrigExact) so the non-uniform
+		// bypass rate shows up next to the plan-cache hit rate.
+		planCache.nonUniformMiss.Add(1)
+	}
 	if e.fastTrig {
 		for k, phi := range angles {
 			sc.sinPhi[k], sc.cosPhi[k] = mathx.FastSincos(phi)

@@ -1,11 +1,18 @@
 package spectrum
 
 import (
+	"errors"
 	"math"
 	"sync/atomic"
 
 	"github.com/tagspin/tagspin/internal/geom"
 )
+
+// ErrNonUniformAngles is returned by the checked profile metrics when the
+// profile's Angles are not a uniform-step grid: bin-count arithmetic (e.g.
+// the beamwidth's bins-to-radians conversion) silently mis-scales on
+// irregular grids, so the checked variants refuse instead.
+var ErrNonUniformAngles = errors.New("spectrum: profile angles are not uniformly spaced")
 
 // searchCountersT tallies which coarse-search route each scan actually took
 // — the accelerators (harmonic, hierarchical, prescreen, all-cells
@@ -27,6 +34,11 @@ type searchCountersT struct {
 	profileSynth atomic.Uint64
 	profileDense atomic.Uint64
 	streamSynth  atomic.Uint64
+	nufft2D      atomic.Uint64
+	nufftR2D     atomic.Uint64
+	denseNU2D    atomic.Uint64
+	hierSynth    atomic.Uint64
+	nufftProfile atomic.Uint64
 }
 
 var searchCounters searchCountersT
@@ -49,6 +61,11 @@ type SearchStats struct {
 	ProfileSynth uint64 // full profiles synthesized all-cells
 	ProfileDense uint64 // full profiles from Opt entry points scanned densely
 	StreamSynth  uint64 // streaming finalizes served from harmonic coefficients
+	NUFFT2D      uint64 // angle-grid argmax via the Q NUFFT synthesis
+	NUFFTR2D     uint64 // angle-grid argmax via the R NUFFT replay
+	DenseNU2D    uint64 // angle-grid argmax via the dense scan
+	HierSynth    uint64 // hierarchical scans with synthesized basin evals
+	NUFFTProfile uint64 // full Q profiles spread through the NUFFT kernel
 }
 
 // SearchStatsSnapshot returns the current routing counters.
@@ -65,6 +82,11 @@ func SearchStatsSnapshot() SearchStats {
 		ProfileSynth: searchCounters.profileSynth.Load(),
 		ProfileDense: searchCounters.profileDense.Load(),
 		StreamSynth:  searchCounters.streamSynth.Load(),
+		NUFFT2D:      searchCounters.nufft2D.Load(),
+		NUFFTR2D:     searchCounters.nufftR2D.Load(),
+		DenseNU2D:    searchCounters.denseNU2D.Load(),
+		HierSynth:    searchCounters.hierSynth.Load(),
+		NUFFTProfile: searchCounters.nufftProfile.Load(),
 	}
 }
 
@@ -81,6 +103,11 @@ func ResetSearchStats() {
 	searchCounters.profileSynth.Store(0)
 	searchCounters.profileDense.Store(0)
 	searchCounters.streamSynth.Store(0)
+	searchCounters.nufft2D.Store(0)
+	searchCounters.nufftR2D.Store(0)
+	searchCounters.denseNU2D.Store(0)
+	searchCounters.hierSynth.Store(0)
+	searchCounters.nufftProfile.Store(0)
 }
 
 // Normalized returns a copy of the profile scaled so its maximum is 1.
@@ -121,13 +148,27 @@ func (p Profile) Sharpness() float64 {
 //
 // The bin-to-radian conversion derives the grid spacing from the first two
 // entries of Angles, so the profile must be sampled on a *uniform* angular
-// grid (as produced by UniformAngles); on an irregular grid the reported
-// width has the wrong scale. A profile with fewer than two samples has no
-// measurable width and reports NaN.
+// grid (as produced by UniformAngles); on an irregular grid the bin count
+// has no single radian scale, and the method reports NaN rather than a
+// wrongly-scaled width (HalfPowerBeamwidthChecked distinguishes that case
+// with a typed error). A profile with fewer than two samples has no
+// measurable width and also reports NaN.
 func (p Profile) HalfPowerBeamwidth() float64 {
+	v, _ := p.HalfPowerBeamwidthChecked()
+	return v
+}
+
+// HalfPowerBeamwidthChecked is HalfPowerBeamwidth with the failure modes
+// split out: it returns (NaN, ErrNonUniformAngles) when the profile was
+// sampled on a non-uniform grid — the NUFFT entry points produce such
+// profiles routinely — and (NaN, nil) for the too-short-to-measure case.
+func (p Profile) HalfPowerBeamwidthChecked() (float64, error) {
 	n := len(p.Power)
 	if n < 2 {
-		return math.NaN()
+		return math.NaN(), nil
+	}
+	if !anglesApproxUniform(p.Angles) {
+		return math.NaN(), ErrNonUniformAngles
 	}
 	peakIdx := 0
 	for i, v := range p.Power {
@@ -151,11 +192,11 @@ func (p Profile) HalfPowerBeamwidth() float64 {
 		right = step
 	}
 	if left+right >= n-1 {
-		return 2 * math.Pi // never drops below half power
+		return 2 * math.Pi, nil // never drops below half power
 	}
 	// Convert bin counts to radians using the (uniform) grid spacing.
 	spacing := geom.AngleDistance(p.Angles[1], p.Angles[0])
-	return float64(left+right+1) * spacing
+	return float64(left+right+1) * spacing, nil
 }
 
 // PeakToSidelobe returns the ratio of the main peak to the highest local

@@ -87,6 +87,18 @@ type SearchOptions struct {
 	// (where enabling it scores with Q and rescores the top cells with R,
 	// like the prescreen pass).
 	Hierarchical Toggle
+	// NUFFT selects the type-2 NUFFT synthesis route (nufft.go) for the
+	// non-uniform-grid entry points — FindPeak2DAngles, Profile2DInto/
+	// Profile3D Q synthesis on ≥nufftMinCells grids, and the Accumulator's
+	// angle-grid finalize: fold once, synthesize on an oversampled uniform
+	// grid, spread to the requested cells through a truncated Gaussian
+	// kernel. Auto means on for those entry points (argmaxes stay exact
+	// via shortlist-then-rescore; synthesized profile values carry
+	// ≤nufftSlackQ error) and off for the hierarchical scanner's basin
+	// evaluation, which only ToggleOn switches to per-cell harmonic
+	// synthesis (synthAt). ToggleOff forces the dense per-cell scan
+	// everywhere the grid is non-uniform.
+	NUFFT Toggle
 }
 
 func (o SearchOptions) coarseStep() float64 {
@@ -149,6 +161,100 @@ func FindPeak2DEval(ev *Evaluator, opts SearchOptions) (float64, float64) {
 	step := opts.coarseStep()
 	idx := ev.coarseArgmax2D(ev.coarse, gridSteps(2*math.Pi, step), step, opts)
 	return ev.refine2D(float64(idx)*step, step, opts)
+}
+
+// FindPeak2DAngles locates the azimuth maximizing the selected profile over
+// an arbitrary (typically non-uniform) candidate grid, then refines locally.
+// It is FindPeak2D for callers whose candidate set is not φ_i = i·step —
+// jittered survey grids, importance-sampled cells, externally supplied
+// candidate lists. The coarse argmax over the given angles is bit-identical
+// to a dense scan of the same grid (the NUFFT route keeps the
+// shortlist-then-rescore contract); refinement then searches the winner's
+// neighborhood at the grid's mean spacing.
+func FindPeak2DAngles(snaps []phase.Snapshot, p Params, kind Kind, angles []float64, opts SearchOptions) (float64, float64, error) {
+	ev, err := NewEvaluator(snaps, p, kind)
+	if err != nil {
+		return 0, 0, err
+	}
+	az, pow := FindPeak2DAnglesEval(ev, angles, opts)
+	return az, pow, nil
+}
+
+// FindPeak2DAnglesEval is FindPeak2DAngles on a prebuilt Evaluator. An empty
+// grid returns (0, 0), matching the all-zero-profile default of the uniform
+// search.
+func FindPeak2DAnglesEval(ev *Evaluator, angles []float64, opts SearchOptions) (float64, float64) {
+	if len(angles) == 0 {
+		return 0, 0
+	}
+	idx := ev.coarseArgmax2DAngles(ev.coarse, angles, opts)
+	step := 2 * math.Pi / float64(len(angles))
+	return ev.refine2D(angles[idx], step, opts)
+}
+
+// coarseArgmax2DAngles is coarseArgmax2D over an arbitrary angle grid: the
+// NUFFT route (default on) folds the harmonic coefficients once and
+// synthesizes every cell through the oversampled-grid spreader — KindQ on
+// magnitudes, KindR replaying the robust weighting over the spread phasor
+// sums — then shortlists and exact-rescores, so the returned index matches
+// the dense scan bit for bit. ToggleOff (or a fold too large to be coarse,
+// which cannot happen for the ≤64-term coarse subset) scans densely.
+func (e *Evaluator) coarseArgmax2DAngles(terms termSlices, angles []float64, opts SearchOptions) int {
+	if opts.NUFFT.enabled(true) {
+		if e.kind == KindR {
+			searchCounters.nufftR2D.Add(1)
+			return e.nufftArgmaxR(terms, angles)
+		}
+		searchCounters.nufft2D.Add(1)
+		return e.nufftArgmaxQ(terms, angles)
+	}
+	searchCounters.denseNU2D.Add(1)
+	return e.denseArgmax2DAngles(terms, angles)
+}
+
+// denseArgmax2DAngles is the full parallel scan over an arbitrary angle
+// grid: the row kernels fill a pooled value buffer (the angles geometry has
+// no bests reduction), and a serial ascending strict-> pass picks the
+// winner — the same lowest-index tie rule as every other argmax.
+func (e *Evaluator) denseArgmax2DAngles(terms termSlices, angles []float64) int {
+	n := len(angles)
+	hs := harmPool.Get().(*harmonicScratch)
+	if cap(hs.vals) < n {
+		hs.vals = make([]float64, n)
+	}
+	vals := hs.vals[:n]
+	j := e.getJob()
+	j.terms = terms
+	j.n = n
+	j.chunk = chunkTarget
+	j.angles = angles
+	j.out = vals
+	e.scanChunks(j)
+	e.putJob(j)
+	best, bestVal := 0, math.Inf(-1)
+	for k, v := range vals {
+		if v > bestVal {
+			best, bestVal = k, v
+		}
+	}
+	harmPool.Put(hs)
+	return best
+}
+
+// rescoreAngles evaluates the exact per-cell formula at the given grid cells
+// (indices ascending) and returns the winner — rescoreTopK for arbitrary
+// angle grids. The streaming Accumulator's angle-grid finalize reuses this,
+// so batch and streamed picks share one selection path.
+func (e *Evaluator) rescoreAngles(terms termSlices, idxs []int, angles []float64) int {
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	bestIdx, bestVal := idxs[0], math.Inf(-1)
+	for _, k := range idxs { // ascending index → lowest-index tie rule
+		if v := e.evalTerms(terms, sc, angles[k], 0); v > bestVal {
+			bestIdx, bestVal = k, v
+		}
+	}
+	return bestIdx
 }
 
 // coarseArgmax2D returns the argmax index over the uniform grid

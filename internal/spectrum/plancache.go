@@ -69,6 +69,12 @@ type planCacheT struct {
 	shards [planShards]planShard
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// nonUniformMiss counts trig-table builds the cache could not even be
+	// asked about: non-uniform angle grids have no (i0, n, step) key, so
+	// fillAngleTrig builds per-point tables directly. A climbing rate in
+	// production means traffic is on the NUFFT/dense non-uniform paths and
+	// the plan cache's hit rate no longer describes most table builds.
+	nonUniformMiss atomic.Uint64
 }
 
 var planCache planCacheT
@@ -112,6 +118,11 @@ type PlanCacheStats struct {
 	// Hits and Misses are cumulative fill counts since process start (or
 	// the last ResetPlanCache).
 	Hits, Misses uint64
+	// NonUniformMiss counts cache-unservable table builds: non-uniform
+	// angle grids carry no uniform-step key, so they bypass the cache
+	// entirely. It is not part of HitRate (those builds never query the
+	// cache); it exists so the bypass rate is visible next to the hit rate.
+	NonUniformMiss uint64
 	// Entries is the current number of cached tables across all shards.
 	Entries int
 	// HitRate is Hits / (Hits + Misses), 0 when no fills have happened.
@@ -121,8 +132,9 @@ type PlanCacheStats struct {
 // PlanCacheSnapshot reports the plan cache's counters and size.
 func PlanCacheSnapshot() PlanCacheStats {
 	st := PlanCacheStats{
-		Hits:   planCache.hits.Load(),
-		Misses: planCache.misses.Load(),
+		Hits:           planCache.hits.Load(),
+		Misses:         planCache.misses.Load(),
+		NonUniformMiss: planCache.nonUniformMiss.Load(),
 	}
 	for i := range planCache.shards {
 		sh := &planCache.shards[i]
@@ -147,4 +159,5 @@ func ResetPlanCache() {
 	}
 	planCache.hits.Store(0)
 	planCache.misses.Store(0)
+	planCache.nonUniformMiss.Store(0)
 }
